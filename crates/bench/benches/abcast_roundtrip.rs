@@ -1,0 +1,40 @@
+//! Benchmark: simulating the three atomic broadcast variants under a
+//! fixed workload (n = 3, 50 msg/s for one virtual second) — compares the
+//! event-complexity of the protocols, mirroring the latency ordering the
+//! cross-switch experiment reports in virtual time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_bench::stats::collect_latencies;
+use dpu_core::time::{Dur, Time};
+use dpu_repl::builder::{drive_load, group_sim, specs, GroupStackOpts, SwitchLayer};
+use dpu_sim::SimConfig;
+
+fn run_variant(spec: dpu_core::ModuleSpec) -> usize {
+    let mut sim_cfg = SimConfig::lan(3, 42);
+    sim_cfg.trace = false;
+    let opts = GroupStackOpts {
+        abcast: spec,
+        layer: SwitchLayer::None,
+        probe_pad: Some(32),
+        with_gm: false,
+        extra_defaults: Vec::new(),
+    };
+    let (mut sim, h) = group_sim(sim_cfg, &opts);
+    sim.run_until(Time::ZERO + Dur::millis(300));
+    let until = sim.now() + Dur::secs(1);
+    drive_load(&mut sim, &h, 50.0, until);
+    sim.run_until(until + Dur::secs(2));
+    collect_latencies(&mut sim, &h).len()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abcast_variants");
+    group.sample_size(10);
+    group.bench_function("ct", |b| b.iter(|| run_variant(specs::ct(0))));
+    group.bench_function("sequencer", |b| b.iter(|| run_variant(specs::seq(0))));
+    group.bench_function("ring", |b| b.iter(|| run_variant(specs::ring(0))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

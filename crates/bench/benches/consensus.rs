@@ -1,0 +1,29 @@
+//! Benchmark: wall-clock cost of simulating Chandra–Toueg consensus
+//! instances at group sizes 3, 5, 7 — the engine underneath every
+//! consensus-based atomic broadcast experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpu_bench::experiments::{run_steady, ExpConfig};
+use dpu_core::time::Dur;
+use dpu_repl::builder::SwitchLayer;
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_abcast");
+    group.sample_size(10);
+    for n in [3u32, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("simulate_1s_50msgs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = ExpConfig::new(n, 50.0);
+                cfg.measure = Dur::secs(1);
+                cfg.tail = Dur::secs(2);
+                let msgs = run_steady(&cfg, SwitchLayer::None);
+                assert!(!msgs.is_empty());
+                msgs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

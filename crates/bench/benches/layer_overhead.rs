@@ -1,0 +1,32 @@
+//! Benchmark: the ablation for the paper's "≈5 % overhead of the
+//! replacement layer" claim (E4) — identical workload with and without
+//! the indirection layer. Wall-clock tracks the extra dispatch events
+//! the layer adds; the virtual-latency version of this ablation is in
+//! the `fig6` binary's `overhead_%` column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_bench::experiments::{run_steady, ExpConfig};
+use dpu_core::time::Dur;
+use dpu_repl::builder::SwitchLayer;
+
+fn tiny() -> ExpConfig {
+    let mut cfg = ExpConfig::new(3, 50.0);
+    cfg.measure = Dur::secs(1);
+    cfg.tail = Dur::secs(2);
+    cfg
+}
+
+fn bench_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_overhead");
+    group.sample_size(10);
+    group.bench_function("without_layer", |b| {
+        b.iter(|| run_steady(&tiny(), SwitchLayer::None).len())
+    });
+    group.bench_function("with_repl_layer", |b| {
+        b.iter(|| run_steady(&tiny(), SwitchLayer::Repl).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layer);
+criterion_main!(benches);

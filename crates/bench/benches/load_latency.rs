@@ -1,0 +1,29 @@
+//! Benchmark: Figure-6 points as wall-clock measurements — simulating the
+//! group at increasing load. Event count (and thus wall time) grows with
+//! load; the virtual-latency figure itself is produced by the `fig6`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpu_bench::experiments::{fig6_point, Fig6Mode};
+
+fn bench_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_points");
+    group.sample_size(10);
+    for load in [50.0f64, 150.0] {
+        group.bench_with_input(
+            BenchmarkId::new("n3_with_layer", load as u64),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let s = fig6_point(3, load, Fig6Mode::NormalWithLayer, 42);
+                    assert!(s.n > 0);
+                    s.n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_points);
+criterion_main!(benches);

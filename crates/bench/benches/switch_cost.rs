@@ -1,0 +1,39 @@
+//! Benchmark: one full dynamic protocol update end-to-end (n = 3, under
+//! load), per switcher — Algorithm 1 vs. the Maestro-style and
+//! Graceful-Adaptation-style baselines. Wall-clock here tracks total
+//! event count, i.e. the coordination work each approach adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_bench::experiments::{compare_switchers, run_repl_switches, ExpConfig};
+use dpu_core::time::Dur;
+use dpu_repl::builder::specs;
+
+fn tiny() -> ExpConfig {
+    let mut cfg = ExpConfig::new(3, 40.0);
+    cfg.measure = Dur::secs(2);
+    cfg.tail = Dur::secs(3);
+    cfg
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_cost");
+    group.sample_size(10);
+    group.bench_function("repl_one_switch", |b| {
+        b.iter(|| {
+            let outcome = run_repl_switches(&tiny(), &[Dur::secs(1)], specs::ct);
+            assert_eq!(outcome.windows.len(), 1);
+            outcome.latencies.len()
+        })
+    });
+    group.bench_function("three_way_comparison", |b| {
+        b.iter(|| {
+            let rows = compare_switchers(&tiny());
+            assert_eq!(rows.len(), 3);
+            rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

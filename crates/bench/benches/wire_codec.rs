@@ -1,0 +1,45 @@
+//! Micro-benchmark: the wire codec (encode/decode of typical protocol
+//! payloads). The codec sits on every message path, so its cost bounds
+//! the per-event CPU model calibration.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpu_core::probe::ProbeMsg;
+use dpu_core::time::Time;
+use dpu_core::wire::{from_bytes, to_bytes};
+use dpu_core::StackId;
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = ProbeMsg {
+        origin: StackId(3),
+        seq: 123_456,
+        sent_at: Time(987_654_321),
+        pad: Bytes::from(vec![7u8; 64]),
+    };
+    let encoded = to_bytes(&msg);
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_probe_msg", |b| {
+        b.iter(|| to_bytes(black_box(&msg)));
+    });
+    group.bench_function("decode_probe_msg", |b| {
+        b.iter(|| from_bytes::<ProbeMsg>(black_box(&encoded)).unwrap());
+    });
+
+    let batch: Vec<(StackId, u64, Bytes)> = (0..32)
+        .map(|i| (StackId(i % 7), u64::from(i), Bytes::from(vec![0u8; 48])))
+        .collect();
+    let batch_bytes = to_bytes(&batch);
+    group.throughput(Throughput::Bytes(batch_bytes.len() as u64));
+    group.bench_function("encode_consensus_batch_32", |b| {
+        b.iter(|| to_bytes(black_box(&batch)));
+    });
+    group.bench_function("decode_consensus_batch_32", |b| {
+        b.iter(|| from_bytes::<Vec<(StackId, u64, Bytes)>>(black_box(&batch_bytes)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

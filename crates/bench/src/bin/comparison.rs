@@ -1,0 +1,44 @@
+//! **Switcher comparison** (experiment E3) — the measured version of the
+//! paper's qualitative §4.2/§5.3 comparison: Algorithm 1 vs. a
+//! Maestro-style whole-stack switcher vs. a Graceful-Adaptation-style
+//! barrier switcher, under identical load with one replacement mid-run.
+//!
+//! ```text
+//! cargo run --release -p dpu-bench --bin comparison [--n 7] [--load 150]
+//! ```
+//!
+//! Expected shape (paper §5.3): Algorithm 1 needs **no** dedicated
+//! coordination messages and **never blocks the application**; Maestro
+//! blocks it for the whole flush+rebuild+barrier; Graceful Adaptation
+//! blocks briefly but pays three barrier rounds of coordination.
+
+use dpu_bench::experiments::{compare_switchers, ExpConfig};
+use dpu_bench::Args;
+use dpu_core::time::Dur;
+
+fn main() {
+    let args = Args::parse();
+    let n: u32 = args.get("n", 7);
+    let load: f64 = args.get("load", 150.0);
+    let seed: u64 = args.get("seed", 42);
+    let mut cfg = ExpConfig::new(n, load);
+    cfg.seed = seed;
+    if args.has("quick") {
+        cfg.measure = Dur::secs(3);
+        cfg.tail = Dur::secs(4);
+    }
+
+    println!("# Switcher comparison: one replacement under load");
+    println!("# n = {n}, load = {load} msg/s, seed = {seed}");
+    println!(
+        "# {:<26}\tswitch_ms\tapp_blocked_ms\tcoord_msgs\tsteady_ms\tpeak_ms\tmsgs",
+        "switcher"
+    );
+    for row in compare_switchers(&cfg) {
+        println!(
+            "{:<28}\t{:.3}\t{:.3}\t{}\t{:.4}\t{:.4}\t{}",
+            row.name, row.switch_ms, row.blocked_ms, row.coord_msgs, row.steady_ms,
+            row.peak_ms, row.messages
+        );
+    }
+}

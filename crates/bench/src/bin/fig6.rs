@@ -1,0 +1,65 @@
+//! **Figure 6** — average atomic broadcast latency as a function of load,
+//! for group sizes n = 3 and n = 7, with three series each (paper §6.2):
+//!
+//! * *during replacement* — messages sent inside a replacement window,
+//! * *normal, with replacement layer* — steady state through `r-abcast`,
+//! * *normal, without replacement layer* — steady state, no indirection.
+//!
+//! ```text
+//! cargo run --release -p dpu-bench --bin fig6 [--quick] [--seed 42]
+//! ```
+//!
+//! Qualitative expectations from the paper: the replacement layer costs a
+//! few percent across the whole load range; the during-replacement curve
+//! sits above both; all curves rise sharply near saturation; n = 7
+//! saturates earlier than n = 3.
+
+use dpu_bench::experiments::{fig6_point, parallel_map, Fig6Mode};
+use dpu_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let ns: Vec<u32> = vec![3, 7];
+    let loads_for = |n: u32| -> Vec<f64> {
+        if args.has("quick") {
+            return vec![50.0, 150.0, 300.0];
+        }
+        // The n = 7 group saturates earlier (consensus cost grows with
+        // n), mirroring the paper's Figure 6 where the curves end at
+        // different loads.
+        match n {
+            3 => vec![50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0],
+            _ => vec![50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0],
+        }
+    };
+
+    println!("# Figure 6: ABcast latency vs. load (mean over measured window, ms)");
+    println!("# seed = {seed}");
+    println!("# n\tload\tnormal_no_layer\tnormal_with_layer\tduring_replacement\toverhead_%");
+
+    let mut jobs = Vec::new();
+    for &n in &ns {
+        for load in loads_for(n) {
+            jobs.push((n, load));
+        }
+    }
+    let results = parallel_map(jobs, |(n, load)| {
+        let no_layer = fig6_point(n, load, Fig6Mode::NormalNoLayer, seed);
+        let with_layer = fig6_point(n, load, Fig6Mode::NormalWithLayer, seed);
+        let during = fig6_point(n, load, Fig6Mode::DuringReplacement, seed);
+        (n, load, no_layer, with_layer, during)
+    });
+
+    for (n, load, no_layer, with_layer, during) in results {
+        let overhead = if no_layer.mean_ms > 0.0 {
+            (with_layer.mean_ms / no_layer.mean_ms - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{n}\t{load:.0}\t{:.4}\t{:.4}\t{:.4}\t{overhead:.1}",
+            no_layer.mean_ms, with_layer.mean_ms, during.mean_ms
+        );
+    }
+}

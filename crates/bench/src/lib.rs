@@ -1,0 +1,63 @@
+//! # dpu-bench — the evaluation harness
+//!
+//! Regenerates every figure of the paper's §6 evaluation and the measured
+//! version of its §4.2/§5.3 comparison, on the deterministic simulator:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig5` | Figure 5 — ABcast latency vs. time across a replacement (n = 7) |
+//! | `fig6` | Figure 6 — latency vs. load, n ∈ {3, 7}, three series |
+//! | `comparison` | §4.2/§5.3 — Repl vs. Maestro vs. Graceful Adaptation, measured |
+//! | `consensus_switch` | §7 / ref \[16\] — replacing the agreement protocol under load |
+//! | `cross_switch` | switching between *different* ABcast protocols (the paper's motivation) |
+//!
+//! Criterion micro-benchmarks live in `benches/`. All runs are pure
+//! functions of their seed; `EXPERIMENTS.md` records outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+
+/// Tiny CLI helper: read `--key value` style options with defaults, plus
+/// a `--quick` switch that the binaries use to shrink sweeps.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Value of `--name <v>`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn args_default_when_absent() {
+        let a = super::Args { raw: vec!["--n".into(), "5".into(), "--quick".into()] };
+        assert_eq!(a.get("n", 7u32), 5);
+        assert_eq!(a.get("load", 100.0f64), 100.0);
+        assert!(a.has("quick"));
+        assert!(!a.has("slow"));
+    }
+}

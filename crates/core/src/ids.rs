@@ -1,0 +1,145 @@
+//! Identifiers for stacks, modules, services and timers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one protocol stack, i.e. one machine/process in the system
+/// (the paper's "stack i").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StackId(pub u32);
+
+impl StackId {
+    /// The index as `usize`, for indexing per-stack vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stack{}", self.0)
+    }
+}
+
+impl fmt::Display for StackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stack{}", self.0)
+    }
+}
+
+/// Identifies one module instance within a stack. Fresh ids are allocated
+/// by the stack each time a module is created; ids are never reused, so a
+/// dangling `ModuleId` (e.g. of a destroyed module) is detectable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub u64);
+
+impl fmt::Debug for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifies a timer set by a module via
+/// [`ModuleCtx::set_timer`](crate::stack::ModuleCtx::set_timer).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+/// The name of a service — the *specification* of a distributed protocol
+/// (the paper's lower-case `p`, `q`, `r`).
+///
+/// Cheap to clone (reference-counted string). Two `ServiceId`s compare
+/// equal iff their names are equal, regardless of how they were created.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(Arc<str>);
+
+impl ServiceId {
+    /// Create a service id from a name.
+    pub fn new(name: impl AsRef<str>) -> ServiceId {
+        ServiceId(Arc::from(name.as_ref()))
+    }
+
+    /// The service name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// The indirection interface `r-<name>` for this service
+    /// (paper, Figure 3): callers of the updateable service are rewired to
+    /// this id, which the replacement module provides.
+    pub fn replaced(&self) -> ServiceId {
+        ServiceId::new(crate::svc::replaced(self.name()))
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(s: &str) -> ServiceId {
+        ServiceId::new(s)
+    }
+}
+
+impl From<String> for ServiceId {
+    fn from(s: String) -> ServiceId {
+        ServiceId::new(s)
+    }
+}
+
+impl fmt::Debug for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc:{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn service_ids_compare_by_name() {
+        let a = ServiceId::new("abcast");
+        let b: ServiceId = "abcast".into();
+        let c: ServiceId = String::from("consensus").into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn replaced_service_name() {
+        let p = ServiceId::new("abcast");
+        assert_eq!(p.replaced().name(), "r-abcast");
+        // The indirection of an indirection is distinct again.
+        assert_eq!(p.replaced().replaced().name(), "r-r-abcast");
+    }
+
+    #[test]
+    fn stack_id_indexing_and_display() {
+        let s = StackId(3);
+        assert_eq!(s.idx(), 3);
+        assert_eq!(format!("{s}"), "stack3");
+        assert_eq!(format!("{:?}", ModuleId(9)), "m9");
+    }
+}

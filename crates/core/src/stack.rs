@@ -1,0 +1,1236 @@
+//! The protocol [`Stack`]: the set of modules on one machine, their
+//! dynamic service bindings, and the dispatch engine.
+//!
+//! # Execution model
+//!
+//! A stack is a deterministic, single-threaded, run-to-completion engine.
+//! All pending work (service calls, responses, timer expirations, module
+//! lifecycle events) sits in an internal FIFO; the *host* — the
+//! deterministic simulator (`dpu-sim`) or the threaded runtime
+//! (`dpu-runtime`) — repeatedly invokes [`Stack::step`] to dispatch one
+//! item to one module handler. Handlers interact with the world only
+//! through [`ModuleCtx`], which enqueues further work and emits
+//! [`HostAction`]s (network sends, timer arming) for the host to execute.
+//!
+//! This split is what lets the same protocol modules run unchanged under
+//! virtual time (for reproducible experiments) and real time.
+//!
+//! # Dynamic update hooks (paper §2, §4)
+//!
+//! * [`Stack::bind`] / [`Stack::unbind`] change which module provides a
+//!   service; at most one module is bound per service.
+//! * A call to an unbound service **blocks** (is queued) until a module is
+//!   bound — the weak stack-well-formedness regime. The trace records
+//!   [`TraceEvent::BlockedCall`]/[`TraceEvent::ReleasedCall`] so checkers
+//!   can verify both regimes.
+//! * [`Stack::install`] implements the recursive `create_module` procedure
+//!   of Algorithm 1 (lines 22–28): create the module, bind its provided
+//!   services, then recursively create default providers for any required
+//!   service that has no bound module.
+
+use crate::ids::{ModuleId, ServiceId, StackId, TimerId};
+use crate::module::{Call, Module, ModuleSpec, Op, Response};
+use crate::time::{Dur, Time};
+use crate::trace::{TraceEvent, TraceLog};
+use crate::wire::{self, WireError};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Operation codes of the built-in `net` service (the host boundary).
+pub mod net_ops {
+    use crate::module::Op;
+    /// Downward call: send a datagram. Payload: `(StackId dst, Bytes data)`.
+    pub const SEND: Op = 1;
+    /// Upward response: a datagram arrived. Payload: `(StackId src, Bytes data)`.
+    pub const RECV: Op = 2;
+}
+
+/// An effect a stack asks its host to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostAction {
+    /// Transmit `payload` to stack `dst` over the (unreliable) network.
+    NetSend {
+        /// Destination stack.
+        dst: StackId,
+        /// Raw datagram contents.
+        payload: Bytes,
+    },
+    /// Arm a one-shot timer; the host must call
+    /// [`Stack::timer_fired`] with `id` after `delay` elapses (unless
+    /// cancelled).
+    SetTimer {
+        /// Timer handle.
+        id: TimerId,
+        /// Delay from now.
+        delay: Dur,
+    },
+    /// Disarm a previously set timer. Firing a cancelled timer is a no-op,
+    /// so hosts may ignore this if inconvenient.
+    CancelTimer {
+        /// Timer handle.
+        id: TimerId,
+    },
+}
+
+/// Errors from stack reconfiguration operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackError {
+    /// No factory registered for the requested module kind.
+    UnknownKind(String),
+    /// A required service has no bound provider and no default provider
+    /// spec was configured (Algorithm 1, line 27 failed to "find a module
+    /// q providing service s").
+    NoDefaultProvider(ServiceId),
+    /// The referenced module does not exist (destroyed or never created).
+    UnknownModule(ModuleId),
+    /// A parameter blob failed to decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::UnknownKind(k) => write!(f, "no factory for module kind {k:?}"),
+            StackError::NoDefaultProvider(s) => {
+                write!(f, "no default provider configured for service {s}")
+            }
+            StackError::UnknownModule(m) => write!(f, "unknown module {m}"),
+            StackError::Wire(e) => write!(f, "parameter decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+impl From<WireError> for StackError {
+    fn from(e: WireError) -> StackError {
+        StackError::Wire(e)
+    }
+}
+
+/// What kind of work one [`Stack::step`] dispatched — hosts use this to
+/// charge CPU cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepCategory {
+    /// A service call was dispatched to its provider.
+    Call,
+    /// A response was dispatched to a requirer.
+    Response,
+    /// A timer handler ran.
+    Timer,
+    /// A module's `on_start` ran.
+    Start,
+    /// A module's `on_stop` ran (module removed afterwards).
+    Stop,
+}
+
+/// Report of one dispatched step.
+#[derive(Clone, Debug)]
+pub struct StepInfo {
+    /// The module whose handler ran.
+    pub module: ModuleId,
+    /// Kind of work dispatched.
+    pub category: StepCategory,
+    /// The service involved, for calls/responses.
+    pub service: Option<ServiceId>,
+    /// The operation involved, for calls/responses.
+    pub op: Option<Op>,
+}
+
+/// A boxed module constructor, as stored in the registry.
+pub type ModuleFactory = Box<dyn Fn(&ModuleSpec) -> Box<dyn Module> + Send>;
+
+/// Registry of module factories, keyed by kind name.
+///
+/// A factory builds a fresh module instance from a [`ModuleSpec`]. The
+/// registry is consulted by [`Stack::install`] and by the recursive
+/// default-provider creation of Algorithm 1.
+#[derive(Default)]
+pub struct FactoryRegistry {
+    factories: BTreeMap<String, ModuleFactory>,
+}
+
+impl FactoryRegistry {
+    /// An empty registry.
+    pub fn new() -> FactoryRegistry {
+        FactoryRegistry::default()
+    }
+
+    /// Register a factory for `kind`. Later registrations replace earlier
+    /// ones.
+    pub fn register(
+        &mut self,
+        kind: impl Into<String>,
+        f: impl Fn(&ModuleSpec) -> Box<dyn Module> + Send + 'static,
+    ) {
+        self.factories.insert(kind.into(), Box::new(f));
+    }
+
+    /// Build a module from `spec`, if its kind is registered.
+    pub fn build(&self, spec: &ModuleSpec) -> Result<Box<dyn Module>, StackError> {
+        match self.factories.get(&spec.kind) {
+            Some(f) => Ok(f(spec)),
+            None => Err(StackError::UnknownKind(spec.kind.clone())),
+        }
+    }
+
+    /// Whether a factory for `kind` exists.
+    pub fn contains(&self, kind: &str) -> bool {
+        self.factories.contains_key(kind)
+    }
+}
+
+impl fmt::Debug for FactoryRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FactoryRegistry")
+            .field("kinds", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Static configuration of a stack.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// This stack's id (the machine index `i`).
+    pub id: StackId,
+    /// All stacks in the system, including this one, in a globally agreed
+    /// order.
+    pub peers: Vec<StackId>,
+    /// Seed for the stack's deterministic RNG (mixed with the stack id).
+    pub seed: u64,
+    /// Whether to record a [`TraceLog`].
+    pub trace: bool,
+}
+
+impl StackConfig {
+    /// Configuration for stack `id` out of `n` stacks `0..n`.
+    pub fn nth(id: u32, n: u32, seed: u64) -> StackConfig {
+        StackConfig {
+            id: StackId(id),
+            peers: (0..n).map(StackId).collect(),
+            seed,
+            trace: true,
+        }
+    }
+}
+
+enum Delivery {
+    Call { to: ModuleId, call: Call },
+    Response { to: ModuleId, resp: Response },
+    Timer { to: ModuleId, id: TimerId, tag: u64 },
+    Start { to: ModuleId },
+    Stop { to: ModuleId },
+}
+
+struct ModuleSlot {
+    module: Option<Box<dyn Module>>,
+    kind: String,
+    provides: Vec<ServiceId>,
+    requires: Vec<ServiceId>,
+}
+
+/// The built-in module bound to the `net` service: it turns `net.SEND`
+/// calls into [`HostAction::NetSend`]. Packet arrivals are injected by the
+/// host via [`Stack::packet_in`] and fan out as `net.RECV` responses.
+struct NetBridge;
+
+impl Module for NetBridge {
+    fn kind(&self) -> &str {
+        "net.bridge"
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![ServiceId::new(crate::svc::NET)]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        Vec::new()
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        if call.op == net_ops::SEND {
+            if let Ok((dst, payload)) = call.decode::<(StackId, Bytes)>() {
+                ctx.net_send(dst, payload);
+            }
+        }
+    }
+
+    fn on_response(&mut self, _ctx: &mut ModuleCtx<'_>, _resp: Response) {}
+}
+
+/// The set of modules located on one machine, plus their bindings
+/// (paper §2).
+pub struct Stack {
+    id: StackId,
+    peers: Vec<StackId>,
+    now: Time,
+    modules: BTreeMap<ModuleId, ModuleSlot>,
+    bindings: BTreeMap<ServiceId, ModuleId>,
+    /// Modules requiring each service, in registration order — the
+    /// response fan-out set.
+    requirers: BTreeMap<ServiceId, Vec<ModuleId>>,
+    /// Calls blocked on an unbound service (weak stack-well-formedness).
+    waiting: BTreeMap<ServiceId, VecDeque<Call>>,
+    queue: VecDeque<Delivery>,
+    actions: Vec<HostAction>,
+    timers: BTreeMap<TimerId, (ModuleId, u64)>,
+    factory: FactoryRegistry,
+    defaults: BTreeMap<ServiceId, ModuleSpec>,
+    trace: TraceLog,
+    next_module: u64,
+    next_timer: u64,
+    rng_state: u64,
+    crashed: bool,
+    net_bridge: ModuleId,
+}
+
+impl Stack {
+    /// Create a stack with the given configuration and factory registry.
+    ///
+    /// The built-in net bridge is created and bound to the `net` service.
+    pub fn new(cfg: StackConfig, factory: FactoryRegistry) -> Stack {
+        let trace = if cfg.trace { TraceLog::new() } else { TraceLog::disabled() };
+        let mut stack = Stack {
+            id: cfg.id,
+            peers: cfg.peers,
+            now: Time::ZERO,
+            modules: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+            requirers: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            queue: VecDeque::new(),
+            actions: Vec::new(),
+            timers: BTreeMap::new(),
+            factory,
+            defaults: BTreeMap::new(),
+            trace,
+            next_module: 1,
+            next_timer: 1,
+            // SplitMix-style seed scramble so stacks with consecutive ids
+            // do not share low-entropy streams.
+            rng_state: cfg.seed ^ (u64::from(cfg.id.0) + 1).wrapping_mul(0x9E3779B97F4A7C15),
+            crashed: false,
+            net_bridge: ModuleId(0),
+        };
+        let bridge = stack.insert_module(Box::new(NetBridge));
+        stack.net_bridge = bridge;
+        stack.bind(&ServiceId::new(crate::svc::NET), bridge);
+        stack
+    }
+
+    /// This stack's id.
+    pub fn id(&self) -> StackId {
+        self.id
+    }
+
+    /// All stacks of the system (including this one).
+    pub fn peers(&self) -> &[StackId] {
+        &self.peers
+    }
+
+    /// The current virtual time, as last told by the host.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Whether the stack has crashed. A crashed stack ignores all input.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Number of pending internal deliveries.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether [`Stack::step`] has work to do.
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() && !self.crashed
+    }
+
+    /// The module currently bound to `service`, if any.
+    pub fn bound(&self, service: &ServiceId) -> Option<ModuleId> {
+        self.bindings.get(service).copied()
+    }
+
+    /// The kind name of a module.
+    pub fn module_kind(&self, id: ModuleId) -> Option<&str> {
+        self.modules.get(&id).map(|s| s.kind.as_str())
+    }
+
+    /// Ids and kinds of all live modules.
+    pub fn modules(&self) -> impl Iterator<Item = (ModuleId, &str)> {
+        self.modules.iter().map(|(id, s)| (*id, s.kind.as_str()))
+    }
+
+    /// Configure the default provider spec for `service`, used by the
+    /// recursive module creation of Algorithm 1 (line 27: "find a module q
+    /// providing service s").
+    pub fn set_default_provider(&mut self, service: ServiceId, spec: ModuleSpec) {
+        self.defaults.insert(service, spec);
+    }
+
+    /// Access the recorded trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Take the recorded trace, leaving an empty one (same enablement).
+    pub fn take_trace(&mut self) -> TraceLog {
+        let enabled = self.trace.is_enabled();
+        std::mem::replace(
+            &mut self.trace,
+            if enabled { TraceLog::new() } else { TraceLog::disabled() },
+        )
+    }
+
+    /// Insert an already-constructed module (no binding, no recursion).
+    /// Useful for probes and tests; protocol code normally goes through
+    /// [`Stack::install`].
+    pub fn add_module(&mut self, module: Box<dyn Module>) -> ModuleId {
+        self.insert_module(module)
+    }
+
+    /// Create a module from `spec` via the factory registry and wire it in
+    /// per Algorithm 1 lines 22–28: bind each provided service that is
+    /// currently unbound, then recursively create default providers for
+    /// required services with no bound module.
+    pub fn install(&mut self, spec: &ModuleSpec) -> Result<ModuleId, StackError> {
+        let module = self.factory.build(spec)?;
+        let id = self.insert_module(module);
+        self.wire_in(id)?;
+        Ok(id)
+    }
+
+    fn wire_in(&mut self, id: ModuleId) -> Result<(), StackError> {
+        let (provides, requires) = {
+            let slot = self.modules.get(&id).ok_or(StackError::UnknownModule(id))?;
+            (slot.provides.clone(), slot.requires.clone())
+        };
+        for svc in &provides {
+            if !self.bindings.contains_key(svc) {
+                self.bind(svc, id);
+            }
+        }
+        for svc in &requires {
+            if !self.bindings.contains_key(svc) {
+                let spec = self
+                    .defaults
+                    .get(svc)
+                    .cloned()
+                    .ok_or_else(|| StackError::NoDefaultProvider(svc.clone()))?;
+                let dep = self.factory.build(&spec)?;
+                let dep_id = self.insert_module(dep);
+                self.wire_in(dep_id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_module(&mut self, module: Box<dyn Module>) -> ModuleId {
+        let id = ModuleId(self.next_module);
+        self.next_module += 1;
+        let kind = module.kind().to_string();
+        let provides = module.provides();
+        let requires = module.requires();
+        for svc in &requires {
+            self.requirers.entry(svc.clone()).or_default().push(id);
+        }
+        self.modules.insert(
+            id,
+            ModuleSlot { module: Some(module), kind: kind.clone(), provides, requires },
+        );
+        self.trace.push(self.now, TraceEvent::ModuleCreated { stack: self.id, module: id, kind });
+        self.queue.push_back(Delivery::Start { to: id });
+        id
+    }
+
+    /// Bind `module` to `service` (paper §2 "Module bindings"). Any
+    /// previously bound module is implicitly unbound first. Calls blocked
+    /// on the service are released in FIFO order.
+    pub fn bind(&mut self, service: &ServiceId, module: ModuleId) {
+        if let Some(prev) = self.bindings.insert(service.clone(), module) {
+            if prev != module {
+                self.trace.push(
+                    self.now,
+                    TraceEvent::Unbind { stack: self.id, service: service.clone(), module: prev },
+                );
+            }
+        }
+        self.trace.push(
+            self.now,
+            TraceEvent::Bind { stack: self.id, service: service.clone(), module },
+        );
+        if let Some(mut blocked) = self.waiting.remove(service) {
+            for call in blocked.drain(..) {
+                self.trace.push(
+                    self.now,
+                    TraceEvent::ReleasedCall {
+                        stack: self.id,
+                        service: service.clone(),
+                        op: call.op,
+                        from: call.from,
+                    },
+                );
+                self.queue.push_back(Delivery::Call { to: module, call });
+            }
+        }
+    }
+
+    /// Unbind whatever module is bound to `service`. Subsequent calls to
+    /// the service block until a new module is bound. Unbinding does *not*
+    /// remove the module from the stack (paper §2).
+    pub fn unbind(&mut self, service: &ServiceId) {
+        if let Some(prev) = self.bindings.remove(service) {
+            self.trace.push(
+                self.now,
+                TraceEvent::Unbind { stack: self.id, service: service.clone(), module: prev },
+            );
+        }
+    }
+
+    /// Destroy a module: unbind it from any service it is bound to, run
+    /// its `on_stop`, and remove it. Pending deliveries to it are dropped.
+    pub fn destroy_module(&mut self, id: ModuleId) {
+        if !self.modules.contains_key(&id) {
+            return;
+        }
+        let bound_services: Vec<ServiceId> = self
+            .bindings
+            .iter()
+            .filter(|(_, m)| **m == id)
+            .map(|(s, _)| s.clone())
+            .collect();
+        for svc in bound_services {
+            self.unbind(&svc);
+        }
+        self.queue.push_back(Delivery::Stop { to: id });
+    }
+
+    /// Make a service call on behalf of module `from` (used by hosts and
+    /// probes to inject work; modules use [`ModuleCtx::call`]).
+    pub fn call_as(&mut self, from: ModuleId, service: &ServiceId, op: Op, data: Bytes) {
+        self.enqueue_call(Call { service: service.clone(), op, data, from });
+    }
+
+    fn enqueue_call(&mut self, call: Call) {
+        match self.bindings.get(&call.service) {
+            Some(&to) => {
+                self.trace.push(
+                    self.now,
+                    TraceEvent::Call {
+                        stack: self.id,
+                        service: call.service.clone(),
+                        op: call.op,
+                        from: call.from,
+                        to,
+                    },
+                );
+                self.queue.push_back(Delivery::Call { to, call });
+            }
+            None => {
+                self.trace.push(
+                    self.now,
+                    TraceEvent::BlockedCall {
+                        stack: self.id,
+                        service: call.service.clone(),
+                        op: call.op,
+                        from: call.from,
+                    },
+                );
+                self.waiting.entry(call.service.clone()).or_default().push_back(call);
+            }
+        }
+    }
+
+    fn enqueue_response(&mut self, resp: Response) {
+        let to: Vec<ModuleId> = self
+            .requirers
+            .get(&resp.service)
+            .map(|v| v.iter().copied().filter(|m| *m != resp.from).collect())
+            .unwrap_or_default();
+        let live: Vec<ModuleId> =
+            to.into_iter().filter(|m| self.modules.contains_key(m)).collect();
+        self.trace.push(
+            self.now,
+            TraceEvent::Response {
+                stack: self.id,
+                service: resp.service.clone(),
+                op: resp.op,
+                from: resp.from,
+                fanout: live.len(),
+            },
+        );
+        for m in live {
+            self.queue.push_back(Delivery::Response { to: m, resp: resp.clone() });
+        }
+    }
+
+    /// Inject a datagram arrival from the network. Fans out as a
+    /// `net.RECV` response to every module requiring the `net` service.
+    pub fn packet_in(&mut self, now: Time, src: StackId, payload: Bytes) {
+        if self.crashed {
+            return;
+        }
+        self.now = now;
+        let data = wire::to_bytes(&(src, payload));
+        self.enqueue_response(Response {
+            service: ServiceId::new(crate::svc::NET),
+            op: net_ops::RECV,
+            data,
+            from: self.net_bridge,
+        });
+    }
+
+    /// Fire a timer previously armed via [`HostAction::SetTimer`]. Firing
+    /// a cancelled or unknown timer is a no-op.
+    pub fn timer_fired(&mut self, now: Time, id: TimerId) {
+        if self.crashed {
+            return;
+        }
+        self.now = now;
+        if let Some((module, tag)) = self.timers.remove(&id) {
+            self.queue.push_back(Delivery::Timer { to: module, id, tag });
+        }
+    }
+
+    /// Crash the stack: it drops all pending work and ignores all further
+    /// input. Used for fault-injection experiments.
+    pub fn crash(&mut self, now: Time) {
+        if self.crashed {
+            return;
+        }
+        self.now = now;
+        self.crashed = true;
+        self.queue.clear();
+        self.waiting.clear();
+        self.trace.push(now, TraceEvent::Crash { stack: self.id });
+    }
+
+    /// Dispatch one pending delivery at virtual time `now`. Returns what
+    /// was dispatched, or `None` if there was no work (or the stack
+    /// crashed).
+    pub fn step(&mut self, now: Time) -> Option<StepInfo> {
+        if self.crashed {
+            return None;
+        }
+        self.now = now;
+        loop {
+            let delivery = self.queue.pop_front()?;
+            let (to, category) = match &delivery {
+                Delivery::Call { to, .. } => (*to, StepCategory::Call),
+                Delivery::Response { to, .. } => (*to, StepCategory::Response),
+                Delivery::Timer { to, .. } => (*to, StepCategory::Timer),
+                Delivery::Start { to } => (*to, StepCategory::Start),
+                Delivery::Stop { to } => (*to, StepCategory::Stop),
+            };
+            // Deliveries to destroyed modules are dropped silently.
+            let Some(slot) = self.modules.get_mut(&to) else { continue };
+            let mut module = slot.module.take().expect("module re-entrancy");
+            let (service, op) = match &delivery {
+                Delivery::Call { call, .. } => (Some(call.service.clone()), Some(call.op)),
+                Delivery::Response { resp, .. } => (Some(resp.service.clone()), Some(resp.op)),
+                _ => (None, None),
+            };
+            let mut ctx = ModuleCtx { stack: self, me: to, destroyed_self: false };
+            match delivery {
+                Delivery::Call { call, .. } => module.on_call(&mut ctx, call),
+                Delivery::Response { resp, .. } => module.on_response(&mut ctx, resp),
+                Delivery::Timer { id, tag, .. } => module.on_timer(&mut ctx, id, tag),
+                Delivery::Start { .. } => module.on_start(&mut ctx),
+                Delivery::Stop { .. } => {
+                    module.on_stop(&mut ctx);
+                    ctx.destroyed_self = true;
+                }
+            }
+            let destroyed = ctx.destroyed_self;
+            if destroyed {
+                let kind = module.kind().to_string();
+                self.trace.push(
+                    self.now,
+                    TraceEvent::ModuleDestroyed { stack: self.id, module: to, kind },
+                );
+                self.remove_module_records(to);
+            } else if let Some(slot) = self.modules.get_mut(&to) {
+                slot.module = Some(module);
+            }
+            return Some(StepInfo { module: to, category, service, op });
+        }
+    }
+
+    fn remove_module_records(&mut self, id: ModuleId) {
+        self.modules.remove(&id);
+        let bound: Vec<ServiceId> = self
+            .bindings
+            .iter()
+            .filter(|(_, m)| **m == id)
+            .map(|(s, _)| s.clone())
+            .collect();
+        for svc in bound {
+            self.unbind(&svc);
+        }
+        for reqs in self.requirers.values_mut() {
+            reqs.retain(|m| *m != id);
+        }
+        self.timers.retain(|_, (m, _)| *m != id);
+    }
+
+    /// Take all host actions produced since the last drain.
+    pub fn drain_actions(&mut self) -> Vec<HostAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Run a closure against the concrete type of a module (downcast).
+    /// Returns `None` if the module does not exist or has another type.
+    pub fn with_module<M: Module, R>(
+        &mut self,
+        id: ModuleId,
+        f: impl FnOnce(&mut M) -> R,
+    ) -> Option<R> {
+        let slot = self.modules.get_mut(&id)?;
+        let module = slot.module.as_mut()?;
+        let any: &mut dyn std::any::Any = &mut **module;
+        any.downcast_mut::<M>().map(f)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, cheap, good enough for timer jitter.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl fmt::Debug for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack")
+            .field("id", &self.id)
+            .field("modules", &self.modules.len())
+            .field("bindings", &self.bindings)
+            .field("pending", &self.queue.len())
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+/// The capability handle passed to module handlers: everything a module
+/// may do to the world.
+pub struct ModuleCtx<'a> {
+    stack: &'a mut Stack,
+    me: ModuleId,
+    destroyed_self: bool,
+}
+
+impl ModuleCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.stack.now
+    }
+
+    /// The id of the stack this module lives on.
+    pub fn stack_id(&self) -> StackId {
+        self.stack.id
+    }
+
+    /// All stacks of the system.
+    pub fn peers(&self) -> &[StackId] {
+        &self.stack.peers
+    }
+
+    /// This module's own id.
+    pub fn me(&self) -> ModuleId {
+        self.me
+    }
+
+    /// Call a service (paper: "service call"). If the service is unbound
+    /// the call blocks until a module is bound.
+    pub fn call(&mut self, service: &ServiceId, op: Op, data: Bytes) {
+        self.stack.enqueue_call(Call {
+            service: service.clone(),
+            op,
+            data,
+            from: self.me,
+        });
+    }
+
+    /// Respond on a service this module provides (paper: "service
+    /// response"). The response is delivered to every local module that
+    /// requires the service (excluding this module itself). Note that a
+    /// module may respond even after being unbound.
+    pub fn respond(&mut self, service: &ServiceId, op: Op, data: Bytes) {
+        self.stack.enqueue_response(Response {
+            service: service.clone(),
+            op,
+            data,
+            from: self.me,
+        });
+    }
+
+    /// Arm a one-shot timer; `tag` is returned to
+    /// [`Module::on_timer`] for multiplexing.
+    pub fn set_timer(&mut self, delay: Dur, tag: u64) -> TimerId {
+        let id = TimerId(self.stack.next_timer);
+        self.stack.next_timer += 1;
+        self.stack.timers.insert(id, (self.me, tag));
+        self.stack.actions.push(HostAction::SetTimer { id, delay });
+        id
+    }
+
+    /// Disarm a timer. Safe to call on already-fired timers.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if self.stack.timers.remove(&id).is_some() {
+            self.stack.actions.push(HostAction::CancelTimer { id });
+        }
+    }
+
+    /// Bind `module` to `service` (dynamic reconfiguration).
+    pub fn bind(&mut self, service: &ServiceId, module: ModuleId) {
+        self.stack.bind(service, module);
+    }
+
+    /// Unbind the provider of `service` (dynamic reconfiguration).
+    pub fn unbind(&mut self, service: &ServiceId) {
+        self.stack.unbind(service);
+    }
+
+    /// The module currently bound to `service`.
+    pub fn bound(&self, service: &ServiceId) -> Option<ModuleId> {
+        self.stack.bound(service)
+    }
+
+    /// Create and wire in a module per Algorithm 1 lines 22–28 (see
+    /// [`Stack::install`]).
+    pub fn create_module(&mut self, spec: &ModuleSpec) -> Result<ModuleId, StackError> {
+        self.stack.install(spec)
+    }
+
+    /// Destroy a module (used by whole-stack switch baselines). A module
+    /// may destroy itself; removal then happens after the current handler
+    /// returns.
+    pub fn destroy_module(&mut self, id: ModuleId) {
+        if id == self.me {
+            self.destroyed_self = true;
+            // Unbind immediately so no further calls are routed to us.
+            let bound: Vec<ServiceId> = self
+                .stack
+                .bindings
+                .iter()
+                .filter(|(_, m)| **m == id)
+                .map(|(s, _)| s.clone())
+                .collect();
+            for svc in bound {
+                self.stack.unbind(&svc);
+            }
+        } else {
+            self.stack.destroy_module(id);
+        }
+    }
+
+    /// The kind of a live module.
+    pub fn module_kind(&self, id: ModuleId) -> Option<&str> {
+        self.stack.module_kind(id)
+    }
+
+    /// Deterministic per-stack randomness (for timer jitter and the like).
+    pub fn random_u64(&mut self) -> u64 {
+        self.stack.next_rand()
+    }
+
+    /// Low-level escape hatch used by the built-in net bridge: emit a raw
+    /// network send. Protocol modules should call the `net` service
+    /// instead so the send is visible as a service interaction.
+    pub fn net_send(&mut self, dst: StackId, payload: Bytes) {
+        self.stack.actions.push(HostAction::NetSend { dst, payload });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Encode;
+
+    /// Test module: provides `echo`; responds on `echo` with the same
+    /// payload it was called with.
+    struct Echo;
+
+    impl Module for Echo {
+        fn kind(&self) -> &str {
+            "echo"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new("echo")]
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+            ctx.respond(&call.service, call.op, call.data);
+        }
+        fn on_response(&mut self, _ctx: &mut ModuleCtx<'_>, _resp: Response) {}
+    }
+
+    /// Test module: requires `echo`; records every response payload.
+    #[derive(Default)]
+    struct Client {
+        got: Vec<Bytes>,
+    }
+
+    impl Module for Client {
+        fn kind(&self) -> &str {
+            "client"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new("echo")]
+        }
+        fn on_call(&mut self, _ctx: &mut ModuleCtx<'_>, _call: Call) {}
+        fn on_response(&mut self, _ctx: &mut ModuleCtx<'_>, resp: Response) {
+            self.got.push(resp.data);
+        }
+    }
+
+    fn run_until_idle(stack: &mut Stack) {
+        let mut t = stack.now();
+        while stack.step(t).is_some() {
+            t = Time(t.0 + 1);
+        }
+    }
+
+    fn new_stack() -> Stack {
+        Stack::new(StackConfig::nth(0, 3, 42), FactoryRegistry::new())
+    }
+
+    #[test]
+    fn call_reaches_bound_provider_and_response_fans_out() {
+        let mut stack = new_stack();
+        let echo = stack.add_module(Box::new(Echo));
+        let client = stack.add_module(Box::new(Client::default()));
+        stack.bind(&ServiceId::new("echo"), echo);
+        stack.call_as(client, &ServiceId::new("echo"), 7, Bytes::from_static(b"hi"));
+        run_until_idle(&mut stack);
+        let got = stack.with_module::<Client, _>(client, |c| c.got.clone()).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"hi")]);
+    }
+
+    #[test]
+    fn call_to_unbound_service_blocks_until_bind() {
+        let mut stack = new_stack();
+        let client = stack.add_module(Box::new(Client::default()));
+        stack.call_as(client, &ServiceId::new("echo"), 7, Bytes::from_static(b"queued"));
+        run_until_idle(&mut stack);
+        // Not delivered yet: no provider bound.
+        let got = stack.with_module::<Client, _>(client, |c| c.got.clone()).unwrap();
+        assert!(got.is_empty());
+        // Bind releases the blocked call.
+        let echo = stack.add_module(Box::new(Echo));
+        stack.bind(&ServiceId::new("echo"), echo);
+        run_until_idle(&mut stack);
+        let got = stack.with_module::<Client, _>(client, |c| c.got.clone()).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"queued")]);
+        // Trace captured the block + release.
+        let evs: Vec<_> = stack.trace().events().iter().map(|(_, e)| e).collect();
+        assert!(evs.iter().any(|e| matches!(e, TraceEvent::BlockedCall { .. })));
+        assert!(evs.iter().any(|e| matches!(e, TraceEvent::ReleasedCall { .. })));
+    }
+
+    #[test]
+    fn unbind_then_bind_preserves_fifo_order() {
+        let mut stack = new_stack();
+        let echo = stack.add_module(Box::new(Echo));
+        let client = stack.add_module(Box::new(Client::default()));
+        let svc = ServiceId::new("echo");
+        stack.bind(&svc, echo);
+        stack.unbind(&svc);
+        for i in 0..5u8 {
+            stack.call_as(client, &svc, 1, Bytes::copy_from_slice(&[i]));
+        }
+        stack.bind(&svc, echo);
+        run_until_idle(&mut stack);
+        let got = stack.with_module::<Client, _>(client, |c| c.got.clone()).unwrap();
+        let order: Vec<u8> = got.iter().map(|b| b[0]).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn at_most_one_module_bound_per_service() {
+        let mut stack = new_stack();
+        let a = stack.add_module(Box::new(Echo));
+        let b = stack.add_module(Box::new(Echo));
+        let svc = ServiceId::new("echo");
+        stack.bind(&svc, a);
+        assert_eq!(stack.bound(&svc), Some(a));
+        stack.bind(&svc, b);
+        assert_eq!(stack.bound(&svc), Some(b));
+        // The old module is still in the stack (unbinding does not remove).
+        assert!(stack.module_kind(a).is_some());
+    }
+
+    #[test]
+    fn net_bridge_turns_send_calls_into_host_actions() {
+        let mut stack = new_stack();
+        let client = stack.add_module(Box::new(Client::default()));
+        let payload = Bytes::from_static(b"datagram");
+        let data = (StackId(2), payload.clone()).to_bytes();
+        stack.call_as(client, &ServiceId::new(crate::svc::NET), net_ops::SEND, data);
+        run_until_idle(&mut stack);
+        let actions = stack.drain_actions();
+        assert_eq!(actions, vec![HostAction::NetSend { dst: StackId(2), payload }]);
+    }
+
+    #[test]
+    fn packet_in_fans_out_to_net_requirers() {
+        struct NetUser {
+            got: Vec<(StackId, Bytes)>,
+        }
+        impl Module for NetUser {
+            fn kind(&self) -> &str {
+                "netuser"
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                Vec::new()
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new(crate::svc::NET)]
+            }
+            fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+                if resp.op == net_ops::RECV {
+                    let (src, data): (StackId, Bytes) = resp.decode().unwrap();
+                    self.got.push((src, data));
+                }
+            }
+        }
+        let mut stack = new_stack();
+        let user = stack.add_module(Box::new(NetUser { got: vec![] }));
+        stack.packet_in(Time(10), StackId(1), Bytes::from_static(b"pkt"));
+        run_until_idle(&mut stack);
+        let got = stack.with_module::<NetUser, _>(user, |u| u.got.clone()).unwrap();
+        assert_eq!(got, vec![(StackId(1), Bytes::from_static(b"pkt"))]);
+    }
+
+    #[test]
+    fn timers_fire_with_tag_and_cancel_works() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Module for TimerUser {
+            fn kind(&self) -> &str {
+                "timeruser"
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                Vec::new()
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                Vec::new()
+            }
+            fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+                ctx.set_timer(Dur::millis(1), 11);
+                let t2 = ctx.set_timer(Dur::millis(2), 22);
+                ctx.cancel_timer(t2);
+            }
+            fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, _: Response) {}
+            fn on_timer(&mut self, _: &mut ModuleCtx<'_>, _: TimerId, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut stack = new_stack();
+        let user = stack.add_module(Box::new(TimerUser { fired: vec![] }));
+        run_until_idle(&mut stack);
+        let actions = stack.drain_actions();
+        let set: Vec<TimerId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                HostAction::SetTimer { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(set.len(), 2);
+        // Fire both: the cancelled one must be a no-op.
+        stack.timer_fired(Time(100), set[0]);
+        stack.timer_fired(Time(100), set[1]);
+        run_until_idle(&mut stack);
+        let fired = stack.with_module::<TimerUser, _>(user, |u| u.fired.clone()).unwrap();
+        assert_eq!(fired, vec![11]);
+    }
+
+    #[test]
+    fn install_recursively_creates_default_providers() {
+        // upper requires "mid"; mid requires "low"; low requires nothing.
+        struct Svc {
+            name: &'static str,
+            kind_name: &'static str,
+            deps: Vec<&'static str>,
+        }
+        impl Module for Svc {
+            fn kind(&self) -> &str {
+                self.kind_name
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new(self.name)]
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                self.deps.iter().map(ServiceId::new).collect()
+            }
+            fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, _: Response) {}
+        }
+        let mut reg = FactoryRegistry::new();
+        reg.register("upper", |_| {
+            Box::new(Svc { name: "up", kind_name: "upper", deps: vec!["mid"] })
+        });
+        reg.register("middle", |_| {
+            Box::new(Svc { name: "mid", kind_name: "middle", deps: vec!["low"] })
+        });
+        reg.register("lower", |_| {
+            Box::new(Svc { name: "low", kind_name: "lower", deps: vec![] })
+        });
+        let mut stack = Stack::new(StackConfig::nth(0, 1, 7), reg);
+        stack.set_default_provider(ServiceId::new("mid"), ModuleSpec::new("middle"));
+        stack.set_default_provider(ServiceId::new("low"), ModuleSpec::new("lower"));
+        let up = stack.install(&ModuleSpec::new("upper")).unwrap();
+        assert_eq!(stack.bound(&ServiceId::new("up")), Some(up));
+        assert!(stack.bound(&ServiceId::new("mid")).is_some());
+        assert!(stack.bound(&ServiceId::new("low")).is_some());
+        // Installing again binds nothing new (services already bound).
+        let up2 = stack.install(&ModuleSpec::new("upper")).unwrap();
+        assert_ne!(up, up2);
+        assert_eq!(stack.bound(&ServiceId::new("up")), Some(up));
+    }
+
+    #[test]
+    fn install_fails_without_default_provider() {
+        struct Needy;
+        impl Module for Needy {
+            fn kind(&self) -> &str {
+                "needy"
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new("n")]
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new("missing")]
+            }
+            fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, _: Response) {}
+        }
+        let mut reg = FactoryRegistry::new();
+        reg.register("needy", |_| Box::new(Needy));
+        let mut stack = Stack::new(StackConfig::nth(0, 1, 7), reg);
+        let err = stack.install(&ModuleSpec::new("needy")).unwrap_err();
+        assert_eq!(err, StackError::NoDefaultProvider(ServiceId::new("missing")));
+        let err2 = stack.install(&ModuleSpec::new("nope")).unwrap_err();
+        assert_eq!(err2, StackError::UnknownKind("nope".into()));
+    }
+
+    #[test]
+    fn crash_drops_all_work_and_ignores_input() {
+        let mut stack = new_stack();
+        let echo = stack.add_module(Box::new(Echo));
+        let client = stack.add_module(Box::new(Client::default()));
+        stack.bind(&ServiceId::new("echo"), echo);
+        stack.call_as(client, &ServiceId::new("echo"), 1, Bytes::new());
+        stack.crash(Time(5));
+        assert!(stack.is_crashed());
+        assert!(stack.step(Time(6)).is_none());
+        stack.packet_in(Time(7), StackId(1), Bytes::new());
+        stack.timer_fired(Time(8), TimerId(1));
+        assert!(!stack.has_work());
+        assert!(stack
+            .trace()
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::Crash { .. })));
+    }
+
+    #[test]
+    fn destroy_module_unbinds_and_removes() {
+        let mut stack = new_stack();
+        let echo = stack.add_module(Box::new(Echo));
+        let svc = ServiceId::new("echo");
+        stack.bind(&svc, echo);
+        stack.destroy_module(echo);
+        run_until_idle(&mut stack);
+        assert_eq!(stack.bound(&svc), None);
+        assert!(stack.module_kind(echo).is_none());
+        assert!(stack
+            .trace()
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::ModuleDestroyed { .. })));
+    }
+
+    #[test]
+    fn responses_skip_the_responding_module() {
+        // A module that both provides and requires the same service must
+        // not receive its own responses (prevents trivial loops).
+        struct Loopy {
+            responses: usize,
+        }
+        impl Module for Loopy {
+            fn kind(&self) -> &str {
+                "loopy"
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new("loop")]
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                vec![ServiceId::new("loop")]
+            }
+            fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+                ctx.respond(&call.service, call.op, call.data);
+            }
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, _: Response) {
+                self.responses += 1;
+            }
+        }
+        let mut stack = new_stack();
+        let loopy = stack.add_module(Box::new(Loopy { responses: 0 }));
+        stack.bind(&ServiceId::new("loop"), loopy);
+        stack.call_as(loopy, &ServiceId::new("loop"), 1, Bytes::new());
+        run_until_idle(&mut stack);
+        let n = stack.with_module::<Loopy, _>(loopy, |l| l.responses).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn deterministic_rng_streams_differ_across_stacks() {
+        let mut a = Stack::new(StackConfig::nth(0, 2, 42), FactoryRegistry::new());
+        let mut b = Stack::new(StackConfig::nth(1, 2, 42), FactoryRegistry::new());
+        let ra: Vec<u64> = (0..4).map(|_| a.next_rand()).collect();
+        let rb: Vec<u64> = (0..4).map(|_| b.next_rand()).collect();
+        assert_ne!(ra, rb);
+        // Same config ⇒ same stream.
+        let mut a2 = Stack::new(StackConfig::nth(0, 2, 42), FactoryRegistry::new());
+        let ra2: Vec<u64> = (0..4).map(|_| a2.next_rand()).collect();
+        assert_eq!(ra, ra2);
+    }
+
+    #[test]
+    fn step_reports_categories() {
+        let mut stack = new_stack();
+        let echo = stack.add_module(Box::new(Echo));
+        let client = stack.add_module(Box::new(Client::default()));
+        stack.bind(&ServiceId::new("echo"), echo);
+        // Drain the Start deliveries first.
+        let s1 = stack.step(Time(1)).unwrap();
+        assert_eq!(s1.category, StepCategory::Start); // net bridge
+        let s2 = stack.step(Time(2)).unwrap();
+        assert_eq!(s2.category, StepCategory::Start);
+        let s3 = stack.step(Time(3)).unwrap();
+        assert_eq!(s3.category, StepCategory::Start);
+        stack.call_as(client, &ServiceId::new("echo"), 9, Bytes::new());
+        let s4 = stack.step(Time(4)).unwrap();
+        assert_eq!(s4.category, StepCategory::Call);
+        assert_eq!(s4.op, Some(9));
+        let s5 = stack.step(Time(5)).unwrap();
+        assert_eq!(s5.category, StepCategory::Response);
+        assert!(stack.step(Time(6)).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! The whole workspace measures time in integer nanoseconds so that the
+//! deterministic simulator (`dpu-sim`) and the threaded runtime
+//! (`dpu-runtime`) share one clock representation. [`Time`] is a point on
+//! the timeline, [`Dur`] a span between points.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (virtual) time, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of (virtual) time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The origin of the timeline.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since the origin (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Fractional seconds since the origin (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn nanos(n: u64) -> Dur {
+        Dur(n)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to nanoseconds.
+    #[inline]
+    pub fn secs_f64(s: f64) -> Dur {
+        Dur((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds in this duration (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Fractional seconds in this duration (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Convert to a `std::time::Duration` (used by the threaded runtime).
+    #[inline]
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Dur::nanos(7).as_nanos(), 7);
+        assert_eq!(Dur::micros(3).as_nanos(), 3_000);
+        assert_eq!(Dur::millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Dur::secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Dur::secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time::ZERO + Dur::millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!((t + Dur::millis(3)) - t, Dur::millis(3));
+        assert_eq!(t.since(Time::ZERO), Dur::millis(5));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Time(10);
+        let late = Time(20);
+        assert_eq!(early.since(late), Dur::ZERO);
+        assert_eq!(late.since(early), Dur(10));
+    }
+
+    #[test]
+    fn dur_scaling_ops() {
+        assert_eq!(Dur::millis(2) * 3, Dur::millis(6));
+        assert_eq!(Dur::millis(6) / 3, Dur::millis(2));
+        assert_eq!(Dur::millis(5).saturating_sub(Dur::millis(9)), Dur::ZERO);
+    }
+
+    #[test]
+    fn reporting_conversions() {
+        assert!((Dur::millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((Time(2_500_000).as_millis_f64() - 2.5).abs() < 1e-12);
+        assert_eq!(Dur::millis(1).to_std(), std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,278 @@
+//! Trace recording: every structurally relevant event of a run (calls,
+//! responses, bindings, module lifecycle, crashes) is appended to a
+//! [`TraceLog`], which the property checkers in [`crate::props`] consume.
+
+use crate::ids::{ModuleId, ServiceId, StackId};
+use crate::module::Op;
+use crate::time::Time;
+
+/// One structurally relevant event observed during a run.
+///
+/// Events carry the stack on which they occurred and the virtual time.
+/// Payloads are intentionally *not* recorded: the generic DPU properties of
+/// the paper (§3) are about the structure of interactions, not their
+/// content. Protocol-specific checkers (e.g. [`crate::abcast_check`]) keep
+/// their own records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A module called a service that was bound: the call was dispatched
+    /// immediately.
+    Call {
+        /// Stack on which the call happened.
+        stack: StackId,
+        /// Called service.
+        service: ServiceId,
+        /// Operation invoked.
+        op: Op,
+        /// Calling module.
+        from: ModuleId,
+        /// Provider module the call was dispatched to.
+        to: ModuleId,
+    },
+    /// A module called a service with no bound provider: the call was
+    /// queued (it *blocks* in the paper's terminology). Violates *strong*
+    /// stack-well-formedness; allowed under *weak* iff a bind eventually
+    /// releases it.
+    BlockedCall {
+        /// Stack on which the call happened.
+        stack: StackId,
+        /// Called (unbound) service.
+        service: ServiceId,
+        /// Operation invoked.
+        op: Op,
+        /// Calling module.
+        from: ModuleId,
+    },
+    /// A previously blocked call was released by a bind.
+    ReleasedCall {
+        /// Stack on which the call resumed.
+        stack: StackId,
+        /// Service that became bound.
+        service: ServiceId,
+        /// Operation invoked.
+        op: Op,
+        /// Original calling module.
+        from: ModuleId,
+    },
+    /// A provider responded on a service.
+    Response {
+        /// Stack on which the response happened.
+        stack: StackId,
+        /// Responding service.
+        service: ServiceId,
+        /// Operation of the response.
+        op: Op,
+        /// Provider module (may already be unbound — the paper allows a
+        /// module to respond after unbinding).
+        from: ModuleId,
+        /// Number of local modules the response was delivered to.
+        fanout: usize,
+    },
+    /// A module was bound to a service.
+    Bind {
+        /// Stack on which the binding changed.
+        stack: StackId,
+        /// Bound service.
+        service: ServiceId,
+        /// Newly bound module.
+        module: ModuleId,
+    },
+    /// A service was unbound.
+    Unbind {
+        /// Stack on which the binding changed.
+        stack: StackId,
+        /// Unbound service.
+        service: ServiceId,
+        /// Module that was bound before.
+        module: ModuleId,
+    },
+    /// A module was created and inserted into a stack.
+    ModuleCreated {
+        /// Stack that created the module.
+        stack: StackId,
+        /// Fresh module id.
+        module: ModuleId,
+        /// Module kind (protocol identity across stacks).
+        kind: String,
+    },
+    /// A module was destroyed and removed from a stack.
+    ModuleDestroyed {
+        /// Stack that destroyed the module.
+        stack: StackId,
+        /// Destroyed module id.
+        module: ModuleId,
+        /// Module kind.
+        kind: String,
+    },
+    /// The stack crashed (injected by the host). No further events occur
+    /// on a crashed stack.
+    Crash {
+        /// Crashed stack.
+        stack: StackId,
+    },
+}
+
+impl TraceEvent {
+    /// The stack this event belongs to.
+    pub fn stack(&self) -> StackId {
+        match self {
+            TraceEvent::Call { stack, .. }
+            | TraceEvent::BlockedCall { stack, .. }
+            | TraceEvent::ReleasedCall { stack, .. }
+            | TraceEvent::Response { stack, .. }
+            | TraceEvent::Bind { stack, .. }
+            | TraceEvent::Unbind { stack, .. }
+            | TraceEvent::ModuleCreated { stack, .. }
+            | TraceEvent::ModuleDestroyed { stack, .. }
+            | TraceEvent::Crash { stack } => *stack,
+        }
+    }
+}
+
+/// A time-stamped trace of [`TraceEvent`]s, ordered by append time.
+///
+/// One log typically aggregates the events of *all* stacks of a run (the
+/// simulator interleaves them deterministically), which is what the remote
+/// property — protocol-operationability — needs.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<(Time, TraceEvent)>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// A log that records events.
+    pub fn new() -> TraceLog {
+        TraceLog { events: Vec::new(), enabled: true }
+    }
+
+    /// A log that drops events (zero-overhead for benchmarks).
+    pub fn disabled() -> TraceLog {
+        TraceLog { events: Vec::new(), enabled: false }
+    }
+
+    /// Whether this log keeps events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event at time `t`.
+    pub fn push(&mut self, t: Time, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push((t, ev));
+        }
+    }
+
+    /// All recorded events in append order.
+    pub fn events(&self) -> &[(Time, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append all events of `other` (e.g. to merge per-stack logs). The
+    /// result is re-sorted by time, preserving append order for equal
+    /// times.
+    pub fn merge(&mut self, other: &TraceLog) {
+        self.events.extend_from_slice(&other.events);
+        self.events.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Iterate over events of a single stack.
+    pub fn for_stack(&self, stack: StackId) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.events.iter().filter(move |(_, e)| e.stack() == stack)
+    }
+
+    /// The set of stacks that crashed in this trace.
+    pub fn crashed_stacks(&self) -> std::collections::BTreeSet<StackId> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Crash { stack } => Some(*stack),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(stack: u32, svc: &str, m: u64) -> TraceEvent {
+        TraceEvent::Bind {
+            stack: StackId(stack),
+            service: ServiceId::new(svc),
+            module: ModuleId(m),
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = TraceLog::new();
+        log.push(Time(1), bind(0, "p", 1));
+        log.push(Time(2), bind(1, "p", 2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.for_stack(StackId(0)).count(), 1);
+        assert_eq!(log.for_stack(StackId(1)).count(), 1);
+        assert_eq!(log.for_stack(StackId(2)).count(), 0);
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::disabled();
+        log.push(Time(1), bind(0, "p", 1));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let mut a = TraceLog::new();
+        a.push(Time(5), bind(0, "p", 1));
+        let mut b = TraceLog::new();
+        b.push(Time(2), bind(1, "p", 2));
+        a.merge(&b);
+        assert_eq!(a.events()[0].0, Time(2));
+        assert_eq!(a.events()[1].0, Time(5));
+    }
+
+    #[test]
+    fn crashed_stacks_collects_crashes() {
+        let mut log = TraceLog::new();
+        log.push(Time(1), TraceEvent::Crash { stack: StackId(2) });
+        log.push(Time(2), TraceEvent::Crash { stack: StackId(4) });
+        let crashed = log.crashed_stacks();
+        assert!(crashed.contains(&StackId(2)));
+        assert!(crashed.contains(&StackId(4)));
+        assert_eq!(crashed.len(), 2);
+    }
+
+    #[test]
+    fn event_stack_accessor_covers_all_variants() {
+        let s = StackId(3);
+        let svc = ServiceId::new("p");
+        let evs = vec![
+            TraceEvent::Call { stack: s, service: svc.clone(), op: 0, from: ModuleId(1), to: ModuleId(2) },
+            TraceEvent::BlockedCall { stack: s, service: svc.clone(), op: 0, from: ModuleId(1) },
+            TraceEvent::ReleasedCall { stack: s, service: svc.clone(), op: 0, from: ModuleId(1) },
+            TraceEvent::Response { stack: s, service: svc.clone(), op: 0, from: ModuleId(1), fanout: 2 },
+            TraceEvent::Bind { stack: s, service: svc.clone(), module: ModuleId(1) },
+            TraceEvent::Unbind { stack: s, service: svc.clone(), module: ModuleId(1) },
+            TraceEvent::ModuleCreated { stack: s, module: ModuleId(1), kind: "k".into() },
+            TraceEvent::ModuleDestroyed { stack: s, module: ModuleId(1), kind: "k".into() },
+            TraceEvent::Crash { stack: s },
+        ];
+        for e in evs {
+            assert_eq!(e.stack(), s);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! A small self-contained binary wire codec.
+//!
+//! All inter-module payloads and all network messages in the workspace are
+//! encoded with this codec. It is a length-aware, varint-based format:
+//!
+//! * unsigned integers use LEB128 varints;
+//! * signed integers use zigzag + varint;
+//! * `String`, `Vec<T>`, `Bytes` are length-prefixed;
+//! * enums encode a `u32` tag followed by the variant payload (by hand in
+//!   each protocol crate).
+//!
+//! The codec exists because the offline dependency set contains `serde` but
+//! no serde *format* crate; a direct `Encode`/`Decode` pair is smaller and
+//! gives us exact message sizes for the simulator's bandwidth model.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A varint ran over its maximum width.
+    VarintOverflow,
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum tag was not recognised by the decoder.
+    BadTag(u32),
+    /// A length prefix was implausibly large for the remaining input.
+    BadLength(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::VarintOverflow => write!(f, "varint overflow"),
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::BadTag(t) => write!(f, "unrecognised enum tag {t}"),
+            WireError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decoding result.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// A value that can be written to the wire.
+pub trait Encode {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encode into a fresh, frozen buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// A value that can be read back from the wire.
+pub trait Decode: Sized {
+    /// Consume the encoding of `Self` from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> WireResult<Self>;
+
+    /// Decode from a standalone buffer, requiring it to be fully consumed.
+    fn from_bytes(bytes: &Bytes) -> WireResult<Self> {
+        let mut buf = bytes.clone();
+        let v = Self::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(WireError::BadLength(buf.remaining() as u64));
+        }
+        Ok(v)
+    }
+}
+
+/// Write an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn get_uvarint(buf: &mut Bytes) -> WireResult<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                put_uvarint(buf, u64::from(*self));
+            }
+        }
+        impl Decode for $ty {
+            fn decode(buf: &mut Bytes) -> WireResult<Self> {
+                let v = get_uvarint(buf)?;
+                <$ty>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, *self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let v = get_uvarint(buf)?;
+        usize::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, zigzag(*self));
+    }
+}
+
+impl Decode for i64 {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(unzigzag(get_uvarint(buf)?))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(buf.get_u8() != 0)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = get_uvarint(buf)?;
+        if len > buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        let raw = buf.split_to(len as usize);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+impl Encode for &str {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        buf.put_slice(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = get_uvarint(buf)?;
+        if len > buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(buf.split_to(len as usize))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = get_uvarint(buf)?;
+        // Each element takes at least one byte on the wire.
+        if len > buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = get_uvarint(buf)?;
+        if len > buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.len() as u64);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = get_uvarint(buf)?;
+        if len > buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(buf)?;
+            let v = V::decode(buf)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(u32::from(t))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, buf: &mut BytesMut) {
+                $(self.$idx.encode(buf);)+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(buf: &mut Bytes) -> WireResult<Self> {
+                Ok(($($name::decode(buf)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl Encode for crate::ids::StackId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for crate::ids::StackId {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(crate::ids::StackId(u32::decode(buf)?))
+    }
+}
+
+impl Encode for crate::time::Time {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for crate::time::Time {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(crate::time::Time(u64::decode(buf)?))
+    }
+}
+
+/// Encode a value into a frozen buffer (convenience free function).
+pub fn to_bytes<T: Encode>(value: &T) -> Bytes {
+    value.to_bytes()
+}
+
+/// Decode a value from a frozen buffer, requiring full consumption.
+pub fn from_bytes<T: Decode>(bytes: &Bytes) -> WireResult<T> {
+    T::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let b = to_bytes(&v);
+        let back: T = from_bytes(&b).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn uvarint_boundaries() {
+        for v in [0u64, 1, 127, 128, 255, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_uvarint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn uvarint_single_byte_for_small_values() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        put_uvarint(&mut buf, 200);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut b = Bytes::from_static(&[0x80]);
+        assert_eq!(get_uvarint(&mut b), Err(WireError::Truncated));
+        let empty = Bytes::new();
+        assert_eq!(u32::from_bytes(&empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_is_an_error() {
+        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert_eq!(get_uvarint(&mut b), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn narrowing_rejects_oversized_values() {
+        let wide = to_bytes(&(300u64));
+        assert_eq!(u8::from_bytes(&wide), Err(WireError::VarintOverflow));
+        let ok = to_bytes(&(250u64));
+        assert_eq!(u8::from_bytes(&ok), Ok(250u8));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(42u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(String::from("hello κόσμος"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u32, String::from("x"), false));
+        roundtrip(BTreeSet::from([3u64, 1, 2]));
+        roundtrip(BTreeMap::from([(1u32, String::from("a")), (2, String::from("b"))]));
+        roundtrip(Bytes::from_static(b"payload"));
+    }
+
+    #[test]
+    fn nested_containers() {
+        roundtrip(vec![vec![1u64, 2], vec![], vec![3]]);
+        roundtrip(Some(vec![(1u32, true), (2, false)]));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(String::from_bytes(&buf.freeze()), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 1_000_000);
+        buf.put_u8(0);
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&buf.freeze()),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_by_from_bytes() {
+        let mut buf = BytesMut::new();
+        7u32.encode(&mut buf);
+        buf.put_u8(9); // trailing garbage
+        assert!(matches!(
+            u32::from_bytes(&buf.freeze()),
+            Err(WireError::BadLength(1))
+        ));
+    }
+
+    #[test]
+    fn option_bad_tag_rejected() {
+        let b = Bytes::from_static(&[7]);
+        assert_eq!(Option::<u8>::from_bytes(&b), Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn stack_id_and_time_roundtrip() {
+        roundtrip(crate::ids::StackId(5));
+        roundtrip(crate::time::Time(123_456_789));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the atomic broadcast checker itself: generated
+//! *correct* executions always pass, and canonical mutations (drop a
+//! delivery, duplicate one, swap two) are always caught. A checker that
+//! cannot fail is worthless — these tests keep it honest.
+
+use dpu_core::abcast_check::{AbcastChecker, AbcastViolation, MsgId};
+use dpu_core::time::Time;
+use dpu_core::StackId;
+use proptest::prelude::*;
+
+/// A generated "correct" execution: a global order over messages from
+/// random senders, delivered in full by every stack.
+#[derive(Debug, Clone)]
+struct CorrectRun {
+    n: u32,
+    order: Vec<MsgId>,
+}
+
+fn correct_run() -> impl Strategy<Value = CorrectRun> {
+    (2u32..6, 1usize..40).prop_flat_map(|(n, len)| {
+        proptest::collection::vec(0u32..n, len).prop_map(move |senders| {
+            let mut per_sender = vec![0u64; n as usize];
+            let order = senders
+                .into_iter()
+                .map(|s| {
+                    let seq = per_sender[s as usize];
+                    per_sender[s as usize] += 1;
+                    (StackId(s), seq)
+                })
+                .collect();
+            CorrectRun { n, order }
+        })
+    })
+}
+
+fn populate(run: &CorrectRun) -> AbcastChecker {
+    let mut c = AbcastChecker::new((0..run.n).map(StackId));
+    for (i, &msg) in run.order.iter().enumerate() {
+        c.record_broadcast(msg, msg.0, Time(i as u64));
+    }
+    for stack in 0..run.n {
+        for (i, &msg) in run.order.iter().enumerate() {
+            c.record_delivery(msg, StackId(stack), Time(100 + i as u64));
+        }
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn correct_runs_always_pass(run in correct_run()) {
+        let c = populate(&run);
+        prop_assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn dropping_one_delivery_is_caught(run in correct_run(), which in any::<proptest::sample::Index>()) {
+        let mut c = AbcastChecker::new((0..run.n).map(StackId));
+        for (i, &msg) in run.order.iter().enumerate() {
+            c.record_broadcast(msg, msg.0, Time(i as u64));
+        }
+        let victim_idx = which.index(run.order.len());
+        for stack in 0..run.n {
+            for (i, &msg) in run.order.iter().enumerate() {
+                // Stack 0 misses one message.
+                if stack == 0 && i == victim_idx {
+                    continue;
+                }
+                c.record_delivery(msg, StackId(stack), Time(100 + i as u64));
+            }
+        }
+        let violations = c.check();
+        prop_assert!(!violations.is_empty());
+        // Specifically: agreement (someone else delivered it) and/or
+        // validity (if stack 0 was the sender).
+        let flagged = violations.iter().any(|v| matches!(
+            v,
+            AbcastViolation::Agreement { .. } | AbcastViolation::Validity { .. }
+        ));
+        prop_assert!(flagged);
+    }
+
+    #[test]
+    fn duplicating_one_delivery_is_caught(run in correct_run(), which in any::<proptest::sample::Index>()) {
+        let mut c = populate(&run);
+        let victim = run.order[which.index(run.order.len())];
+        c.record_delivery(victim, StackId(0), Time(10_000));
+        let violations = c.check();
+        let flagged = violations
+            .iter()
+            .any(|v| matches!(v, AbcastViolation::DuplicateDelivery { .. }));
+        prop_assert!(flagged);
+    }
+
+    #[test]
+    fn swapping_two_deliveries_is_caught(run in correct_run(), which in any::<proptest::sample::Index>()) {
+        prop_assume!(run.order.len() >= 2);
+        let i = which.index(run.order.len() - 1); // swap order[i] and order[i+1]
+        let mut c = AbcastChecker::new((0..run.n).map(StackId));
+        for (k, &msg) in run.order.iter().enumerate() {
+            c.record_broadcast(msg, msg.0, Time(k as u64));
+        }
+        for stack in 0..run.n {
+            let mut order = run.order.clone();
+            if stack == 0 {
+                order.swap(i, i + 1);
+            }
+            for (k, &msg) in order.iter().enumerate() {
+                c.record_delivery(msg, StackId(stack), Time(100 + k as u64));
+            }
+        }
+        let violations = c.check();
+        let flagged =
+            violations.iter().any(|v| matches!(v, AbcastViolation::TotalOrder { .. }));
+        prop_assert!(flagged, "swap at {} not caught: {:?}", i, violations);
+    }
+
+    #[test]
+    fn spurious_delivery_is_caught(run in correct_run(), ghost_seq in 1_000u64..2_000) {
+        let mut c = populate(&run);
+        c.record_delivery((StackId(0), ghost_seq), StackId(1), Time(9_999));
+        let violations = c.check();
+        let flagged = violations
+            .iter()
+            .any(|v| matches!(v, AbcastViolation::SpuriousDelivery { .. }));
+        prop_assert!(flagged);
+    }
+
+    /// Crashing a stack that delivered only a prefix must NOT create
+    /// violations (crashed stacks are exempt from liveness, and a prefix
+    /// is order-consistent).
+    #[test]
+    fn crashed_prefix_is_fine(run in correct_run(), cut in any::<proptest::sample::Index>()) {
+        let mut c = AbcastChecker::new((0..run.n).map(StackId));
+        for (i, &msg) in run.order.iter().enumerate() {
+            c.record_broadcast(msg, msg.0, Time(i as u64));
+        }
+        let cut = cut.index(run.order.len() + 1);
+        for stack in 0..run.n {
+            let horizon = if stack == 0 { cut } else { run.order.len() };
+            for (i, &msg) in run.order.iter().take(horizon).enumerate() {
+                c.record_delivery(msg, StackId(stack), Time(100 + i as u64));
+            }
+        }
+        c.record_crash(StackId(0));
+        let violations = c.check();
+        // Validity may fire only if stack 0 *sent* undelivered messages —
+        // but stack 0 is crashed, so it is exempt. Nothing should fire.
+        prop_assert!(violations.is_empty(), "unexpected: {:?}", violations);
+    }
+}

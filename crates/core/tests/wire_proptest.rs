@@ -1,0 +1,108 @@
+//! Property tests for the wire codec: every encodable value round-trips,
+//! and the decoder never panics on arbitrary input (it either decodes or
+//! returns an error) — the robustness a codec needs when its input comes
+//! off a network.
+
+use bytes::Bytes;
+use dpu_core::probe::ProbeMsg;
+use dpu_core::time::Time;
+use dpu_core::wire::{from_bytes, to_bytes, Decode, Encode};
+use dpu_core::{ModuleSpec, StackId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_bytes(v);
+    let back: T = from_bytes(&bytes).expect("roundtrip decode");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v: u64) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn i64_roundtrips(v: i64) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn strings_roundtrip(v in ".{0,200}") {
+        roundtrip(&v.to_string());
+    }
+
+    #[test]
+    fn vecs_of_tuples_roundtrip(v in proptest::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..64)) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn nested_options_roundtrip(v in proptest::option::of(proptest::collection::vec(any::<u16>(), 0..16))) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn btree_collections_roundtrip(
+        set in proptest::collection::btree_set(any::<u64>(), 0..32),
+        map in proptest::collection::btree_map(any::<u32>(), ".{0,16}", 0..16),
+    ) {
+        roundtrip::<BTreeSet<u64>>(&set);
+        let map: BTreeMap<u32, String> = map.into_iter().collect();
+        roundtrip(&map);
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..256)) {
+        roundtrip(&Bytes::from(v));
+    }
+
+    #[test]
+    fn module_specs_roundtrip(kind in "[a-z.]{1,24}", params in proptest::collection::vec(any::<u8>(), 0..64)) {
+        roundtrip(&ModuleSpec { kind, params: Bytes::from(params) });
+    }
+
+    #[test]
+    fn probe_msgs_roundtrip(origin: u32, seq: u64, t: u64, pad in proptest::collection::vec(any::<u8>(), 0..128)) {
+        roundtrip(&ProbeMsg {
+            origin: StackId(origin),
+            seq,
+            sent_at: Time(t),
+            pad: Bytes::from(pad),
+        });
+    }
+
+    /// Decoding arbitrary garbage must never panic — only return errors
+    /// (or succeed, if the bytes happen to form a valid encoding).
+    #[test]
+    fn decoder_never_panics_on_garbage(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = Bytes::from(raw);
+        let _ = from_bytes::<u64>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<Vec<u32>>(&bytes);
+        let _ = from_bytes::<Option<Vec<String>>>(&bytes);
+        let _ = from_bytes::<ModuleSpec>(&bytes);
+        let _ = from_bytes::<ProbeMsg>(&bytes);
+        let _ = from_bytes::<(u32, String, String)>(&bytes);
+        let _ = from_bytes::<BTreeMap<u64, Bytes>>(&bytes);
+    }
+
+    /// Truncating a valid encoding must produce an error, never a panic
+    /// and never a silent wrong value of the same length.
+    #[test]
+    fn truncation_is_detected(v in proptest::collection::vec((any::<u32>(), ".{0,8}"), 1..16), cut in 1usize..8) {
+        let v: Vec<(u32, String)> = v.into_iter().collect();
+        let full = to_bytes(&v);
+        if full.len() > cut {
+            let truncated = full.slice(0..full.len() - cut);
+            // Either an error, or (rarely) a *valid shorter* encoding —
+            // but from_bytes demands full consumption, so any success
+            // must consume exactly the truncated buffer; verify it is
+            // not equal to the original value in that case.
+            if let Ok(back) = from_bytes::<Vec<(u32, String)>>(&truncated) {
+                prop_assert_ne!(back, v);
+            }
+        }
+    }
+}

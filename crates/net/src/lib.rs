@@ -1,0 +1,93 @@
+//! # dpu-net — network substrate modules
+//!
+//! The two bottom modules of the paper's group communication stack
+//! (Figure 4):
+//!
+//! * [`udp::UdpModule`] — an interface to the unreliable datagram network
+//!   (the paper's *UDP* module). Adds channel multiplexing so several
+//!   protocols can share the wire.
+//! * [`rp2p::Rp2pModule`] — *reliable point-to-point* communication: FIFO,
+//!   duplicate-free, loss-recovering delivery between any pair of stacks,
+//!   built on UDP with sequence numbers, cumulative acks and
+//!   retransmission.
+//! * [`frag::FragModule`] — MTU fragmentation/reassembly for oversized
+//!   payloads, slotting between RP2P and UDP
+//!   (`rp2p → frag → udp`) when protocol messages outgrow a datagram.
+//!
+//! All are ordinary [`dpu_core::Module`]s; they are wired into stacks via
+//! service names [`UDP_SVC`] and [`RP2P_SVC`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frag;
+pub mod rp2p;
+pub mod udp;
+
+/// Service name of the unreliable datagram service.
+pub const UDP_SVC: &str = "udp";
+/// Service name of the reliable point-to-point service.
+pub const RP2P_SVC: &str = "rp2p";
+/// Service name of the MTU fragmentation service (same datagram
+/// interface as UDP, for oversized payloads).
+pub const FRAG_SVC: &str = "frag";
+/// UDP channel reserved for fragmentation frames.
+pub const FRAG_UDP_CHANNEL: u16 = 2;
+
+/// Shared operation codes and payload shapes for datagram-style services
+/// (`udp` and `rp2p` use the same interface shape).
+pub mod dgram {
+    use bytes::{Bytes, BytesMut};
+    use dpu_core::wire::{Decode, Encode, WireResult};
+    use dpu_core::{Op, StackId};
+
+    /// Downward call: send `(dst, channel, data)`.
+    pub const SEND: Op = 1;
+    /// Upward response: received `(src, channel, data)`.
+    pub const RECV: Op = 2;
+
+    /// Payload of [`SEND`] and [`RECV`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Dgram {
+        /// The remote stack (destination on send, source on receive).
+        pub peer: StackId,
+        /// Multiplexing channel; receivers filter on it.
+        pub channel: u16,
+        /// Opaque payload.
+        pub data: Bytes,
+    }
+
+    impl Encode for Dgram {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.peer.encode(buf);
+            self.channel.encode(buf);
+            self.data.encode(buf);
+        }
+    }
+
+    impl Decode for Dgram {
+        fn decode(buf: &mut Bytes) -> WireResult<Self> {
+            Ok(Dgram {
+                peer: StackId::decode(buf)?,
+                channel: u16::decode(buf)?,
+                data: Bytes::decode(buf)?,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dgram::Dgram;
+    use bytes::Bytes;
+    use dpu_core::wire;
+    use dpu_core::StackId;
+
+    #[test]
+    fn dgram_roundtrip() {
+        let d = Dgram { peer: StackId(4), channel: 9, data: Bytes::from_static(b"abc") };
+        let b = wire::to_bytes(&d);
+        let back: Dgram = wire::from_bytes(&b).unwrap();
+        assert_eq!(back, d);
+    }
+}

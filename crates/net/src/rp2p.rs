@@ -1,0 +1,435 @@
+//! The RP2P module (paper Figure 4): **reliable point-to-point**
+//! communication between distributed processes.
+//!
+//! Guarantees on top of UDP, per ordered pair of stacks:
+//!
+//! * **reliability** — every sent message is eventually delivered if the
+//!   destination is correct and the network loses only finitely often
+//!   (positive-feedback retransmission with cumulative acks);
+//! * **FIFO order** — messages are delivered in send order;
+//! * **no duplication** — each message is delivered exactly once, even if
+//!   the network duplicates datagrams.
+//!
+//! Sends to the local stack are looped back directly (no wire traffic).
+//!
+//! Provides service [`crate::RP2P_SVC`], requires [`crate::UDP_SVC`]. All
+//! wire traffic uses UDP channel [`RP2P_UDP_CHANNEL`]; the user-facing
+//! `channel` of each [`Dgram`] travels inside the RP2P frame.
+
+use crate::dgram::{self, Dgram};
+use bytes::{Bytes, BytesMut};
+use dpu_core::stack::ModuleCtx;
+use dpu_core::time::Dur;
+use dpu_core::wire::{Decode, Encode, WireError, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId, TimerId};
+use std::collections::BTreeMap;
+
+/// Module kind name, for factory registration.
+pub const KIND: &str = "rp2p";
+
+/// UDP channel reserved for RP2P's own frames.
+pub const RP2P_UDP_CHANNEL: u16 = 0;
+
+const TAG_RETRANSMIT: u64 = 1;
+
+/// Tuning knobs for RP2P.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rp2pConfig {
+    /// Period of the retransmission scan.
+    pub retransmit: Dur,
+    /// The datagram service underneath (default [`crate::UDP_SVC`]; point
+    /// it at [`crate::FRAG_SVC`] when frames can exceed the MTU).
+    pub lower: String,
+}
+
+impl Default for Rp2pConfig {
+    fn default() -> Self {
+        Rp2pConfig { retransmit: Dur::millis(20), lower: crate::UDP_SVC.to_string() }
+    }
+}
+
+impl Encode for Rp2pConfig {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.retransmit.as_nanos().encode(buf);
+        self.lower.encode(buf);
+    }
+}
+
+impl Decode for Rp2pConfig {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(Rp2pConfig {
+            retransmit: Dur::nanos(u64::decode(buf)?),
+            lower: String::decode(buf)?,
+        })
+    }
+}
+
+enum Frame {
+    /// tag 0: a data frame.
+    Data { seq: u64, channel: u16, data: Bytes },
+    /// tag 1: cumulative ack — all `seq < cum` received in order.
+    Ack { cum: u64 },
+}
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Frame::Data { seq, channel, data } => {
+                0u32.encode(buf);
+                seq.encode(buf);
+                channel.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Ack { cum } => {
+                1u32.encode(buf);
+                cum.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        match u32::decode(buf)? {
+            0 => Ok(Frame::Data {
+                seq: u64::decode(buf)?,
+                channel: u16::decode(buf)?,
+                data: Bytes::decode(buf)?,
+            }),
+            1 => Ok(Frame::Ack { cum: u64::decode(buf)? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct PeerOut {
+    next_seq: u64,
+    unacked: BTreeMap<u64, (u16, Bytes)>,
+}
+
+#[derive(Default)]
+struct PeerIn {
+    next_expected: u64,
+    buffer: BTreeMap<u64, (u16, Bytes)>,
+}
+
+/// The reliable point-to-point module. See module docs.
+pub struct Rp2pModule {
+    cfg: Rp2pConfig,
+    rp2p_svc: ServiceId,
+    udp_svc: ServiceId,
+    out: BTreeMap<StackId, PeerOut>,
+    inn: BTreeMap<StackId, PeerIn>,
+    retransmissions: u64,
+}
+
+impl Rp2pModule {
+    /// A module with the given configuration.
+    pub fn new(cfg: Rp2pConfig) -> Rp2pModule {
+        let udp_svc = ServiceId::new(&cfg.lower);
+        Rp2pModule {
+            cfg,
+            rp2p_svc: ServiceId::new(crate::RP2P_SVC),
+            udp_svc,
+            out: BTreeMap::new(),
+            inn: BTreeMap::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Register this module's factory under [`KIND`]. Empty params mean
+    /// defaults; otherwise params decode as [`Rp2pConfig`].
+    pub fn register(reg: &mut dpu_core::FactoryRegistry) {
+        reg.register(KIND, |spec: &ModuleSpec| {
+            let cfg = if spec.params.is_empty() {
+                Rp2pConfig::default()
+            } else {
+                spec.params::<Rp2pConfig>().unwrap_or_default()
+            };
+            Box::new(Rp2pModule::new(cfg))
+        });
+    }
+
+    /// Total data-frame retransmissions performed (observability).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Number of frames currently awaiting ack across all peers.
+    pub fn unacked(&self) -> usize {
+        self.out.values().map(|p| p.unacked.len()).sum()
+    }
+
+    fn udp_send(&self, ctx: &mut ModuleCtx<'_>, dst: StackId, frame: &Frame) {
+        let d = Dgram { peer: dst, channel: RP2P_UDP_CHANNEL, data: frame.to_bytes() };
+        ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
+    }
+
+    fn deliver(&self, ctx: &mut ModuleCtx<'_>, src: StackId, channel: u16, data: Bytes) {
+        let d = Dgram { peer: src, channel, data };
+        ctx.respond(&self.rp2p_svc, dgram::RECV, d.to_bytes());
+    }
+
+    fn handle_frame(&mut self, ctx: &mut ModuleCtx<'_>, src: StackId, frame: Frame) {
+        match frame {
+            Frame::Data { seq, channel, data } => {
+                let pin = self.inn.entry(src).or_default();
+                if seq >= pin.next_expected {
+                    pin.buffer.insert(seq, (channel, data));
+                    // Drain in-order prefix.
+                    let mut ready = Vec::new();
+                    while let Some(entry) = {
+                        let pin = self.inn.get_mut(&src).expect("entry exists");
+                        if pin.buffer.contains_key(&pin.next_expected) {
+                            let e = pin.buffer.remove(&pin.next_expected).unwrap();
+                            pin.next_expected += 1;
+                            Some(e)
+                        } else {
+                            None
+                        }
+                    } {
+                        ready.push(entry);
+                    }
+                    for (ch, d) in ready {
+                        self.deliver(ctx, src, ch, d);
+                    }
+                }
+                // Always (re-)ack: covers duplicates and lost acks.
+                let cum = self.inn.get(&src).map_or(0, |p| p.next_expected);
+                self.udp_send(ctx, src, &Frame::Ack { cum });
+            }
+            Frame::Ack { cum } => {
+                if let Some(pout) = self.out.get_mut(&src) {
+                    pout.unacked.retain(|&seq, _| seq >= cum);
+                }
+            }
+        }
+    }
+}
+
+impl Module for Rp2pModule {
+    fn kind(&self) -> &str {
+        KIND
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.rp2p_svc.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![self.udp_svc.clone()]
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        ctx.set_timer(self.cfg.retransmit, TAG_RETRANSMIT);
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        if call.op != dgram::SEND {
+            return;
+        }
+        let Ok(d) = call.decode::<Dgram>() else { return };
+        if d.peer == ctx.stack_id() {
+            // Local loopback: trivially reliable and ordered.
+            self.deliver(ctx, d.peer, d.channel, d.data);
+            return;
+        }
+        let pout = self.out.entry(d.peer).or_default();
+        let seq = pout.next_seq;
+        pout.next_seq += 1;
+        pout.unacked.insert(seq, (d.channel, d.data.clone()));
+        self.udp_send(ctx, d.peer, &Frame::Data { seq, channel: d.channel, data: d.data });
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.op != dgram::RECV || resp.service != self.udp_svc {
+            return;
+        }
+        let Ok(d) = resp.decode::<Dgram>() else { return };
+        if d.channel != RP2P_UDP_CHANNEL {
+            return;
+        }
+        let Ok(frame) = dpu_core::wire::from_bytes::<Frame>(&d.data) else { return };
+        self.handle_frame(ctx, d.peer, frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _timer: TimerId, tag: u64) {
+        if tag != TAG_RETRANSMIT {
+            return;
+        }
+        // Collect first to avoid borrowing self across udp_send.
+        let pending: Vec<(StackId, u64, u16, Bytes)> = self
+            .out
+            .iter()
+            .flat_map(|(&peer, pout)| {
+                pout.unacked
+                    .iter()
+                    .map(move |(&seq, (ch, data))| (peer, seq, *ch, data.clone()))
+            })
+            .collect();
+        for (peer, seq, channel, data) in pending {
+            self.retransmissions += 1;
+            self.udp_send(ctx, peer, &Frame::Data { seq, channel, data });
+        }
+        ctx.set_timer(self.cfg.retransmit, TAG_RETRANSMIT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::UdpModule;
+    use dpu_core::stack::{FactoryRegistry, Stack, StackConfig};
+    use dpu_core::time::Time;
+    use dpu_core::wire;
+    use dpu_core::ModuleId;
+    use dpu_sim::{Sim, SimConfig};
+
+    /// Records `rp2p` RECV responses.
+    struct Rp2pSink {
+        got: Vec<Dgram>,
+    }
+
+    impl Module for Rp2pSink {
+        fn kind(&self) -> &str {
+            "rp2psink"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new(crate::RP2P_SVC)]
+        }
+        fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+        fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+            if resp.op == dgram::RECV {
+                self.got.push(resp.decode().unwrap());
+            }
+        }
+    }
+
+    /// Stack layout used here: m1 net bridge, m2 udp, m3 rp2p, m4 sink.
+    const RP2P: ModuleId = ModuleId(3);
+    const SINK: ModuleId = ModuleId(4);
+
+    fn mk_stack(sc: StackConfig) -> Stack {
+        let mut s = Stack::new(sc, FactoryRegistry::new());
+        let udp = s.add_module(Box::new(UdpModule::new()));
+        let rp2p = s.add_module(Box::new(Rp2pModule::new(Rp2pConfig::default())));
+        s.add_module(Box::new(Rp2pSink { got: vec![] }));
+        s.bind(&ServiceId::new(crate::UDP_SVC), udp);
+        s.bind(&ServiceId::new(crate::RP2P_SVC), rp2p);
+        s
+    }
+
+    fn send(sim: &mut Sim, from: u32, to: u32, tagbyte: u8) {
+        let d = Dgram {
+            peer: StackId(to),
+            channel: 5,
+            data: Bytes::from(vec![tagbyte]),
+        };
+        sim.with_stack(StackId(from), |s| {
+            s.call_as(SINK, &ServiceId::new(crate::RP2P_SVC), dgram::SEND, wire::to_bytes(&d))
+        });
+    }
+
+    fn sink_data(sim: &mut Sim, node: u32) -> Vec<u8> {
+        sim.with_stack(StackId(node), |s| {
+            s.with_module::<Rp2pSink, _>(SINK, |k| {
+                k.got.iter().map(|d| d.data[0]).collect::<Vec<u8>>()
+            })
+            .unwrap()
+        })
+    }
+
+    #[test]
+    fn delivers_in_fifo_order_on_clean_network() {
+        let mut sim = Sim::new(SimConfig::lan(2, 42), mk_stack);
+        for i in 0..10u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        assert_eq!(sink_data(&mut sim, 1), (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn recovers_from_heavy_loss() {
+        let mut cfg = SimConfig::lan(2, 7);
+        cfg.net.loss = 0.4;
+        let mut sim = Sim::new(cfg, mk_stack);
+        for i in 0..30u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        assert_eq!(sink_data(&mut sim, 1), (0..30).collect::<Vec<u8>>());
+        // Loss must have caused actual retransmissions.
+        let retrans = sim.with_stack(StackId(0), |s| {
+            s.with_module::<Rp2pModule, _>(RP2P, |m| m.retransmissions()).unwrap()
+        });
+        assert!(retrans > 0);
+    }
+
+    #[test]
+    fn suppresses_network_duplicates() {
+        let mut cfg = SimConfig::lan(2, 7);
+        cfg.net.duplicate = 1.0;
+        let mut sim = Sim::new(cfg, mk_stack);
+        for i in 0..10u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(1));
+        assert_eq!(sink_data(&mut sim, 1), (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn local_loopback_delivers_without_wire_traffic() {
+        let mut sim = Sim::new(SimConfig::lan(1, 3), mk_stack);
+        send(&mut sim, 0, 0, 9);
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        assert_eq!(sink_data(&mut sim, 0), vec![9]);
+        assert_eq!(sim.stats().packets_sent, 0);
+    }
+
+    #[test]
+    fn bidirectional_streams_are_independent() {
+        let mut sim = Sim::new(SimConfig::lan(2, 11), mk_stack);
+        for i in 0..5u8 {
+            send(&mut sim, 0, 1, i);
+            send(&mut sim, 1, 0, 100 + i);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        assert_eq!(sink_data(&mut sim, 1), (0..5).collect::<Vec<u8>>());
+        assert_eq!(sink_data(&mut sim, 0), (100..105).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn unacked_drains_once_acks_flow() {
+        let mut sim = Sim::new(SimConfig::lan(2, 5), mk_stack);
+        for i in 0..4u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(1));
+        let unacked = sim.with_stack(StackId(0), |s| {
+            s.with_module::<Rp2pModule, _>(RP2P, |m| m.unacked()).unwrap()
+        });
+        assert_eq!(unacked, 0);
+    }
+
+    #[test]
+    fn config_roundtrip_and_factory() {
+        let cfg = Rp2pConfig { retransmit: Dur::millis(55), lower: "udp".to_string() };
+        let b = wire::to_bytes(&cfg);
+        assert_eq!(wire::from_bytes::<Rp2pConfig>(&b).unwrap(), cfg);
+        let mut reg = FactoryRegistry::new();
+        Rp2pModule::register(&mut reg);
+        let m = reg.build(&ModuleSpec::with_params(KIND, &cfg)).unwrap();
+        assert_eq!(m.kind(), KIND);
+    }
+
+    #[test]
+    fn frame_decode_rejects_bad_tag() {
+        let b = wire::to_bytes(&7u32);
+        assert!(wire::from_bytes::<Frame>(&b).is_err());
+    }
+}

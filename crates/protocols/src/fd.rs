@@ -1,0 +1,400 @@
+//! The FD module (paper Figure 4): a heartbeat failure detector.
+//!
+//! Approximates the ◇S class assumed by the paper (eventually weak
+//! accuracy, strong completeness) the standard way:
+//!
+//! * every `heartbeat` period each process sends a heartbeat datagram to
+//!   all peers over raw UDP (channel [`crate::channels::FD`]);
+//! * a peer silent for longer than its current timeout is **suspected**;
+//! * if a suspected peer is heard from again, it is unsuspected and its
+//!   timeout is increased — so wrong suspicions of any given correct peer
+//!   happen only finitely often once its timeout exceeds the real
+//!   worst-case delay (eventual accuracy);
+//! * crashed peers stop heartbeating and stay suspected (completeness).
+//!
+//! ## Service interface (`fd`)
+//!
+//! * call [`ops::QUERY`] — request an immediate suspicion snapshot;
+//! * response [`ops::SUSPECTS`] — `Vec<StackId>` of currently suspected
+//!   peers; emitted on every change and after each `QUERY`.
+
+use crate::channels;
+use bytes::{Bytes, BytesMut};
+use dpu_core::stack::ModuleCtx;
+use dpu_core::time::{Dur, Time};
+use dpu_core::wire::{Decode, Encode, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId, TimerId};
+use dpu_net::dgram::{self, Dgram};
+use std::collections::BTreeMap;
+
+/// Module kind name, for factory registration.
+pub const KIND: &str = "fd";
+
+/// Operation codes of the `fd` service.
+pub mod ops {
+    use dpu_core::Op;
+    /// Call: request an immediate [`SUSPECTS`] response.
+    pub const QUERY: Op = 1;
+    /// Response: the current suspicion list, as `Vec<StackId>`.
+    pub const SUSPECTS: Op = 2;
+}
+
+const TAG_HEARTBEAT: u64 = 1;
+const TAG_CHECK: u64 = 2;
+
+/// Tuning knobs of the failure detector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdConfig {
+    /// Heartbeat send period.
+    pub heartbeat: Dur,
+    /// Initial suspicion timeout.
+    pub timeout: Dur,
+    /// Added to a peer's timeout after each wrong suspicion.
+    pub backoff: Dur,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            heartbeat: Dur::millis(20),
+            timeout: Dur::millis(100),
+            backoff: Dur::millis(50),
+        }
+    }
+}
+
+impl Encode for FdConfig {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.heartbeat.as_nanos().encode(buf);
+        self.timeout.as_nanos().encode(buf);
+        self.backoff.as_nanos().encode(buf);
+    }
+}
+
+impl Decode for FdConfig {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(FdConfig {
+            heartbeat: Dur::nanos(u64::decode(buf)?),
+            timeout: Dur::nanos(u64::decode(buf)?),
+            backoff: Dur::nanos(u64::decode(buf)?),
+        })
+    }
+}
+
+struct PeerState {
+    last_heard: Time,
+    timeout: Dur,
+    suspected: bool,
+}
+
+/// The failure detector module. See module docs.
+pub struct FdModule {
+    cfg: FdConfig,
+    fd_svc: ServiceId,
+    udp_svc: ServiceId,
+    peers: BTreeMap<StackId, PeerState>,
+    wrong_suspicions: u64,
+}
+
+impl FdModule {
+    /// A failure detector with the given configuration.
+    pub fn new(cfg: FdConfig) -> FdModule {
+        FdModule {
+            cfg,
+            fd_svc: ServiceId::new(crate::FD_SVC),
+            udp_svc: ServiceId::new(dpu_net::UDP_SVC),
+            peers: BTreeMap::new(),
+            wrong_suspicions: 0,
+        }
+    }
+
+    /// Register this module's factory under [`KIND`]. Empty params mean
+    /// defaults; otherwise params decode as [`FdConfig`].
+    pub fn register(reg: &mut dpu_core::FactoryRegistry) {
+        reg.register(KIND, |spec: &ModuleSpec| {
+            let cfg = if spec.params.is_empty() {
+                FdConfig::default()
+            } else {
+                spec.params::<FdConfig>().unwrap_or_default()
+            };
+            Box::new(FdModule::new(cfg))
+        });
+    }
+
+    /// Currently suspected peers.
+    pub fn suspected(&self) -> Vec<StackId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.suspected)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// How many suspicions were later revoked (accuracy diagnostics).
+    pub fn wrong_suspicions(&self) -> u64 {
+        self.wrong_suspicions
+    }
+
+    fn publish(&self, ctx: &mut ModuleCtx<'_>) {
+        let list = self.suspected();
+        ctx.respond(&self.fd_svc, ops::SUSPECTS, list.to_bytes());
+    }
+
+    fn send_heartbeats(&self, ctx: &mut ModuleCtx<'_>) {
+        let me = ctx.stack_id();
+        for peer in ctx.peers().to_vec() {
+            if peer == me {
+                continue;
+            }
+            let d = Dgram { peer, channel: channels::FD, data: Bytes::new() };
+            ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
+        }
+    }
+
+    fn check_timeouts(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let now = ctx.now();
+        let mut changed = false;
+        for p in self.peers.values_mut() {
+            if !p.suspected && now.since(p.last_heard) > p.timeout {
+                p.suspected = true;
+                changed = true;
+            }
+        }
+        if changed {
+            self.publish(ctx);
+        }
+    }
+}
+
+impl Module for FdModule {
+    fn kind(&self) -> &str {
+        KIND
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.fd_svc.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![self.udp_svc.clone()]
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let me = ctx.stack_id();
+        let now = ctx.now();
+        for peer in ctx.peers().to_vec() {
+            if peer != me {
+                self.peers.insert(
+                    peer,
+                    PeerState { last_heard: now, timeout: self.cfg.timeout, suspected: false },
+                );
+            }
+        }
+        self.send_heartbeats(ctx);
+        ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
+        ctx.set_timer(self.cfg.timeout, TAG_CHECK);
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        if call.op == ops::QUERY {
+            self.publish(ctx);
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.op != dgram::RECV || resp.service != self.udp_svc {
+            return;
+        }
+        let Ok(d) = resp.decode::<Dgram>() else { return };
+        if d.channel != channels::FD {
+            return;
+        }
+        let now = ctx.now();
+        if let Some(p) = self.peers.get_mut(&d.peer) {
+            p.last_heard = now;
+            if p.suspected {
+                // Wrong suspicion: revoke and back the timeout off so the
+                // same peer is (eventually) never wrongly suspected again.
+                p.suspected = false;
+                p.timeout += self.cfg.backoff;
+                self.wrong_suspicions += 1;
+                self.publish(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_HEARTBEAT => {
+                self.send_heartbeats(ctx);
+                ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
+            }
+            TAG_CHECK => {
+                self.check_timeouts(ctx);
+                // Check at heartbeat granularity for prompt detection.
+                ctx.set_timer(self.cfg.heartbeat, TAG_CHECK);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_core::stack::{FactoryRegistry, Stack, StackConfig};
+    use dpu_core::wire;
+    use dpu_core::ModuleId;
+    use dpu_net::udp::UdpModule;
+    use dpu_sim::{Sim, SimConfig};
+
+    /// Records the latest SUSPECTS list.
+    struct FdSink {
+        latest: Vec<StackId>,
+        updates: usize,
+    }
+
+    impl Module for FdSink {
+        fn kind(&self) -> &str {
+            "fdsink"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new(crate::FD_SVC)]
+        }
+        fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+        fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+            if resp.op == ops::SUSPECTS {
+                self.latest = resp.decode().unwrap();
+                self.updates += 1;
+            }
+        }
+    }
+
+    /// Layout: m1 net bridge, m2 udp, m3 fd, m4 sink.
+    const FD: ModuleId = ModuleId(3);
+    const SINK: ModuleId = ModuleId(4);
+
+    fn mk_stack(sc: StackConfig) -> Stack {
+        let mut s = Stack::new(sc, FactoryRegistry::new());
+        let udp = s.add_module(Box::new(UdpModule::new()));
+        let fd = s.add_module(Box::new(FdModule::new(FdConfig::default())));
+        s.add_module(Box::new(FdSink { latest: vec![], updates: 0 }));
+        s.bind(&ServiceId::new(dpu_net::UDP_SVC), udp);
+        s.bind(&ServiceId::new(crate::FD_SVC), fd);
+        s
+    }
+
+    fn suspected_at(sim: &mut Sim, node: u32) -> Vec<StackId> {
+        sim.with_stack(StackId(node), |s| {
+            s.with_module::<FdModule, _>(FD, |m| m.suspected()).unwrap()
+        })
+    }
+
+    #[test]
+    fn no_suspicions_on_healthy_network() {
+        let mut sim = Sim::new(SimConfig::lan(3, 42), mk_stack);
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        for i in 0..3 {
+            assert!(suspected_at(&mut sim, i).is_empty(), "node {i} suspects someone");
+        }
+    }
+
+    #[test]
+    fn crashed_peer_becomes_suspected_everywhere() {
+        let mut sim = Sim::new(SimConfig::lan(3, 7), mk_stack);
+        sim.run_until(Time::ZERO + Dur::millis(500));
+        sim.crash_at(sim.now(), StackId(2));
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        for i in 0..2 {
+            assert_eq!(suspected_at(&mut sim, i), vec![StackId(2)], "node {i}");
+        }
+    }
+
+    #[test]
+    fn suspicion_published_to_service_users() {
+        let mut sim = Sim::new(SimConfig::lan(2, 7), mk_stack);
+        sim.crash_at(Time::ZERO + Dur::millis(300), StackId(1));
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        let latest = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdSink, _>(SINK, |k| k.latest.clone()).unwrap()
+        });
+        assert_eq!(latest, vec![StackId(1)]);
+    }
+
+    #[test]
+    fn temporary_partition_causes_wrong_suspicion_then_recovery() {
+        let mut sim = Sim::new(SimConfig::lan(2, 9), mk_stack);
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        sim.partition(&[StackId(0)], &[StackId(1)]);
+        sim.run_until(Time::ZERO + Dur::millis(600));
+        assert_eq!(suspected_at(&mut sim, 0), vec![StackId(1)]);
+        sim.heal_partitions();
+        sim.run_until(Time::ZERO + Dur::secs(3));
+        assert!(suspected_at(&mut sim, 0).is_empty(), "suspicion must be revoked after heal");
+        let wrong = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdModule, _>(FD, |m| m.wrong_suspicions()).unwrap()
+        });
+        assert!(wrong >= 1);
+    }
+
+    #[test]
+    fn timeout_backs_off_after_wrong_suspicion() {
+        let mut sim = Sim::new(SimConfig::lan(2, 9), mk_stack);
+        // Two partition episodes; after each heal the timeout grows.
+        for _ in 0..2 {
+            sim.partition(&[StackId(0)], &[StackId(1)]);
+            let t = sim.now() + Dur::millis(600);
+            sim.run_until(t);
+            sim.heal_partitions();
+            let t = sim.now() + Dur::millis(600);
+            sim.run_until(t);
+        }
+        let wrong = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdModule, _>(FD, |m| m.wrong_suspicions()).unwrap()
+        });
+        assert!(wrong >= 2);
+        // Peer timeout grew beyond the initial 100ms.
+        let timeout = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdModule, _>(FD, |m| {
+                m.peers.get(&StackId(1)).unwrap().timeout
+            })
+            .unwrap()
+        });
+        assert!(timeout > FdConfig::default().timeout);
+    }
+
+    #[test]
+    fn query_triggers_immediate_response() {
+        let mut sim = Sim::new(SimConfig::lan(2, 3), mk_stack);
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        let before = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap()
+        });
+        sim.with_stack(StackId(0), |s| {
+            s.call_as(SINK, &ServiceId::new(crate::FD_SVC), ops::QUERY, Bytes::new())
+        });
+        sim.run_until(sim.now() + Dur::millis(10));
+        let after = sim.with_stack(StackId(0), |s| {
+            s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap()
+        });
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn config_roundtrip_and_factory() {
+        let cfg = FdConfig {
+            heartbeat: Dur::millis(5),
+            timeout: Dur::millis(30),
+            backoff: Dur::millis(10),
+        };
+        let b = wire::to_bytes(&cfg);
+        assert_eq!(wire::from_bytes::<FdConfig>(&b).unwrap(), cfg);
+        let mut reg = FactoryRegistry::new();
+        FdModule::register(&mut reg);
+        let m = reg.build(&ModuleSpec::with_params(KIND, &cfg)).unwrap();
+        assert_eq!(m.kind(), KIND);
+    }
+}

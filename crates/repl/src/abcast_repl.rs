@@ -1,0 +1,363 @@
+//! **Algorithm 1** of the paper: replacement of atomic broadcast.
+//!
+//! The `Repl-ABcast` module provides the indirection interface `r-abcast`
+//! and requires `abcast`. Users of atomic broadcast (the application,
+//! group membership, …) are wired to `r-abcast`; the protocol being
+//! replaced is completely unaware of the replacement machinery, and the
+//! replacement machinery depends only on the *specification* of atomic
+//! broadcast — the two structural claims of §4.
+//!
+//! ```text
+//! 1  Initialisation:
+//! 2      undelivered ← ∅                 {messages not yet rAdelivered}
+//! 3      curABcast ← current ABcast protocol
+//! 4      seqNumber ← 0
+//! 5  upon changeABcast(prot) do
+//! 6      ABcast(newABcast, seqNumber, prot)
+//! 7  upon rABcast(m) do
+//! 8      undelivered ← undelivered ∪ {m}
+//! 9      ABcast(nil, seqNumber, m)
+//! 10 upon Adeliver(newABcast, sn, prot) do
+//! 11     seqNumber ← seqNumber + 1
+//! 12     unbind(curABcast)
+//! 13     create_module(prot)             {recursively creates required services}
+//! 14     curABcast ← prot
+//! 15     for all m ∈ undelivered do
+//! 16         ABcast(nil, seqNumber, m)
+//! 17 upon Adeliver(nil, sn, m) do
+//! 18     if sn = seqNumber then          {discard messages of older protocols}
+//! 19         if m ∈ undelivered then undelivered ← undelivered ∖ {m}
+//! 20         rAdeliver(m)
+//! ```
+//!
+//! Because the replacement request travels through the old ABcast itself,
+//! its position in the total order *is* the switch point: every stack
+//! switches after delivering exactly the same prefix, which is what makes
+//! the four atomic broadcast properties carry over (proof in §5.2.2,
+//! checked mechanically by this module's tests via
+//! [`dpu_core::abcast_check::AbcastChecker`]).
+//!
+//! One deviation from the paper's listing: line 10 is guarded by
+//! `sn = seqNumber`, mirroring line 18. The listing relies on the switch
+//! message being delivered once per protocol version; since an *unbound*
+//! old module may still respond (§2 explicitly allows it), the guard
+//! discards stale `newABcast` deliveries the same way stale `nil` ones
+//! are discarded.
+
+use crate::CHANGE_OP;
+use bytes::{Bytes, BytesMut};
+use dpu_core::stack::ModuleCtx;
+use dpu_core::time::Time;
+use dpu_core::wire::{Decode, Encode, WireError, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
+use dpu_protocols::abcast::ops as ab_ops;
+use std::collections::BTreeMap;
+
+/// Module kind name, for factory registration.
+pub const KIND: &str = "repl.abcast";
+
+/// Factory parameters of the replacement module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplParams {
+    /// The updateable service (default [`dpu_protocols::ABCAST_SVC`]).
+    /// The module provides `r-<service>` and requires `<service>`.
+    pub service: String,
+}
+
+impl Default for ReplParams {
+    fn default() -> Self {
+        ReplParams { service: dpu_protocols::ABCAST_SVC.to_string() }
+    }
+}
+
+impl Encode for ReplParams {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.service.encode(buf);
+    }
+}
+
+impl Decode for ReplParams {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(ReplParams { service: String::decode(buf)? })
+    }
+}
+
+/// What the replacement layer hands to the underlying atomic broadcast:
+/// either an ordinary message (tag `nil` in the paper) or a replacement
+/// request (tag `newABcast`), both stamped with the current protocol
+/// version `sn`.
+enum ReplPayload {
+    /// `(nil, sn, m)` — an ordinary message with its unique id.
+    Nil { sn: u64, id: (StackId, u64), data: Bytes },
+    /// `(newABcast, sn, prot)` — a replacement request.
+    NewAbcast { sn: u64, spec: ModuleSpec },
+}
+
+impl Encode for ReplPayload {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ReplPayload::Nil { sn, id, data } => {
+                0u32.encode(buf);
+                sn.encode(buf);
+                id.0.encode(buf);
+                id.1.encode(buf);
+                data.encode(buf);
+            }
+            ReplPayload::NewAbcast { sn, spec } => {
+                1u32.encode(buf);
+                sn.encode(buf);
+                spec.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ReplPayload {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        match u32::decode(buf)? {
+            0 => Ok(ReplPayload::Nil {
+                sn: u64::decode(buf)?,
+                id: (StackId::decode(buf)?, u64::decode(buf)?),
+                data: Bytes::decode(buf)?,
+            }),
+            1 => Ok(ReplPayload::NewAbcast {
+                sn: u64::decode(buf)?,
+                spec: ModuleSpec::decode(buf)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// The replacement module for atomic broadcast (Algorithm 1). See the
+/// module docs for the listing and the correspondence.
+pub struct ReplAbcastModule {
+    /// `r-<service>`: what callers are wired to.
+    provided: ServiceId,
+    /// `<service>`: the updateable protocol underneath.
+    required: ServiceId,
+    /// Algorithm 1's `seqNumber`.
+    seq_number: u64,
+    /// Algorithm 1's `undelivered`, keyed by unique message id. Only
+    /// locally-sent messages are tracked (line 8 runs on the sender).
+    undelivered: BTreeMap<(StackId, u64), Bytes>,
+    next_id: u64,
+    // ---- instrumentation (not part of the algorithm) ----
+    switches_applied: u64,
+    reissued_total: u64,
+    last_switch_at: Option<Time>,
+    switch_times: Vec<Time>,
+    delivered_count: u64,
+}
+
+impl ReplAbcastModule {
+    /// Build with explicit parameters.
+    pub fn new(params: ReplParams) -> ReplAbcastModule {
+        let required = ServiceId::new(&params.service);
+        ReplAbcastModule {
+            provided: required.replaced(),
+            required,
+            seq_number: 0,
+            undelivered: BTreeMap::new(),
+            next_id: 0,
+            switches_applied: 0,
+            reissued_total: 0,
+            last_switch_at: None,
+            switch_times: Vec::new(),
+            delivered_count: 0,
+        }
+    }
+
+    /// Register this module's factory under [`KIND`].
+    pub fn register(reg: &mut dpu_core::FactoryRegistry) {
+        reg.register(KIND, |spec: &ModuleSpec| {
+            let params = if spec.params.is_empty() {
+                ReplParams::default()
+            } else {
+                spec.params::<ReplParams>().unwrap_or_default()
+            };
+            Box::new(ReplAbcastModule::new(params))
+        });
+    }
+
+    /// Algorithm 1's `seqNumber`: the current protocol version.
+    pub fn seq_number(&self) -> u64 {
+        self.seq_number
+    }
+
+    /// Messages sent locally and not yet rAdelivered.
+    pub fn undelivered_len(&self) -> usize {
+        self.undelivered.len()
+    }
+
+    /// How many replacements this stack has applied.
+    pub fn switches_applied(&self) -> u64 {
+        self.switches_applied
+    }
+
+    /// Total messages re-issued across all switches (lines 15–16).
+    pub fn reissued_total(&self) -> u64 {
+        self.reissued_total
+    }
+
+    /// Virtual time at which the last replacement was applied locally.
+    pub fn last_switch_at(&self) -> Option<Time> {
+        self.last_switch_at
+    }
+
+    /// Local application times of every replacement, in order. The
+    /// paper's "replacement finishes when all machines have replaced the
+    /// old modules" is the max of the k-th entry across stacks.
+    pub fn switch_times(&self) -> &[Time] {
+        &self.switch_times
+    }
+
+    /// Messages rAdelivered to the users above.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    fn abcast(&self, ctx: &mut ModuleCtx<'_>, payload: &ReplPayload) {
+        ctx.call(&self.required, ab_ops::ABCAST, payload.to_bytes());
+    }
+}
+
+impl Module for ReplAbcastModule {
+    fn kind(&self) -> &str {
+        KIND
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.provided.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![self.required.clone()]
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        match call.op {
+            // Lines 7–9: rABcast(m).
+            ab_ops::ABCAST => {
+                let id = (ctx.stack_id(), self.next_id);
+                self.next_id += 1;
+                self.undelivered.insert(id, call.data.clone());
+                self.abcast(
+                    ctx,
+                    &ReplPayload::Nil { sn: self.seq_number, id, data: call.data },
+                );
+            }
+            // Lines 5–6: changeABcast(prot).
+            CHANGE_OP => {
+                let Ok(spec) = call.decode::<ModuleSpec>() else { return };
+                self.abcast(ctx, &ReplPayload::NewAbcast { sn: self.seq_number, spec });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.service != self.required || resp.op != ab_ops::ADELIVER {
+            return;
+        }
+        let Ok(payload) = resp.decode::<ReplPayload>() else { return };
+        match payload {
+            // Lines 10–16: Adeliver(newABcast, sn, prot).
+            ReplPayload::NewAbcast { sn, spec } => {
+                if sn != self.seq_number {
+                    return; // stale switch request from an old protocol
+                }
+                self.seq_number += 1; // line 11
+                ctx.unbind(&self.required); // line 12
+                match ctx.create_module(&spec) {
+                    // lines 13–14 (create_module binds the new provider
+                    // and recursively creates its required services)
+                    Ok(_new_module) => {}
+                    Err(e) => {
+                        // The switch was agreed globally but this stack
+                        // cannot build the protocol: surface loudly. The
+                        // service stays unbound, so calls block (weak
+                        // well-formedness) rather than corrupt state.
+                        panic!("replacement failed on {}: {e}", ctx.stack_id());
+                    }
+                }
+                self.switches_applied += 1;
+                self.last_switch_at = Some(ctx.now());
+                self.switch_times.push(ctx.now());
+                // Lines 15–16: reissue undelivered under the new protocol.
+                let reissue: Vec<((StackId, u64), Bytes)> = self
+                    .undelivered
+                    .iter()
+                    .map(|(&id, data)| (id, data.clone()))
+                    .collect();
+                self.reissued_total += reissue.len() as u64;
+                for (id, data) in reissue {
+                    self.abcast(ctx, &ReplPayload::Nil { sn: self.seq_number, id, data });
+                }
+            }
+            // Lines 17–21: Adeliver(nil, sn, m).
+            ReplPayload::Nil { sn, id, data } => {
+                if sn != self.seq_number {
+                    return; // line 18: message of an older protocol
+                }
+                self.undelivered.remove(&id); // lines 19–20
+                self.delivered_count += 1;
+                ctx.respond(&self.provided, ab_ops::ADELIVER, data); // line 21
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_core::wire;
+
+    #[test]
+    fn params_roundtrip_and_naming() {
+        let p = ReplParams { service: "abcast".into() };
+        let b = wire::to_bytes(&p);
+        assert_eq!(wire::from_bytes::<ReplParams>(&b).unwrap(), p);
+        let m = ReplAbcastModule::new(p);
+        assert_eq!(m.provides(), vec![ServiceId::new("r-abcast")]);
+        assert_eq!(m.requires(), vec![ServiceId::new("abcast")]);
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let nil = ReplPayload::Nil {
+            sn: 3,
+            id: (StackId(1), 9),
+            data: Bytes::from_static(b"msg"),
+        };
+        let b = wire::to_bytes(&nil);
+        match wire::from_bytes::<ReplPayload>(&b).unwrap() {
+            ReplPayload::Nil { sn, id, data } => {
+                assert_eq!((sn, id, data), (3, (StackId(1), 9), Bytes::from_static(b"msg")));
+            }
+            _ => panic!("wrong variant"),
+        }
+        let sw = ReplPayload::NewAbcast { sn: 1, spec: ModuleSpec::new("abcast.seq") };
+        let b = wire::to_bytes(&sw);
+        match wire::from_bytes::<ReplPayload>(&b).unwrap() {
+            ReplPayload::NewAbcast { sn, spec } => {
+                assert_eq!(sn, 1);
+                assert_eq!(spec.kind, "abcast.seq");
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn factory_registration() {
+        let mut reg = dpu_core::FactoryRegistry::new();
+        ReplAbcastModule::register(&mut reg);
+        let m = reg.build(&ModuleSpec::new(KIND)).unwrap();
+        assert_eq!(m.kind(), KIND);
+        assert_eq!(m.provides(), vec![ServiceId::new("r-abcast")]);
+    }
+
+    // End-to-end switching behaviour (multi-stack, across protocols,
+    // with load and crashes) is exercised in the builder module's tests
+    // and in the workspace-level integration tests.
+}

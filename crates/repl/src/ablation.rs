@@ -1,0 +1,327 @@
+//! Ablation variants of Algorithm 1: deliberately *broken* replacement
+//! modules, each missing exactly one ingredient of the paper's
+//! algorithm. They exist to show — mechanically, via the property
+//! checkers — that every line is load-bearing:
+//!
+//! * [`NoReissueRepl`] skips lines 15–16 (re-issuing `undelivered` under
+//!   the new protocol). Messages that were in flight when the switch was
+//!   ordered are silently dropped → **validity** (and agreement)
+//!   violations under load.
+//! * [`NoGuardRepl`] skips the `sn = seqNumber` check of line 18.
+//!   Late deliveries from the old, unbound protocol are handed to the
+//!   application alongside the re-issued copies → **uniform integrity**
+//!   (duplicate delivery) violations.
+//!
+//! Both are bit-for-bit Algorithm 1 otherwise (compare
+//! [`crate::abcast_repl::ReplAbcastModule`]). The negative tests live in
+//! this module; the positive counterpart — the full algorithm passing the
+//! same adversarial schedules — is everywhere else in the test suite.
+
+use crate::CHANGE_OP;
+use bytes::Bytes;
+use dpu_core::stack::ModuleCtx;
+use dpu_core::wire::{Decode, Encode, WireError, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
+use dpu_protocols::abcast::ops as ab_ops;
+use std::collections::BTreeMap;
+
+/// Module kind of the no-reissue ablation.
+pub const KIND_NO_REISSUE: &str = "repl.abcast.no-reissue";
+/// Module kind of the no-version-guard ablation.
+pub const KIND_NO_GUARD: &str = "repl.abcast.no-guard";
+
+/// Which ingredient to omit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Omit {
+    /// Skip lines 15–16 (no re-issue of undelivered messages).
+    Reissue,
+    /// Skip the line-18 version check (deliver any `nil` message).
+    VersionGuard,
+}
+
+// The payload mirrors ReplPayload in abcast_repl; duplicated here on
+// purpose so the ablations stay self-contained and the real module stays
+// free of test-only branches. The wire format is identical.
+enum Payload {
+    Nil { sn: u64, id: (StackId, u64), data: Bytes },
+    NewAbcast { sn: u64, spec: ModuleSpec },
+}
+
+impl Encode for Payload {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        match self {
+            Payload::Nil { sn, id, data } => {
+                0u32.encode(buf);
+                sn.encode(buf);
+                id.0.encode(buf);
+                id.1.encode(buf);
+                data.encode(buf);
+            }
+            Payload::NewAbcast { sn, spec } => {
+                1u32.encode(buf);
+                sn.encode(buf);
+                spec.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Payload {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        match u32::decode(buf)? {
+            0 => Ok(Payload::Nil {
+                sn: u64::decode(buf)?,
+                id: (StackId::decode(buf)?, u64::decode(buf)?),
+                data: Bytes::decode(buf)?,
+            }),
+            1 => Ok(Payload::NewAbcast {
+                sn: u64::decode(buf)?,
+                spec: ModuleSpec::decode(buf)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// A replacement module with one ingredient of Algorithm 1 omitted.
+pub struct BrokenRepl {
+    omit: Omit,
+    provided: ServiceId,
+    required: ServiceId,
+    seq_number: u64,
+    undelivered: BTreeMap<(StackId, u64), Bytes>,
+    next_id: u64,
+}
+
+/// Type alias documenting intent at use sites.
+pub type NoReissueRepl = BrokenRepl;
+/// Type alias documenting intent at use sites.
+pub type NoGuardRepl = BrokenRepl;
+
+impl BrokenRepl {
+    /// Build an ablation over the `abcast` service.
+    pub fn new(omit: Omit) -> BrokenRepl {
+        let required = ServiceId::new(dpu_protocols::ABCAST_SVC);
+        BrokenRepl {
+            omit,
+            provided: required.replaced(),
+            required,
+            seq_number: 0,
+            undelivered: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    fn abcast(&self, ctx: &mut ModuleCtx<'_>, payload: &Payload) {
+        ctx.call(&self.required, ab_ops::ABCAST, payload.to_bytes());
+    }
+}
+
+impl Module for BrokenRepl {
+    fn kind(&self) -> &str {
+        match self.omit {
+            Omit::Reissue => KIND_NO_REISSUE,
+            Omit::VersionGuard => KIND_NO_GUARD,
+        }
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.provided.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![self.required.clone()]
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        match call.op {
+            ab_ops::ABCAST => {
+                let id = (ctx.stack_id(), self.next_id);
+                self.next_id += 1;
+                self.undelivered.insert(id, call.data.clone());
+                self.abcast(ctx, &Payload::Nil { sn: self.seq_number, id, data: call.data });
+            }
+            CHANGE_OP => {
+                if let Ok(spec) = call.decode::<ModuleSpec>() {
+                    self.abcast(ctx, &Payload::NewAbcast { sn: self.seq_number, spec });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.service != self.required || resp.op != ab_ops::ADELIVER {
+            return;
+        }
+        let Ok(payload) = resp.decode::<Payload>() else { return };
+        match payload {
+            Payload::NewAbcast { sn, spec } => {
+                if sn != self.seq_number {
+                    return;
+                }
+                self.seq_number += 1;
+                ctx.unbind(&self.required);
+                ctx.create_module(&spec).expect("ablation switch");
+                match self.omit {
+                    Omit::Reissue => {
+                        // BROKEN: lines 15-16 skipped — whatever was in
+                        // flight under the old protocol is lost.
+                    }
+                    Omit::VersionGuard => {
+                        let reissue: Vec<_> = self
+                            .undelivered
+                            .iter()
+                            .map(|(&id, d)| (id, d.clone()))
+                            .collect();
+                        for (id, data) in reissue {
+                            self.abcast(
+                                ctx,
+                                &Payload::Nil { sn: self.seq_number, id, data },
+                            );
+                        }
+                    }
+                }
+            }
+            Payload::Nil { sn, id, data } => {
+                let accept = match self.omit {
+                    // BROKEN: line 18 skipped — old-protocol stragglers
+                    // are delivered alongside their re-issued copies.
+                    Omit::VersionGuard => true,
+                    Omit::Reissue => sn == self.seq_number,
+                };
+                if accept {
+                    self.undelivered.remove(&id);
+                    ctx.respond(&self.provided, ab_ops::ADELIVER, data);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{
+        build, check_run, drive_load, request_change, specs, GroupStackOpts, SwitchLayer,
+    };
+    use dpu_core::abcast_check::AbcastViolation;
+    use dpu_core::time::{Dur, Time};
+    use dpu_sim::{Sim, SimConfig};
+
+    /// Build the standard stack but with a broken replacement layer.
+    fn broken_sim(omit: Omit, seed: u64) -> (Sim, crate::builder::Handles) {
+        let opts = GroupStackOpts {
+            abcast: specs::ct(0),
+            layer: SwitchLayer::None, // placeholder; we wire our own layer
+            probe_pad: Some(8),
+            with_gm: false,
+            extra_defaults: Vec::new(),
+        };
+        let mut handles = None;
+        let sim = Sim::new(SimConfig::lan(3, seed), |sc| {
+            let mut built = build(sc, &opts);
+            let layer = built.stack.add_module(Box::new(BrokenRepl::new(omit)));
+            let r_svc = ServiceId::new(dpu_protocols::ABCAST_SVC).replaced();
+            built.stack.bind(&r_svc, layer);
+            // Re-point the probe at the broken layer.
+            let probe = built.stack.add_module(Box::new(dpu_core::probe::Probe::new(
+                r_svc.clone(),
+                ab_ops::ABCAST,
+                ab_ops::ADELIVER,
+                8,
+            )));
+            built.handles.layer = Some(layer);
+            built.handles.probe = Some(probe);
+            built.handles.top_service = r_svc;
+            handles.get_or_insert(built.handles.clone());
+            built.stack
+        });
+        (sim, handles.unwrap())
+    }
+
+    fn run_adversarial_switch(
+        omit: Omit,
+        seed: u64,
+    ) -> Vec<AbcastViolation> {
+        let (mut sim, h) = broken_sim(omit, seed);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        let until = sim.now() + Dur::secs(3);
+        drive_load(&mut sim, &h, 80.0, until);
+        let h2 = h.clone();
+        sim.schedule_in(Dur::millis(1500), move |sim| {
+            request_change(sim, StackId(0), &h2, &specs::ct(1));
+        });
+        sim.run_until(until + Dur::secs(10));
+        check_run(&mut sim, &h).checker.check()
+    }
+
+    #[test]
+    fn omitting_reissue_loses_in_flight_messages() {
+        // Try a few seeds: the race (messages ordered after the switch
+        // point in the old protocol) needs in-flight traffic at the
+        // switch instant.
+        let mut seen_validity_loss = false;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let violations = run_adversarial_switch(Omit::Reissue, seed);
+            if violations
+                .iter()
+                .any(|v| matches!(v, AbcastViolation::Validity { .. }))
+            {
+                seen_validity_loss = true;
+                break;
+            }
+        }
+        assert!(
+            seen_validity_loss,
+            "dropping lines 15-16 must lose in-flight messages under load"
+        );
+    }
+
+    #[test]
+    fn omitting_the_version_guard_duplicates_messages() {
+        let mut seen_duplicate = false;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let violations = run_adversarial_switch(Omit::VersionGuard, seed);
+            if violations.iter().any(|v| {
+                matches!(
+                    v,
+                    AbcastViolation::DuplicateDelivery { .. } | AbcastViolation::TotalOrder { .. }
+                )
+            }) {
+                seen_duplicate = true;
+                break;
+            }
+        }
+        assert!(
+            seen_duplicate,
+            "dropping the line-18 guard must duplicate (or disorder) messages"
+        );
+    }
+
+    #[test]
+    fn the_full_algorithm_passes_the_same_adversarial_schedules() {
+        // Positive control: identical schedule, real Repl module, all
+        // seeds clean.
+        for seed in [1u64, 2, 3, 4, 5] {
+            let opts = GroupStackOpts {
+                abcast: specs::ct(0),
+                layer: SwitchLayer::Repl,
+                probe_pad: Some(8),
+                with_gm: false,
+                extra_defaults: Vec::new(),
+            };
+            let (mut sim, h) =
+                crate::builder::group_sim(SimConfig::lan(3, seed), &opts);
+            sim.run_until(Time::ZERO + Dur::millis(300));
+            let until = sim.now() + Dur::secs(3);
+            drive_load(&mut sim, &h, 80.0, until);
+            let h2 = h.clone();
+            sim.schedule_in(Dur::millis(1500), move |sim| {
+                request_change(sim, StackId(0), &h2, &specs::ct(1));
+            });
+            sim.run_until(until + Dur::secs(10));
+            check_run(&mut sim, &h).assert_ok();
+        }
+    }
+}

@@ -1,0 +1,809 @@
+//! Construction of the paper's Figure-4 group communication stack, and a
+//! simulation harness around it.
+//!
+//! [`build`] assembles one stack:
+//!
+//! ```text
+//!        Probe (application)        GM (optional)
+//!                 \                  /
+//!                  r-abcast  ◀── switch layer (Repl / Maestro / Graceful)
+//!                      │                 (or none: probe sits on abcast)
+//!                   abcast   ◀── abcast.ct | abcast.seq | abcast.ring
+//!                   /    \
+//!            consensus   rp2p
+//!               /  \       │
+//!             fd   rp2p   udp
+//!              \    │      │
+//!               udp └──────┤
+//!                │         │
+//!               net (host boundary)
+//! ```
+//!
+//! [`group_sim`] instantiates `n` such stacks in a deterministic
+//! simulation; [`drive_load`] generates the paper's constant-rate
+//! workload; [`check_run`] applies the generic DPU properties (§3) and
+//! the four atomic broadcast properties (§5.1) to the finished run.
+
+use crate::abcast_repl::{ReplAbcastModule, ReplParams};
+use crate::graceful::{GracefulParams, GracefulSwitcher};
+use crate::maestro::{MaestroParams, MaestroSwitcher};
+use dpu_core::abcast_check::AbcastChecker;
+use dpu_core::probe::Probe;
+use dpu_core::props;
+use dpu_core::time::{Dur, Time};
+use dpu_core::{
+    FactoryRegistry, ModuleId, ModuleSpec, ServiceId, Stack, StackConfig, StackId,
+};
+use dpu_protocols::abcast::ct::CtAbcastModule;
+use dpu_protocols::abcast::ops as ab_ops;
+use dpu_protocols::abcast::ring::RingAbcastModule;
+use dpu_protocols::abcast::sequencer::SeqAbcastModule;
+use dpu_protocols::consensus::ConsensusModule;
+use dpu_protocols::fd::FdModule;
+use dpu_protocols::gm::{GmModule, GmParams};
+use dpu_net::rp2p::Rp2pModule;
+use dpu_net::udp::UdpModule;
+use dpu_sim::{Sim, SimConfig};
+
+/// Ready-made [`ModuleSpec`]s for the protocols of the workspace, with
+/// fresh incarnation namespaces. Used by benchmarks, examples and tests.
+pub mod specs {
+    use dpu_core::ModuleSpec;
+    use dpu_protocols::abcast::ct::{CtAbcastParams, KIND as CT_KIND};
+    use dpu_protocols::abcast::ring::{RingAbcastParams, KIND as RING_KIND};
+    use dpu_protocols::abcast::sequencer::{SeqAbcastParams, KIND as SEQ_KIND};
+    use dpu_protocols::consensus::{ConsensusParams, KIND_CT, KIND_OFFSET};
+
+    /// Consensus-based atomic broadcast with incarnation `ns`.
+    pub fn ct(ns: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            CT_KIND,
+            &CtAbcastParams { namespace: ns, ..CtAbcastParams::default() },
+        )
+    }
+
+    /// Consensus-based atomic broadcast bound to a specific consensus
+    /// service — the consensus-replacement experiment's switch target.
+    pub fn ct_with_consensus(ns: u64, consensus: &str) -> ModuleSpec {
+        ModuleSpec::with_params(
+            CT_KIND,
+            &CtAbcastParams {
+                namespace: ns,
+                consensus: consensus.to_string(),
+                ..CtAbcastParams::default()
+            },
+        )
+    }
+
+    /// Fixed-sequencer atomic broadcast with incarnation `ns`.
+    pub fn seq(ns: u64) -> ModuleSpec {
+        seq_in(ns, dpu_protocols::ABCAST_SVC)
+    }
+
+    /// Fixed-sequencer atomic broadcast providing a specific service
+    /// (Graceful Adaptation targets must provide the inactive slot).
+    pub fn seq_in(ns: u64, service: &str) -> ModuleSpec {
+        ModuleSpec::with_params(
+            SEQ_KIND,
+            &SeqAbcastParams { namespace: ns, service: service.to_string() },
+        )
+    }
+
+    /// Token-ring atomic broadcast with incarnation `ns`.
+    pub fn ring(ns: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            RING_KIND,
+            &RingAbcastParams { namespace: ns, ..RingAbcastParams::default() },
+        )
+    }
+
+    /// Token-ring atomic broadcast providing a specific service.
+    pub fn ring_in(ns: u64, service: &str) -> ModuleSpec {
+        ModuleSpec::with_params(
+            RING_KIND,
+            &RingAbcastParams {
+                namespace: ns,
+                service: service.to_string(),
+                ..RingAbcastParams::default()
+            },
+        )
+    }
+
+    /// Rotating-coordinator (Chandra–Toueg) consensus providing `service`
+    /// with wire incarnation `inc`.
+    pub fn consensus_ct(service: &str, inc: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            KIND_CT,
+            &ConsensusParams { service: service.to_string(), incarnation: inc },
+        )
+    }
+
+    /// Instance-offset consensus providing `service` with wire
+    /// incarnation `inc`.
+    pub fn consensus_offset(service: &str, inc: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            KIND_OFFSET,
+            &ConsensusParams { service: service.to_string(), incarnation: inc },
+        )
+    }
+}
+
+/// A factory registry with every module kind of the workspace registered.
+pub fn registry() -> FactoryRegistry {
+    let mut reg = FactoryRegistry::new();
+    UdpModule::register(&mut reg);
+    dpu_net::frag::FragModule::register(&mut reg);
+    Rp2pModule::register(&mut reg);
+    FdModule::register(&mut reg);
+    ConsensusModule::register(&mut reg);
+    CtAbcastModule::register(&mut reg);
+    SeqAbcastModule::register(&mut reg);
+    RingAbcastModule::register(&mut reg);
+    ReplAbcastModule::register(&mut reg);
+    MaestroSwitcher::register(&mut reg);
+    GracefulSwitcher::register(&mut reg);
+    GmModule::register(&mut reg);
+    dpu_protocols::rb::RbModule::register(&mut reg);
+    dpu_protocols::omega::OmegaModule::register(&mut reg);
+    reg
+}
+
+/// Which dynamic-update layer (if any) to interpose between the
+/// application and atomic broadcast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchLayer {
+    /// No layer: the probe calls `abcast` directly (the paper's "normal,
+    /// without replacement layer" configuration).
+    None,
+    /// The paper's replacement module (Algorithm 1).
+    Repl,
+    /// Maestro-style whole-stack switcher baseline.
+    Maestro,
+    /// Graceful-Adaptation-style AAC switcher baseline.
+    Graceful,
+}
+
+/// Options for [`build`].
+#[derive(Clone, Debug)]
+pub struct GroupStackOpts {
+    /// Spec of the initial atomic broadcast module.
+    pub abcast: ModuleSpec,
+    /// Which switch layer to interpose.
+    pub layer: SwitchLayer,
+    /// Attach a measurement probe with this much payload padding.
+    pub probe_pad: Option<usize>,
+    /// Attach a group membership module on top of the (possibly wrapped)
+    /// broadcast service.
+    pub with_gm: bool,
+    /// Extra `(service, spec)` default providers, e.g. a second consensus
+    /// service for the consensus-replacement experiment.
+    pub extra_defaults: Vec<(String, ModuleSpec)>,
+}
+
+impl Default for GroupStackOpts {
+    fn default() -> Self {
+        GroupStackOpts {
+            abcast: ModuleSpec::new(dpu_protocols::abcast::ct::KIND),
+            layer: SwitchLayer::Repl,
+            probe_pad: Some(0),
+            with_gm: false,
+            extra_defaults: Vec::new(),
+        }
+    }
+}
+
+/// Module handles of a built stack. Construction is deterministic, so the
+/// handles are identical on every stack of a group.
+#[derive(Clone, Debug)]
+pub struct Handles {
+    /// The service the application talks to (`r-abcast` with a layer,
+    /// `abcast` without).
+    pub top_service: ServiceId,
+    /// The probe module, if requested.
+    pub probe: Option<ModuleId>,
+    /// The switch layer module, if any.
+    pub layer: Option<ModuleId>,
+    /// The group membership module, if requested.
+    pub gm: Option<ModuleId>,
+    /// The initial atomic broadcast module.
+    pub abcast: ModuleId,
+}
+
+/// A stack built by [`build`].
+pub struct BuiltStack {
+    /// The assembled stack.
+    pub stack: Stack,
+    /// Module handles.
+    pub handles: Handles,
+}
+
+/// Assemble one group communication stack per `opts`.
+pub fn build(sc: StackConfig, opts: &GroupStackOpts) -> BuiltStack {
+    let mut stack = Stack::new(sc, registry());
+    stack.set_default_provider(ServiceId::new(dpu_net::UDP_SVC), ModuleSpec::new("udp"));
+    stack.set_default_provider(ServiceId::new(dpu_net::RP2P_SVC), ModuleSpec::new("rp2p"));
+    stack.set_default_provider(ServiceId::new(dpu_protocols::FD_SVC), ModuleSpec::new("fd"));
+    stack.set_default_provider(
+        ServiceId::new(dpu_protocols::CONSENSUS_SVC),
+        ModuleSpec::new(dpu_protocols::consensus::KIND_CT),
+    );
+    for (svc, spec) in &opts.extra_defaults {
+        stack.set_default_provider(ServiceId::new(svc), spec.clone());
+    }
+
+    let abcast_svc = ServiceId::new(dpu_protocols::ABCAST_SVC);
+    let abcast = stack.install(&opts.abcast).expect("install abcast");
+
+    let (layer, top_service) = match opts.layer {
+        SwitchLayer::None => (None, abcast_svc.clone()),
+        SwitchLayer::Repl => {
+            let m = stack.add_module(Box::new(ReplAbcastModule::new(ReplParams::default())));
+            stack.bind(&abcast_svc.replaced(), m);
+            (Some(m), abcast_svc.replaced())
+        }
+        SwitchLayer::Maestro => {
+            let m = stack.add_module(Box::new(MaestroSwitcher::new(MaestroParams::default())));
+            stack.bind(&abcast_svc.replaced(), m);
+            (Some(m), abcast_svc.replaced())
+        }
+        SwitchLayer::Graceful => {
+            let m = stack.add_module(Box::new(GracefulSwitcher::new(GracefulParams::default())));
+            stack.bind(&abcast_svc.replaced(), m);
+            (Some(m), abcast_svc.replaced())
+        }
+    };
+
+    let probe = opts.probe_pad.map(|pad| {
+        stack.add_module(Box::new(Probe::new(
+            top_service.clone(),
+            ab_ops::ABCAST,
+            ab_ops::ADELIVER,
+            pad,
+        )))
+    });
+
+    let gm = if opts.with_gm {
+        let m = stack.add_module(Box::new(GmModule::new(GmParams {
+            service: dpu_protocols::GM_SVC.to_string(),
+            abcast: top_service.name().to_string(),
+            auto_exclude: false,
+        })));
+        stack.bind(&ServiceId::new(dpu_protocols::GM_SVC), m);
+        Some(m)
+    } else {
+        None
+    };
+
+    BuiltStack { stack, handles: Handles { top_service, probe, layer, gm, abcast } }
+}
+
+/// Instantiate `n` identical stacks (per `opts`) in a deterministic
+/// simulation. Returns the module handles, which are identical on every
+/// stack (construction order is fixed).
+pub fn group_sim(sim_cfg: SimConfig, opts: &GroupStackOpts) -> (Sim, Handles) {
+    let mut handles: Option<Handles> = None;
+    let sim = Sim::new(sim_cfg, |sc| {
+        let built = build(sc, opts);
+        if handles.is_none() {
+            handles = Some(built.handles.clone());
+        }
+        built.stack
+    });
+    (sim, handles.expect("at least one stack"))
+}
+
+/// Send one probe message from `node` (stamps the current virtual time).
+pub fn send_probe(sim: &mut Sim, node: StackId, h: &Handles) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let now = sim.now();
+    sim.with_stack(node, |s| {
+        let payload = s
+            .with_module::<Probe, _>(probe, |p| p.next_payload(node, now))
+            .expect("probe present");
+        s.call_as(probe, &top, ab_ops::ABCAST, payload);
+    });
+}
+
+/// Request a protocol change from `node` (the paper's
+/// `changeABcast(prot)`): delivered to the switch layer on the top
+/// service.
+pub fn request_change(sim: &mut Sim, node: StackId, h: &Handles, new_spec: &ModuleSpec) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let data = dpu_core::wire::to_bytes(new_spec);
+    sim.with_stack(node, |s| s.call_as(probe, &top, crate::CHANGE_OP, data));
+}
+
+/// Generate a constant aggregate load of `rate_per_sec` messages/second,
+/// spread round-robin over all stacks, from `sim.now()` until `until`.
+pub fn drive_load(sim: &mut Sim, h: &Handles, rate_per_sec: f64, until: Time) {
+    let n = sim.n();
+    let interval = Dur::secs_f64(n as f64 / rate_per_sec);
+    for node in 0..n {
+        let offset = Dur::nanos(interval.as_nanos() * u64::from(node) / u64::from(n));
+        let h = h.clone();
+        sim.schedule_in(offset, move |sim| {
+            load_tick(sim, StackId(node), h, interval, until)
+        });
+    }
+}
+
+fn load_tick(sim: &mut Sim, node: StackId, h: Handles, interval: Dur, until: Time) {
+    if sim.now() > until || sim.stack(node).is_crashed() {
+        return;
+    }
+    send_probe(sim, node, &h);
+    sim.schedule_in(interval, move |sim| load_tick(sim, node, h, interval, until));
+}
+
+/// Outcome of [`check_run`].
+pub struct RunReport {
+    /// The atomic broadcast property checker, already populated.
+    pub checker: AbcastChecker,
+    /// Stack-well-formedness assessment.
+    pub wellformed: props::Assessment,
+}
+
+impl RunReport {
+    /// Panic if any checked property is violated.
+    pub fn assert_ok(&self) {
+        self.checker.assert_ok();
+        assert!(
+            self.wellformed.weak,
+            "weak stack-well-formedness violated: {:?}",
+            self.wellformed.violations
+        );
+    }
+}
+
+/// Collect probe records and traces from a finished run and check the
+/// paper's correctness properties.
+pub fn check_run(sim: &mut Sim, h: &Handles) -> RunReport {
+    let ids = sim.stack_ids();
+    let mut checker = AbcastChecker::new(ids.iter().copied());
+    let Some(probe) = h.probe else {
+        panic!("check_run requires a probe");
+    };
+    for &id in &ids {
+        if sim.stack(id).is_crashed() {
+            // A crashed stack is exempt from liveness obligations, but
+            // its broadcasts and pre-crash deliveries still count for
+            // the uniform properties.
+            checker.record_crash(id);
+        }
+        let (sent, delivered) = sim.with_stack(id, |s| {
+            s.with_module::<Probe, _>(probe, |p| {
+                (p.sent().to_vec(), p.delivered().to_vec())
+            })
+            .expect("probe present")
+        });
+        for (msg, t) in sent {
+            checker.record_broadcast(msg, id, t);
+        }
+        for rec in delivered {
+            checker.record_delivery(rec.msg, id, rec.delivered_at);
+        }
+    }
+    let trace = sim.merged_trace();
+    let wellformed = props::check_stack_well_formedness(&trace);
+    RunReport { checker, wellformed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abcast_repl::ReplAbcastModule;
+    use crate::graceful::GracefulSwitcher;
+    use crate::maestro::MaestroSwitcher;
+    use dpu_protocols::abcast::ct::{CtAbcastParams, KIND as CT_KIND};
+    use dpu_protocols::abcast::ring::{RingAbcastParams, KIND as RING_KIND};
+    use dpu_protocols::abcast::sequencer::{SeqAbcastParams, KIND as SEQ_KIND};
+
+    fn ct_spec(namespace: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            CT_KIND,
+            &CtAbcastParams { namespace, ..CtAbcastParams::default() },
+        )
+    }
+
+    fn seq_spec(namespace: u64, service: &str) -> ModuleSpec {
+        ModuleSpec::with_params(
+            SEQ_KIND,
+            &SeqAbcastParams { namespace, service: service.to_string() },
+        )
+    }
+
+    fn ring_spec(namespace: u64) -> ModuleSpec {
+        ModuleSpec::with_params(
+            RING_KIND,
+            &RingAbcastParams { namespace, ..RingAbcastParams::default() },
+        )
+    }
+
+    fn run_with_switch(
+        layer: SwitchLayer,
+        initial: ModuleSpec,
+        new_spec: ModuleSpec,
+        n: u32,
+        seed: u64,
+    ) -> (Sim, Handles) {
+        let opts = GroupStackOpts { abcast: initial, layer, ..Default::default() };
+        let (mut sim, h) = group_sim(SimConfig::lan(n, seed), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        // Phase 1: messages before the switch.
+        for i in 0..n {
+            send_probe(&mut sim, StackId(i), &h);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        // The switch, from stack 1 (any stack may initiate).
+        request_change(&mut sim, StackId(1 % n), &h, &new_spec);
+        // Phase 2: messages racing the switch.
+        for i in 0..n {
+            send_probe(&mut sim, StackId(i), &h);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(6));
+        // Phase 3: messages after the switch.
+        for i in 0..n {
+            send_probe(&mut sim, StackId(i), &h);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(12));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        // Everything sent must have been delivered everywhere.
+        for id in sim.stack_ids() {
+            assert_eq!(
+                report.checker.delivery_count(id),
+                3 * n as usize,
+                "stack {id} missed deliveries"
+            );
+        }
+        (sim, h)
+    }
+
+    #[test]
+    fn repl_replaces_ct_by_ct_like_the_paper() {
+        // §6.2: "we replace the Chandra-Toueg ABcast protocol by the same
+        // protocol, while performing all steps of the replacement
+        // algorithm".
+        let (mut sim, h) = run_with_switch(SwitchLayer::Repl, ct_spec(0), ct_spec(1), 3, 42);
+        let layer = h.layer.unwrap();
+        for id in sim.stack_ids() {
+            let (sn, switches, undeliv) = sim.with_stack(id, |s| {
+                s.with_module::<ReplAbcastModule, _>(layer, |m| {
+                    (m.seq_number(), m.switches_applied(), m.undelivered_len())
+                })
+                .unwrap()
+            });
+            assert_eq!(sn, 1, "{id} must have bumped seqNumber");
+            assert_eq!(switches, 1);
+            assert_eq!(undeliv, 0, "{id} must have no stuck messages");
+        }
+    }
+
+    #[test]
+    fn repl_switches_ct_to_sequencer() {
+        run_with_switch(
+            SwitchLayer::Repl,
+            ct_spec(0),
+            seq_spec(1, dpu_protocols::ABCAST_SVC),
+            3,
+            7,
+        );
+    }
+
+    #[test]
+    fn repl_switches_sequencer_to_ring() {
+        run_with_switch(
+            SwitchLayer::Repl,
+            seq_spec(0, dpu_protocols::ABCAST_SVC),
+            ring_spec(1),
+            3,
+            9,
+        );
+    }
+
+    #[test]
+    fn repl_switch_with_seven_stacks() {
+        run_with_switch(SwitchLayer::Repl, ct_spec(0), ct_spec(1), 7, 11);
+    }
+
+    #[test]
+    fn maestro_switch_blocks_the_application() {
+        let (mut sim, h) =
+            run_with_switch(SwitchLayer::Maestro, ct_spec(0), ct_spec(1), 3, 5);
+        let layer = h.layer.unwrap();
+        for id in sim.stack_ids() {
+            let (switches, blocked) = sim.with_stack(id, |s| {
+                s.with_module::<MaestroSwitcher, _>(layer, |m| {
+                    (m.switches(), m.total_blocked())
+                })
+                .unwrap()
+            });
+            assert_eq!(switches, 1, "{id}");
+            assert!(
+                blocked > Dur::ZERO,
+                "{id}: Maestro must have blocked the application, got {blocked}"
+            );
+        }
+    }
+
+    #[test]
+    fn graceful_switch_via_alternate_slot() {
+        // GA's restriction: the new AAC must provide the pre-declared
+        // alternative slot.
+        let (mut sim, h) = run_with_switch(
+            SwitchLayer::Graceful,
+            ct_spec(0),
+            seq_spec(1, "abcast.alt"),
+            3,
+            13,
+        );
+        let layer = h.layer.unwrap();
+        for id in sim.stack_ids() {
+            let (switches, blocked, msgs) = sim.with_stack(id, |s| {
+                s.with_module::<GracefulSwitcher, _>(layer, |m| {
+                    (m.switches(), m.total_blocked(), m.coord_msgs())
+                })
+                .unwrap()
+            });
+            assert_eq!(switches, 1, "{id}");
+            // Three barrier phases cost coordination messages on every
+            // stack (replies) and extra on the coordinator.
+            assert!(msgs >= 2, "{id} sent only {msgs} coordination messages");
+            let _ = blocked; // blocked window may be tiny but exists
+        }
+    }
+
+    #[test]
+    fn graceful_slots_alternate_across_two_switches() {
+        // GA's pre-declared AAC slots: the first switch targets
+        // "abcast.alt", the second must target "abcast" again.
+        use crate::graceful::GracefulSwitcher;
+        let opts = GroupStackOpts {
+            layer: SwitchLayer::Graceful,
+            ..Default::default()
+        };
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 53), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        send_probe(&mut sim, StackId(0), &h);
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        // Switch 1: into the alternate slot.
+        request_change(&mut sim, StackId(0), &h, &seq_spec(1, "abcast.alt"));
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        let layer = h.layer.unwrap();
+        let inactive = sim.with_stack(StackId(0), |s| {
+            s.with_module::<GracefulSwitcher, _>(layer, |m| m.inactive_slot().clone())
+                .unwrap()
+        });
+        assert_eq!(inactive, ServiceId::new(dpu_protocols::ABCAST_SVC));
+        send_probe(&mut sim, StackId(1), &h);
+        sim.run_until(Time::ZERO + Dur::secs(7));
+        // Switch 2: back into the original slot.
+        request_change(&mut sim, StackId(1), &h, &ct_spec(2));
+        sim.run_until(Time::ZERO + Dur::secs(11));
+        send_probe(&mut sim, StackId(2), &h);
+        sim.run_until(Time::ZERO + Dur::secs(16));
+        for id in sim.stack_ids() {
+            let switches = sim.with_stack(id, |s| {
+                s.with_module::<GracefulSwitcher, _>(layer, |m| m.switches()).unwrap()
+            });
+            assert_eq!(switches, 2, "{id}");
+        }
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        for id in sim.stack_ids() {
+            assert_eq!(report.checker.delivery_count(id), 3, "{id}");
+        }
+    }
+
+    #[test]
+    fn no_layer_configuration_works_without_switching() {
+        let opts = GroupStackOpts {
+            layer: SwitchLayer::None,
+            ..Default::default()
+        };
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 3), &opts);
+        assert_eq!(h.top_service, ServiceId::new("abcast"));
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        for i in 0..3 {
+            send_probe(&mut sim, StackId(i), &h);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        check_run(&mut sim, &h).assert_ok();
+    }
+
+    #[test]
+    fn drive_load_generates_the_requested_rate() {
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 17), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        let until = sim.now() + Dur::secs(2);
+        drive_load(&mut sim, &h, 90.0, until);
+        sim.run_until(until + Dur::secs(4));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        let total = report.checker.broadcast_count();
+        // 90 msg/s for 2 s ≈ 180 messages (±1 per stack for edge ticks).
+        assert!((174..=186).contains(&total), "sent {total} messages");
+    }
+
+    #[test]
+    fn switch_under_load_loses_nothing() {
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 23), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        let until = sim.now() + Dur::secs(4);
+        drive_load(&mut sim, &h, 60.0, until);
+        let h2 = h.clone();
+        sim.schedule_in(Dur::secs(2), move |sim| {
+            request_change(sim, StackId(0), &h2, &ct_spec(1));
+        });
+        sim.run_until(until + Dur::secs(8));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        let sent = report.checker.broadcast_count();
+        for id in sim.stack_ids() {
+            assert_eq!(report.checker.delivery_count(id), sent, "stack {id}");
+        }
+    }
+
+    #[test]
+    fn gm_keeps_working_across_a_switch() {
+        use dpu_protocols::gm::{ops as gm_ops, GmModule, GmOp, View};
+        let opts = GroupStackOpts { with_gm: true, ..Default::default() };
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 31), &opts);
+        let gm = h.gm.unwrap();
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        // Request a view change, then switch protocols, then another view
+        // change; GM must install both views identically everywhere.
+        sim.with_stack(StackId(0), |s| {
+            s.call_as(
+                gm,
+                &ServiceId::new(dpu_protocols::GM_SVC),
+                gm_ops::REQUEST,
+                dpu_core::wire::to_bytes(&GmOp::Leave(StackId(2))),
+            )
+        });
+        sim.run_until(Time::ZERO + Dur::secs(3));
+        request_change(&mut sim, StackId(0), &h, &ct_spec(1));
+        sim.run_until(Time::ZERO + Dur::secs(6));
+        sim.with_stack(StackId(1), |s| {
+            s.call_as(
+                gm,
+                &ServiceId::new(dpu_protocols::GM_SVC),
+                gm_ops::REQUEST,
+                dpu_core::wire::to_bytes(&GmOp::Join(StackId(2))),
+            )
+        });
+        sim.run_until(Time::ZERO + Dur::secs(12));
+        let views: Vec<View> = sim
+            .stack_ids()
+            .into_iter()
+            .map(|id| {
+                sim.with_stack(id, |s| {
+                    s.with_module::<GmModule, _>(gm, |m| m.view().clone()).unwrap()
+                })
+            })
+            .collect();
+        assert_eq!(views[0].id, 2, "two view changes must have been applied");
+        assert_eq!(views[0].members, vec![StackId(0), StackId(1), StackId(2)]);
+        assert_eq!(views[1], views[0]);
+        assert_eq!(views[2], views[0]);
+    }
+
+    #[test]
+    fn concurrent_change_requests_resolve_to_one_switch() {
+        // Two stacks request a change at the same instant. Both requests
+        // ride the old protocol's total order: the first one ordered
+        // wins; the second arrives with a stale sn and is discarded
+        // identically on every stack (the line-10 guard).
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 41), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        request_change(&mut sim, StackId(0), &h, &ct_spec(1));
+        request_change(&mut sim, StackId(2), &h, &seq_spec(2, dpu_protocols::ABCAST_SVC));
+        for i in 0..3 {
+            send_probe(&mut sim, StackId(i), &h);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(8));
+        let layer = h.layer.unwrap();
+        let mut kinds = Vec::new();
+        for id in sim.stack_ids() {
+            let sn = sim.with_stack(id, |s| {
+                s.with_module::<ReplAbcastModule, _>(layer, |m| m.seq_number()).unwrap()
+            });
+            assert_eq!(sn, 1, "{id}: exactly one of the two requests applies");
+            let bound = sim.stack(id).bound(&ServiceId::new(dpu_protocols::ABCAST_SVC));
+            let kind =
+                sim.stack(id).module_kind(bound.expect("abcast bound")).unwrap().to_string();
+            kinds.push(kind);
+        }
+        // All stacks agree on *which* request won.
+        assert!(kinds.iter().all(|k| k == &kinds[0]), "winner differs: {kinds:?}");
+        check_run(&mut sim, &h).assert_ok();
+    }
+
+    #[test]
+    fn switch_request_from_every_stack_in_sequence() {
+        // n consecutive switches, initiated round-robin, targets cycling
+        // through all three protocols; everything stays consistent.
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 43), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        let specs_seq: Vec<ModuleSpec> = vec![
+            seq_spec(1, dpu_protocols::ABCAST_SVC),
+            ring_spec(2),
+            ct_spec(3),
+        ];
+        for (k, spec) in specs_seq.iter().enumerate() {
+            request_change(&mut sim, StackId(k as u32), &h, spec);
+            send_probe(&mut sim, StackId(k as u32), &h);
+            let t = sim.now() + Dur::secs(3);
+            sim.run_until(t);
+        }
+        sim.run_until(sim.now() + Dur::secs(6));
+        let layer = h.layer.unwrap();
+        for id in sim.stack_ids() {
+            let sn = sim.with_stack(id, |s| {
+                s.with_module::<ReplAbcastModule, _>(layer, |m| m.seq_number()).unwrap()
+            });
+            assert_eq!(sn, 3, "{id}");
+            let bound = sim.stack(id).bound(&ServiceId::new(dpu_protocols::ABCAST_SVC));
+            assert_eq!(
+                sim.stack(id).module_kind(bound.unwrap()),
+                Some("abcast.ct"),
+                "{id} ends on the final target"
+            );
+        }
+        check_run(&mut sim, &h).assert_ok();
+    }
+
+    #[test]
+    fn old_modules_remain_in_stack_after_unbind() {
+        // Paper §2: "Unbinding a module does not remove it from the
+        // stack". After a switch the old abcast module must still exist
+        // (and may respond), just unbound.
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 47), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        let old_bound =
+            sim.stack(StackId(0)).bound(&ServiceId::new(dpu_protocols::ABCAST_SVC)).unwrap();
+        request_change(&mut sim, StackId(0), &h, &ct_spec(1));
+        sim.run_until(Time::ZERO + Dur::secs(4));
+        let stack = sim.stack(StackId(0));
+        let new_bound = stack.bound(&ServiceId::new(dpu_protocols::ABCAST_SVC)).unwrap();
+        assert_ne!(old_bound, new_bound, "a fresh module is bound");
+        assert!(
+            stack.module_kind(old_bound).is_some(),
+            "the old module remains in the stack (unbound)"
+        );
+    }
+
+    #[test]
+    fn double_switch_back_and_forth() {
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 37), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        send_probe(&mut sim, StackId(0), &h);
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        request_change(&mut sim, StackId(0), &h, &seq_spec(1, dpu_protocols::ABCAST_SVC));
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        send_probe(&mut sim, StackId(1), &h);
+        sim.run_until(Time::ZERO + Dur::secs(7));
+        request_change(&mut sim, StackId(2), &h, &ct_spec(2));
+        sim.run_until(Time::ZERO + Dur::secs(10));
+        send_probe(&mut sim, StackId(2), &h);
+        sim.run_until(Time::ZERO + Dur::secs(16));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        let layer = h.layer.unwrap();
+        let sn = sim.with_stack(StackId(0), |s| {
+            s.with_module::<ReplAbcastModule, _>(layer, |m| m.seq_number()).unwrap()
+        });
+        assert_eq!(sn, 2, "two switches applied");
+        for id in sim.stack_ids() {
+            assert_eq!(report.checker.delivery_count(id), 3, "stack {id}");
+        }
+    }
+}

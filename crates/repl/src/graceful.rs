@@ -1,0 +1,505 @@
+//! Graceful-Adaptation-style baseline switcher (paper §4.2, after
+//! Chen, Hiltunen & Schlichting, *Constructing adaptive software in
+//! distributed systems*).
+//!
+//! Graceful Adaptation switches between pre-declared *Adaptation-Aware
+//! Components* (AACs) inside a component, coordinated by a Component
+//! Adaptor (CA) through three **barrier-synchronised** phases:
+//!
+//! 1. **prepare** — every stack instantiates the new AAC (traffic still
+//!    flows through the old one); barrier;
+//! 2. **deactivate** — every stack stops sending through the old AAC and
+//!    drains it (marker flush, run in parallel with the message flow as
+//!    the paper notes); barrier;
+//! 3. **activate** — every stack atomically redirects to the new AAC and
+//!    releases the (briefly) queued sends; done.
+//!
+//! The GA restriction the paper criticises is modelled faithfully: the
+//! alternative components must be *pre-declared* — this switcher requires
+//! exactly two service slots ([`GracefulParams::service`] and
+//! [`GracefulParams::alt`]) fixed at construction, and each switch target
+//! must provide whichever slot is currently inactive. A replacement whose
+//! protocol needs services outside the declared slots is impossible,
+//! whereas Algorithm 1's recursive `create_module` handles it.
+//!
+//! Compared to Maestro the application-blocked window is much shorter
+//! (only deactivate→activate, and the new component is pre-built), but
+//! the three barriers cost coordination messages and wall-clock time —
+//! both measured by `dpu-bench`'s `comparison`.
+
+use crate::CHANGE_OP;
+use bytes::{Bytes, BytesMut};
+use dpu_core::stack::ModuleCtx;
+use dpu_core::time::{Dur, Time};
+use dpu_core::wire::{Decode, Encode, WireError, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
+use dpu_net::dgram::{self, Dgram};
+use dpu_protocols::abcast::ops as ab_ops;
+use dpu_protocols::channels;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Module kind name, for factory registration.
+pub const KIND: &str = "graceful";
+
+/// Factory parameters of the Graceful-Adaptation-style switcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GracefulParams {
+    /// First AAC slot: the service name of the initially active protocol
+    /// (default [`dpu_protocols::ABCAST_SVC`]).
+    pub service: String,
+    /// Second AAC slot: the service name the *next* protocol must provide
+    /// (default `abcast.alt`). Slots alternate on every switch.
+    pub alt: String,
+}
+
+impl Default for GracefulParams {
+    fn default() -> Self {
+        GracefulParams {
+            service: dpu_protocols::ABCAST_SVC.to_string(),
+            alt: format!("{}.alt", dpu_protocols::ABCAST_SVC),
+        }
+    }
+}
+
+impl Encode for GracefulParams {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.service.encode(buf);
+        self.alt.encode(buf);
+    }
+}
+
+impl Decode for GracefulParams {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(GracefulParams { service: String::decode(buf)?, alt: String::decode(buf)? })
+    }
+}
+
+/// Payload envelope through the underlying atomic broadcast.
+enum Envelope {
+    Data { data: Bytes },
+    Marker { epoch: u64, from: StackId },
+}
+
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Envelope::Data { data } => {
+                0u32.encode(buf);
+                data.encode(buf);
+            }
+            Envelope::Marker { epoch, from } => {
+                1u32.encode(buf);
+                epoch.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        match u32::decode(buf)? {
+            0 => Ok(Envelope::Data { data: Bytes::decode(buf)? }),
+            1 => Ok(Envelope::Marker { epoch: u64::decode(buf)?, from: StackId::decode(buf)? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Coordination messages of the CA protocol (channel `GRACEFUL`).
+enum Coord {
+    Prepare { epoch: u64, spec: ModuleSpec, coord: StackId },
+    Prepared { epoch: u64, from: StackId },
+    Deactivate { epoch: u64 },
+    Deactivated { epoch: u64, from: StackId },
+    Activate { epoch: u64 },
+}
+
+impl Encode for Coord {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Coord::Prepare { epoch, spec, coord } => {
+                0u32.encode(buf);
+                epoch.encode(buf);
+                spec.encode(buf);
+                coord.encode(buf);
+            }
+            Coord::Prepared { epoch, from } => {
+                1u32.encode(buf);
+                epoch.encode(buf);
+                from.encode(buf);
+            }
+            Coord::Deactivate { epoch } => {
+                2u32.encode(buf);
+                epoch.encode(buf);
+            }
+            Coord::Deactivated { epoch, from } => {
+                3u32.encode(buf);
+                epoch.encode(buf);
+                from.encode(buf);
+            }
+            Coord::Activate { epoch } => {
+                4u32.encode(buf);
+                epoch.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Coord {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(match u32::decode(buf)? {
+            0 => Coord::Prepare {
+                epoch: u64::decode(buf)?,
+                spec: ModuleSpec::decode(buf)?,
+                coord: StackId::decode(buf)?,
+            },
+            1 => Coord::Prepared { epoch: u64::decode(buf)?, from: StackId::decode(buf)? },
+            2 => Coord::Deactivate { epoch: u64::decode(buf)? },
+            3 => Coord::Deactivated { epoch: u64::decode(buf)?, from: StackId::decode(buf)? },
+            4 => Coord::Activate { epoch: u64::decode(buf)? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// New AAC created; waiting for the CA's `Deactivate`.
+    Prepared,
+    /// Blocked; draining the old AAC with markers.
+    Deactivating,
+    /// Drained; waiting for the CA's `Activate`.
+    WaitActivate,
+}
+
+/// The Graceful-Adaptation-style switcher. See module docs.
+pub struct GracefulSwitcher {
+    slot_a: ServiceId,
+    slot_b: ServiceId,
+    active: ServiceId,
+    rp2p_svc: ServiceId,
+    provided: ServiceId,
+    epoch: u64,
+    phase: Phase,
+    coordinator: Option<StackId>,
+    markers_seen: BTreeSet<StackId>,
+    future_markers: BTreeSet<(u64, StackId)>,
+    prepared_seen: BTreeSet<StackId>,
+    deactivated_seen: BTreeSet<StackId>,
+    queued: VecDeque<Bytes>,
+    // ---- instrumentation ----
+    blocked_since: Option<Time>,
+    total_blocked: Dur,
+    switch_started: Option<Time>,
+    last_switch_duration: Option<Dur>,
+    switches: u64,
+    coord_msgs: u64,
+    delivered_count: u64,
+}
+
+impl GracefulSwitcher {
+    /// Build with explicit parameters.
+    pub fn new(params: GracefulParams) -> GracefulSwitcher {
+        let slot_a = ServiceId::new(&params.service);
+        let slot_b = ServiceId::new(&params.alt);
+        GracefulSwitcher {
+            provided: slot_a.replaced(),
+            active: slot_a.clone(),
+            slot_a,
+            slot_b,
+            rp2p_svc: ServiceId::new(dpu_net::RP2P_SVC),
+            epoch: 0,
+            phase: Phase::Idle,
+            coordinator: None,
+            markers_seen: BTreeSet::new(),
+            future_markers: BTreeSet::new(),
+            prepared_seen: BTreeSet::new(),
+            deactivated_seen: BTreeSet::new(),
+            queued: VecDeque::new(),
+            blocked_since: None,
+            total_blocked: Dur::ZERO,
+            switch_started: None,
+            last_switch_duration: None,
+            switches: 0,
+            coord_msgs: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// Register this module's factory under [`KIND`].
+    pub fn register(reg: &mut dpu_core::FactoryRegistry) {
+        reg.register(KIND, |spec: &ModuleSpec| {
+            let params = if spec.params.is_empty() {
+                GracefulParams::default()
+            } else {
+                spec.params::<GracefulParams>().unwrap_or_default()
+            };
+            Box::new(GracefulSwitcher::new(params))
+        });
+    }
+
+    /// Completed switches.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total virtual time the application spent blocked
+    /// (deactivate → activate windows only).
+    pub fn total_blocked(&self) -> Dur {
+        self.total_blocked
+    }
+
+    /// Duration of the last completed switch (prepare → activate).
+    pub fn last_switch_duration(&self) -> Option<Dur> {
+        self.last_switch_duration
+    }
+
+    /// Point-to-point coordination messages sent by this stack.
+    pub fn coord_msgs(&self) -> u64 {
+        self.coord_msgs
+    }
+
+    /// The service slot the next protocol must provide.
+    pub fn inactive_slot(&self) -> &ServiceId {
+        if self.active == self.slot_a {
+            &self.slot_b
+        } else {
+            &self.slot_a
+        }
+    }
+
+    /// Messages rAdelivered to the users above.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    fn send_coord(&mut self, ctx: &mut ModuleCtx<'_>, to: StackId, msg: &Coord) {
+        self.coord_msgs += 1;
+        let d = Dgram { peer: to, channel: channels::GRACEFUL, data: msg.to_bytes() };
+        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+    }
+
+    fn broadcast_coord(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Coord) {
+        for peer in ctx.peers().to_vec() {
+            self.send_coord(ctx, peer, msg);
+        }
+    }
+
+    fn maybe_deactivated(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if self.phase != Phase::Deactivating {
+            return;
+        }
+        let all: BTreeSet<StackId> = ctx.peers().iter().copied().collect();
+        if self.markers_seen != all {
+            return;
+        }
+        self.phase = Phase::WaitActivate;
+        let coord = self.coordinator.expect("coordinator set");
+        let epoch = self.epoch;
+        let me = ctx.stack_id();
+        self.send_coord(ctx, coord, &Coord::Deactivated { epoch, from: me });
+    }
+
+    fn activate(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if self.phase != Phase::WaitActivate {
+            return;
+        }
+        // Deactivate the old AAC (unbind marks it inactive; the module
+        // object remains, per the composition model) and flip the slot.
+        ctx.unbind(&self.active.clone());
+        self.active = self.inactive_slot().clone();
+        self.phase = Phase::Idle;
+        self.coordinator = None;
+        if let Some(since) = self.blocked_since.take() {
+            self.total_blocked += ctx.now().since(since);
+        }
+        if let Some(start) = self.switch_started.take() {
+            self.last_switch_duration = Some(ctx.now().since(start));
+        }
+        self.switches += 1;
+        while let Some(data) = self.queued.pop_front() {
+            let active = self.active.clone();
+            ctx.call(&active, ab_ops::ABCAST, Envelope::Data { data }.to_bytes());
+        }
+    }
+}
+
+impl Module for GracefulSwitcher {
+    fn kind(&self) -> &str {
+        KIND
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.provided.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        // The GA restriction: both AAC slots are declared up front.
+        vec![self.slot_a.clone(), self.slot_b.clone(), self.rp2p_svc.clone()]
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        match call.op {
+            ab_ops::ABCAST => {
+                if self.phase == Phase::Deactivating || self.phase == Phase::WaitActivate {
+                    // Brief blocking window between deactivate & activate.
+                    self.queued.push_back(call.data);
+                } else {
+                    let active = self.active.clone();
+                    ctx.call(&active, ab_ops::ABCAST, Envelope::Data { data: call.data }.to_bytes());
+                }
+            }
+            CHANGE_OP => {
+                if self.phase != Phase::Idle {
+                    return;
+                }
+                let Ok(spec) = call.decode::<ModuleSpec>() else { return };
+                let epoch = self.epoch + 1;
+                let me = ctx.stack_id();
+                self.switch_started = Some(ctx.now());
+                let msg = Coord::Prepare { epoch, spec, coord: me };
+                self.broadcast_coord(ctx, &msg);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if (resp.service == self.slot_a || resp.service == self.slot_b)
+            && resp.op == ab_ops::ADELIVER
+        {
+            let Ok(env) = resp.decode::<Envelope>() else { return };
+            match env {
+                Envelope::Data { data } => {
+                    self.delivered_count += 1;
+                    ctx.respond(&self.provided, ab_ops::ADELIVER, data);
+                }
+                Envelope::Marker { epoch, from } => {
+                    if epoch == self.epoch && self.phase == Phase::Deactivating {
+                        self.markers_seen.insert(from);
+                        self.maybe_deactivated(ctx);
+                    } else if epoch > self.epoch {
+                        self.future_markers.insert((epoch, from));
+                    }
+                }
+            }
+            return;
+        }
+        if resp.service == self.rp2p_svc && resp.op == dgram::RECV {
+            let Ok(d) = resp.decode::<Dgram>() else { return };
+            if d.channel != channels::GRACEFUL {
+                return;
+            }
+            let Ok(msg) = dpu_core::wire::from_bytes::<Coord>(&d.data) else { return };
+            let me = ctx.stack_id();
+            let all: BTreeSet<StackId> = ctx.peers().iter().copied().collect();
+            match msg {
+                Coord::Prepare { epoch, spec, coord } => {
+                    if self.phase != Phase::Idle || epoch <= self.epoch {
+                        return;
+                    }
+                    self.epoch = epoch;
+                    self.coordinator = Some(coord);
+                    self.markers_seen.clear();
+                    self.prepared_seen.clear();
+                    self.deactivated_seen.clear();
+                    // Phase 1: instantiate the new AAC; traffic still
+                    // flows through the old one.
+                    if let Err(e) = ctx.create_module(&spec) {
+                        panic!("graceful prepare failed on {me}: {e}");
+                    }
+                    self.phase = Phase::Prepared;
+                    self.send_coord(ctx, coord, &Coord::Prepared { epoch, from: me });
+                }
+                Coord::Prepared { epoch, from } => {
+                    if epoch != self.epoch || self.coordinator != Some(me) {
+                        return;
+                    }
+                    self.prepared_seen.insert(from);
+                    if self.prepared_seen == all {
+                        self.broadcast_coord(ctx, &Coord::Deactivate { epoch });
+                    }
+                }
+                Coord::Deactivate { epoch } => {
+                    if epoch != self.epoch || self.phase != Phase::Prepared {
+                        return;
+                    }
+                    // Phase 2: stop sending through the old AAC, drain it.
+                    self.phase = Phase::Deactivating;
+                    self.blocked_since = Some(ctx.now());
+                    let buffered: Vec<StackId> = self
+                        .future_markers
+                        .iter()
+                        .filter(|(e, _)| *e == epoch)
+                        .map(|&(_, s)| s)
+                        .collect();
+                    self.future_markers.retain(|(e, _)| *e > epoch);
+                    self.markers_seen.extend(buffered);
+                    let active = self.active.clone();
+                    ctx.call(
+                        &active,
+                        ab_ops::ABCAST,
+                        Envelope::Marker { epoch, from: me }.to_bytes(),
+                    );
+                    self.maybe_deactivated(ctx);
+                }
+                Coord::Deactivated { epoch, from } => {
+                    if epoch != self.epoch || self.coordinator != Some(me) {
+                        return;
+                    }
+                    self.deactivated_seen.insert(from);
+                    if self.deactivated_seen == all {
+                        self.broadcast_coord(ctx, &Coord::Activate { epoch });
+                    }
+                }
+                Coord::Activate { epoch } => {
+                    if epoch == self.epoch {
+                        self.activate(ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_core::wire;
+
+    #[test]
+    fn params_and_slots() {
+        let p = GracefulParams::default();
+        let b = wire::to_bytes(&p);
+        assert_eq!(wire::from_bytes::<GracefulParams>(&b).unwrap(), p);
+        let g = GracefulSwitcher::new(p);
+        assert_eq!(g.provides(), vec![ServiceId::new("r-abcast")]);
+        assert_eq!(g.inactive_slot(), &ServiceId::new("abcast.alt"));
+        assert!(g.requires().contains(&ServiceId::new("abcast")));
+        assert!(g.requires().contains(&ServiceId::new("abcast.alt")));
+    }
+
+    #[test]
+    fn coord_roundtrips() {
+        let msgs = [
+            Coord::Prepare { epoch: 1, spec: ModuleSpec::new("abcast.seq"), coord: StackId(2) },
+            Coord::Prepared { epoch: 1, from: StackId(0) },
+            Coord::Deactivate { epoch: 1 },
+            Coord::Deactivated { epoch: 1, from: StackId(1) },
+            Coord::Activate { epoch: 1 },
+        ];
+        for m in msgs {
+            let b = wire::to_bytes(&m);
+            assert!(wire::from_bytes::<Coord>(&b).is_ok());
+        }
+    }
+
+    #[test]
+    fn factory_registration() {
+        let mut reg = dpu_core::FactoryRegistry::new();
+        GracefulSwitcher::register(&mut reg);
+        assert!(reg.contains(KIND));
+    }
+}

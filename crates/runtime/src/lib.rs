@@ -1,0 +1,439 @@
+//! # dpu-runtime — a threaded real-time host for DPU stacks
+//!
+//! Runs the same [`Stack`]s as the deterministic simulator, but for real:
+//! one OS thread per stack, crossbeam channels as the (in-process)
+//! network, and the wall clock as the time source. This demonstrates that
+//! protocol modules are host-agnostic — the examples use it to run live
+//! protocol switches outside the simulator.
+//!
+//! ```no_run
+//! use dpu_core::{Stack, StackConfig, FactoryRegistry};
+//! use dpu_runtime::{Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::spawn(RuntimeConfig::new(3), |sc| {
+//!     Stack::new(sc, FactoryRegistry::new())
+//! });
+//! // interact via rt.with_stack(...), then:
+//! rt.shutdown();
+//! ```
+//!
+//! The host contract is identical to the simulator's: it executes
+//! [`HostAction`]s (sends, timers) and feeds packets/timer expirations
+//! back into the stack. Since real threads race, runs are *not*
+//! reproducible — use `dpu-sim` for experiments, this runtime for live
+//! demos and soak tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dpu_core::stack::HostAction;
+use dpu_core::time::{Dur, Time};
+use dpu_core::{Stack, StackConfig, StackId, TimerId};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the threaded runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of stacks (threads).
+    pub n: u32,
+    /// Seed mixed into each stack's deterministic RNG stream.
+    pub seed: u64,
+    /// Probability of dropping an in-flight packet (fault injection for
+    /// soak tests; uses an internal xorshift generator).
+    pub loss: f64,
+    /// Artificial per-packet delivery delay.
+    pub delay: Dur,
+    /// Record stack traces.
+    pub trace: bool,
+}
+
+impl RuntimeConfig {
+    /// `n` stacks with no fault injection.
+    pub fn new(n: u32) -> RuntimeConfig {
+        RuntimeConfig { n, seed: 0, loss: 0.0, delay: Dur::ZERO, trace: false }
+    }
+}
+
+/// Aggregate counters across all nodes.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Packets handed to the in-process network.
+    pub packets_sent: u64,
+    /// Packets dropped by the loss model.
+    pub packets_dropped: u64,
+}
+
+struct Packet {
+    src: StackId,
+    payload: Bytes,
+}
+
+type StackFn = Box<dyn FnOnce(&mut Stack) -> Box<dyn Any + Send> + Send>;
+
+enum Ctl {
+    /// Run a closure against the node's stack and send back the result.
+    With(StackFn, Sender<Box<dyn Any + Send>>),
+    /// Stop the node thread.
+    Stop,
+}
+
+struct NodeHandle {
+    ctl: Sender<Ctl>,
+    thread: Option<JoinHandle<Stack>>,
+}
+
+/// The threaded runtime. See crate docs.
+pub struct Runtime {
+    nodes: Vec<NodeHandle>,
+    start: Instant,
+    stats: Arc<Mutex<RuntimeStats>>,
+}
+
+struct NodeCtx {
+    stack: Stack,
+    packets: Receiver<Packet>,
+    ctl: Receiver<Ctl>,
+    switchboard: Vec<Sender<Packet>>,
+    start: Instant,
+    timers: BinaryHeap<Reverse<(Time, TimerId)>>,
+    stats: Arc<Mutex<RuntimeStats>>,
+    loss: f64,
+    delay: Dur,
+    rng: u64,
+}
+
+impl NodeCtx {
+    fn now(&self) -> Time {
+        Time(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn next_rand(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn perform(&mut self, actions: Vec<HostAction>) {
+        for action in actions {
+            match action {
+                HostAction::NetSend { dst, payload } => {
+                    self.stats.lock().packets_sent += 1;
+                    if self.loss > 0.0 && self.next_rand() < self.loss {
+                        self.stats.lock().packets_dropped += 1;
+                        continue;
+                    }
+                    if let Some(tx) = self.switchboard.get(dst.idx()) {
+                        // Ignore send errors: the destination may have
+                        // shut down already.
+                        let _ = tx.send(Packet { src: self.stack.id(), payload });
+                    }
+                }
+                HostAction::SetTimer { id, delay } => {
+                    self.timers.push(Reverse((self.now() + delay, id)));
+                }
+                HostAction::CancelTimer { .. } => {
+                    // The stack forgets cancelled timers; firing is a
+                    // no-op, so lazy cancellation suffices.
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Stack {
+        loop {
+            // 1. Drain due timers.
+            let now = self.now();
+            while let Some(Reverse((at, id))) = self.timers.peek().copied() {
+                if at > now {
+                    break;
+                }
+                self.timers.pop();
+                self.stack.timer_fired(now, id);
+            }
+            // 2. Run the stack until idle, executing host actions.
+            while self.stack.step(self.now()).is_some() {
+                let actions = self.stack.drain_actions();
+                if !actions.is_empty() {
+                    let delayed = self.delay;
+                    if delayed > Dur::ZERO {
+                        std::thread::sleep(delayed.to_std());
+                    }
+                    self.perform(actions);
+                }
+            }
+            // Actions can also be produced without a step (e.g. by a
+            // control closure); drain defensively.
+            let actions = self.stack.drain_actions();
+            if !actions.is_empty() {
+                self.perform(actions);
+            }
+            // 3. Sleep until the next timer or an external event.
+            let timeout = match self.timers.peek() {
+                Some(Reverse((at, _))) => at.since(self.now()).to_std(),
+                None => Duration::from_millis(50),
+            };
+            crossbeam::channel::select! {
+                recv(self.packets) -> pkt => {
+                    if let Ok(p) = pkt {
+                        let now = self.now();
+                        self.stack.packet_in(now, p.src, p.payload);
+                    }
+                }
+                recv(self.ctl) -> msg => {
+                    match msg {
+                        Ok(Ctl::With(f, reply)) => {
+                            let r = f(&mut self.stack);
+                            let _ = reply.send(r);
+                        }
+                        Ok(Ctl::Stop) | Err(_) => return self.stack,
+                    }
+                }
+                default(timeout) => {}
+            }
+        }
+    }
+}
+
+impl Runtime {
+    /// Spawn `cfg.n` stacks, one thread each. `mk_stack` builds each
+    /// stack from its [`StackConfig`].
+    pub fn spawn(cfg: RuntimeConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Runtime {
+        let start = Instant::now();
+        let stats = Arc::new(Mutex::new(RuntimeStats::default()));
+        let mut pkt_txs = Vec::new();
+        let mut pkt_rxs = Vec::new();
+        for _ in 0..cfg.n {
+            let (tx, rx) = unbounded::<Packet>();
+            pkt_txs.push(tx);
+            pkt_rxs.push(rx);
+        }
+        let mut nodes = Vec::new();
+        for (i, packets) in pkt_rxs.into_iter().enumerate() {
+            let sc = StackConfig {
+                id: StackId(i as u32),
+                peers: (0..cfg.n).map(StackId).collect(),
+                seed: cfg.seed,
+                trace: cfg.trace,
+            };
+            let stack = mk_stack(sc);
+            let (ctl_tx, ctl_rx) = unbounded::<Ctl>();
+            let ctx = NodeCtx {
+                stack,
+                packets,
+                ctl: ctl_rx,
+                switchboard: pkt_txs.clone(),
+                start,
+                timers: BinaryHeap::new(),
+                stats: Arc::clone(&stats),
+                loss: cfg.loss,
+                delay: cfg.delay,
+                rng: cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("dpu-node-{i}"))
+                .spawn(move || ctx.run())
+                .expect("spawn node thread");
+            nodes.push(NodeHandle { ctl: ctl_tx, thread: Some(thread) });
+        }
+        Runtime { nodes, start, stats }
+    }
+
+    /// Number of stacks.
+    pub fn n(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Wall-clock time since the runtime started, as virtual [`Time`].
+    pub fn now(&self) -> Time {
+        Time(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Aggregate network counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let s = self.stats.lock();
+        RuntimeStats { packets_sent: s.packets_sent, packets_dropped: s.packets_dropped }
+    }
+
+    /// Run a closure against the stack of node `id` (on its own thread)
+    /// and return the result. Blocks until the node services the request.
+    pub fn with_stack<R: Send + 'static>(
+        &self,
+        id: StackId,
+        f: impl FnOnce(&mut Stack) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        let wrapped: StackFn = Box::new(move |s| Box::new(f(s)) as Box<dyn Any + Send>);
+        self.nodes[id.idx()]
+            .ctl
+            .send(Ctl::With(wrapped, tx))
+            .expect("node thread alive");
+        let boxed = rx.recv().expect("node replies");
+        *boxed.downcast::<R>().expect("result type")
+    }
+
+    /// Stop all node threads and return the final stacks (for post-hoc
+    /// trace inspection).
+    pub fn shutdown(mut self) -> Vec<Stack> {
+        for node in &self.nodes {
+            let _ = node.ctl.send(Ctl::Stop);
+        }
+        self.nodes
+            .iter_mut()
+            .map(|n| n.thread.take().expect("not yet joined").join().expect("node thread"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
+    use dpu_core::wire::Encode;
+    use dpu_core::{Call, Module, Response, ServiceId};
+
+    /// Counts datagrams; replies "pong" to any "ping".
+    struct PingPong {
+        got: Vec<(StackId, Bytes)>,
+    }
+
+    impl Module for PingPong {
+        fn kind(&self) -> &str {
+            "pingpong"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new(dpu_core::svc::NET)]
+        }
+        fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+        fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+            if resp.op != net_ops::RECV {
+                return;
+            }
+            let (src, data): (StackId, Bytes) = resp.decode().unwrap();
+            if data.as_ref() == b"ping" {
+                let reply = (src, Bytes::from_static(b"pong")).to_bytes();
+                ctx.call(&ServiceId::new(dpu_core::svc::NET), net_ops::SEND, reply);
+            }
+            self.got.push((src, data));
+        }
+    }
+
+    const PP: dpu_core::ModuleId = dpu_core::ModuleId(2);
+
+    fn mk(sc: StackConfig) -> Stack {
+        let mut s = Stack::new(sc, FactoryRegistry::new());
+        s.add_module(Box::new(PingPong { got: vec![] }));
+        s
+    }
+
+    #[test]
+    fn ping_pong_roundtrip_between_threads() {
+        let rt = Runtime::spawn(RuntimeConfig::new(2), mk);
+        let data = (StackId(1), Bytes::from_static(b"ping")).to_bytes();
+        rt.with_stack(StackId(0), move |s| {
+            s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        // Wait for the exchange with a bounded poll.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let got = rt.with_stack(StackId(0), |s| {
+                s.with_module::<PingPong, _>(PP, |p| p.got.clone()).unwrap()
+            });
+            if got.iter().any(|(src, d)| *src == StackId(1) && d.as_ref() == b"pong") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no pong within 5s");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(rt.stats().packets_sent >= 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_real_time() {
+        struct TimerBeat {
+            beats: u32,
+        }
+        impl Module for TimerBeat {
+            fn kind(&self) -> &str {
+                "beat"
+            }
+            fn provides(&self) -> Vec<ServiceId> {
+                Vec::new()
+            }
+            fn requires(&self) -> Vec<ServiceId> {
+                Vec::new()
+            }
+            fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+                ctx.set_timer(Dur::millis(10), 1);
+            }
+            fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+            fn on_response(&mut self, _: &mut ModuleCtx<'_>, _: Response) {}
+            fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _: TimerId, _: u64) {
+                self.beats += 1;
+                if self.beats < 5 {
+                    ctx.set_timer(Dur::millis(10), 1);
+                }
+            }
+        }
+        let rt = Runtime::spawn(RuntimeConfig::new(1), |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(TimerBeat { beats: 0 }));
+            s
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let beats = rt.with_stack(StackId(0), |s| {
+                s.with_module::<TimerBeat, _>(PP, |b| b.beats).unwrap()
+            });
+            if beats >= 5 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "timers too slow: {beats}/5");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn loss_model_drops_packets() {
+        let mut cfg = RuntimeConfig::new(2);
+        cfg.loss = 1.0;
+        let rt = Runtime::spawn(cfg, mk);
+        let data = (StackId(1), Bytes::from_static(b"ping")).to_bytes();
+        rt.with_stack(StackId(0), move |s| {
+            s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let got = rt.with_stack(StackId(1), |s| {
+            s.with_module::<PingPong, _>(PP, |p| p.got.len()).unwrap()
+        });
+        assert_eq!(got, 0);
+        let stats = rt.stats();
+        assert_eq!(stats.packets_dropped, stats.packets_sent);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_final_stacks() {
+        let rt = Runtime::spawn(RuntimeConfig::new(3), mk);
+        let stacks = rt.shutdown();
+        assert_eq!(stacks.len(), 3);
+        for (i, s) in stacks.iter().enumerate() {
+            assert_eq!(s.id(), StackId(i as u32));
+        }
+    }
+}

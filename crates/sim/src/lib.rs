@@ -1,0 +1,684 @@
+//! # dpu-sim — deterministic discrete-event host for DPU stacks
+//!
+//! Stands in for the paper's evaluation testbed (a cluster of 7 PCs on
+//! switched 100 Mb/s Ethernet, §6.1). A [`Sim`] hosts `n` [`Stack`]s under
+//! a single virtual clock and models:
+//!
+//! * **the network** ([`NetConfig`]): per-hop propagation delay + jitter,
+//!   transmission delay from a configurable bandwidth, probabilistic loss
+//!   and duplication, and dynamic partitions — datagram semantics, like
+//!   the UDP the paper's stack bottoms out in;
+//! * **the CPU** ([`CpuConfig`]): each dispatched stack step occupies the
+//!   node's single CPU for a configurable service time, so load produces
+//!   queueing and the latency-vs-load curves of the paper's Figure 6 get
+//!   their characteristic knee;
+//! * **faults**: node crashes at arbitrary virtual times.
+//!
+//! Everything is driven from one seeded RNG, so a run is a pure function
+//! of `(configuration, seed)` — every figure in `EXPERIMENTS.md` is
+//! exactly reproducible.
+//!
+//! ```
+//! use dpu_core::{Stack, StackConfig, FactoryRegistry};
+//! use dpu_sim::{Sim, SimConfig};
+//! use dpu_core::time::{Time, Dur};
+//!
+//! let cfg = SimConfig::lan(3, 42);
+//! let mut sim = Sim::new(cfg, |sc| Stack::new(sc, FactoryRegistry::new()));
+//! sim.run_until(Time::ZERO + Dur::millis(10));
+//! assert_eq!(sim.now(), Time::ZERO + Dur::millis(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use dpu_core::stack::{HostAction, StepCategory};
+use dpu_core::time::{Dur, Time};
+use dpu_core::trace::TraceLog;
+use dpu_core::{Stack, StackConfig, StackId, TimerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Network model parameters (the paper's 100BaseTX switched Ethernet).
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Base one-way propagation + switching delay.
+    pub latency: Dur,
+    /// Uniform jitter added on top of `latency`: `[0, jitter)`.
+    pub jitter: Dur,
+    /// Link bandwidth in bits per second; transmission delay is
+    /// `8 * (size + header) / bandwidth`.
+    pub bandwidth_bps: u64,
+    /// Fixed per-datagram header bytes (UDP/IP/Ethernet framing).
+    pub header_bytes: usize,
+    /// Probability a datagram is dropped.
+    pub loss: f64,
+    /// Probability a datagram is duplicated (delivered twice).
+    pub duplicate: f64,
+}
+
+impl NetConfig {
+    /// A healthy switched 100 Mb/s LAN.
+    pub fn lan() -> NetConfig {
+        NetConfig {
+            latency: Dur::micros(60),
+            jitter: Dur::micros(30),
+            bandwidth_bps: 100_000_000,
+            header_bytes: 54,
+            loss: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// A lossy LAN for fault-injection tests.
+    pub fn lossy(loss: f64) -> NetConfig {
+        NetConfig { loss, ..NetConfig::lan() }
+    }
+}
+
+/// CPU model: virtual service time charged per dispatched stack step, by
+/// step category. Calibrated very roughly to the paper's Pentium III
+/// 766 MHz running a Java protocol framework — absolute values only shape
+/// the saturation point, not the comparative results.
+#[derive(Clone, Debug)]
+pub struct CpuConfig {
+    /// Cost of dispatching a service call.
+    pub call: Dur,
+    /// Cost of dispatching a response.
+    pub response: Dur,
+    /// Cost of a timer handler.
+    pub timer: Dur,
+    /// Cost of `on_start`.
+    pub start: Dur,
+    /// Cost of `on_stop`.
+    pub stop: Dur,
+}
+
+impl CpuConfig {
+    /// Default calibration (see module docs).
+    pub fn default_cal() -> CpuConfig {
+        CpuConfig {
+            call: Dur::micros(40),
+            response: Dur::micros(40),
+            timer: Dur::micros(15),
+            start: Dur::micros(80),
+            stop: Dur::micros(30),
+        }
+    }
+
+    /// Cost for a step category.
+    pub fn cost(&self, cat: StepCategory) -> Dur {
+        match cat {
+            StepCategory::Call => self.call,
+            StepCategory::Response => self.response,
+            StepCategory::Timer => self.timer,
+            StepCategory::Start => self.start,
+            StepCategory::Stop => self.stop,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of stacks (machines), ids `0..n`.
+    pub n: u32,
+    /// Master seed; all randomness (jitter, loss, per-stack RNG streams)
+    /// derives from it.
+    pub seed: u64,
+    /// Network model.
+    pub net: NetConfig,
+    /// CPU model.
+    pub cpu: CpuConfig,
+    /// Record traces in each stack (disable for long benchmark runs).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// `n` machines on a healthy LAN.
+    pub fn lan(n: u32, seed: u64) -> SimConfig {
+        SimConfig { n, seed, net: NetConfig::lan(), cpu: CpuConfig::default_cal(), trace: true }
+    }
+}
+
+/// Counters accumulated over a run (window them by snapshotting).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Datagrams handed to the network.
+    pub packets_sent: u64,
+    /// Datagrams dropped by the loss model or partitions.
+    pub packets_dropped: u64,
+    /// Datagrams delivered (duplicates counted).
+    pub packets_delivered: u64,
+    /// Payload bytes handed to the network (headers excluded).
+    pub bytes_sent: u64,
+    /// Stack steps dispatched across all nodes.
+    pub steps: u64,
+}
+
+enum EventKind {
+    PacketArrive { dst: StackId, src: StackId, payload: Bytes },
+    TimerFire { node: StackId, timer: TimerId },
+    NodeStep { node: StackId },
+    Crash { node: StackId },
+    Action(Box<dyn FnOnce(&mut Sim) + Send>),
+}
+
+// BinaryHeap is a max-heap; order by Reverse((at, seq)) for a stable
+// min-heap with FIFO tie-breaking.
+struct HeapEntry(Reverse<(Time, u64)>, EventKind);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+struct Node {
+    stack: Stack,
+    cpu_free: Time,
+    /// When this node's outbound link finishes its current transmission;
+    /// sends serialise behind it (NIC queueing).
+    nic_free: Time,
+    step_scheduled: bool,
+    crashed: bool,
+}
+
+/// The deterministic discrete-event host. See module docs.
+pub struct Sim {
+    cfg: SimConfig,
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<HeapEntry>,
+    nodes: Vec<Node>,
+    rng: SmallRng,
+    /// Ordered pairs `(a, b)` such that packets a→b are blocked.
+    partitions: BTreeSet<(StackId, StackId)>,
+    stats: SimStats,
+}
+
+impl Sim {
+    /// Build a simulation; `mk_stack` constructs each stack from its
+    /// [`StackConfig`] (attach factories, install modules, etc.).
+    pub fn new(cfg: SimConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Sim {
+        let nodes = (0..cfg.n)
+            .map(|i| {
+                let sc = StackConfig {
+                    id: StackId(i),
+                    peers: (0..cfg.n).map(StackId).collect(),
+                    seed: cfg.seed,
+                    trace: cfg.trace,
+                };
+                Node {
+                    stack: mk_stack(sc),
+                    cpu_free: Time::ZERO,
+                    nic_free: Time::ZERO,
+                    step_scheduled: false,
+                    crashed: false,
+                }
+            })
+            .collect();
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD1B54A32D192ED03);
+        let mut sim = Sim {
+            cfg,
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes,
+            rng,
+            partitions: BTreeSet::new(),
+            stats: SimStats::default(),
+        };
+        // Stacks are born with pending Start deliveries.
+        for i in 0..sim.nodes.len() {
+            sim.ensure_step(StackId(i as u32));
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of stacks.
+    pub fn n(&self) -> u32 {
+        self.cfg.n
+    }
+
+    /// All stack ids.
+    pub fn stack_ids(&self) -> Vec<StackId> {
+        (0..self.cfg.n).map(StackId).collect()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Immutable access to a stack.
+    pub fn stack(&self, id: StackId) -> &Stack {
+        &self.nodes[id.idx()].stack
+    }
+
+    /// Mutate a stack, then reschedule its CPU if the mutation produced
+    /// work. Use this (not direct field access) so injected calls run.
+    pub fn with_stack<R>(&mut self, id: StackId, f: impl FnOnce(&mut Stack) -> R) -> R {
+        let r = f(&mut self.nodes[id.idx()].stack);
+        self.after_stack_mutation(id);
+        r
+    }
+
+    fn after_stack_mutation(&mut self, id: StackId) {
+        // A direct mutation (e.g. install()) may have produced host
+        // actions; execute them and schedule the CPU.
+        let actions = self.nodes[id.idx()].stack.drain_actions();
+        self.perform_actions(id, self.now, actions);
+        self.ensure_step(id);
+    }
+
+    /// Schedule a closure to run at absolute virtual time `at` (clamped to
+    /// now).
+    pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut Sim) + Send + 'static) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Action(Box::new(f)));
+    }
+
+    /// Schedule a closure `delay` from now.
+    pub fn schedule_in(&mut self, delay: Dur, f: impl FnOnce(&mut Sim) + Send + 'static) {
+        self.schedule(self.now + delay, f);
+    }
+
+    /// Crash node `id` at time `at`.
+    pub fn crash_at(&mut self, at: Time, id: StackId) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Crash { node: id });
+    }
+
+    /// Block traffic in both directions between the two groups.
+    pub fn partition(&mut self, a: &[StackId], b: &[StackId]) {
+        for &x in a {
+            for &y in b {
+                self.partitions.insert((x, y));
+                self.partitions.insert((y, x));
+            }
+        }
+    }
+
+    /// Remove all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Change the loss probability from now on.
+    pub fn set_loss(&mut self, loss: f64) {
+        self.cfg.net.loss = loss;
+    }
+
+    /// Run until virtual time `t`, processing all events up to it.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(HeapEntry(Reverse((at, _)), _)) = self.heap.peek() {
+            if *at > t {
+                break;
+            }
+            self.pop_and_dispatch();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Run until no events remain or the cap is reached; returns the final
+    /// virtual time. Note: stacks with periodic timers never quiesce —
+    /// use [`Sim::run_until`] for those.
+    pub fn run_until_quiescent(&mut self, cap: Time) -> Time {
+        while let Some(HeapEntry(Reverse((at, _)), _)) = self.heap.peek() {
+            if *at > cap {
+                break;
+            }
+            self.pop_and_dispatch();
+        }
+        self.now
+    }
+
+    /// Merge and take the traces of all stacks.
+    pub fn merged_trace(&mut self) -> TraceLog {
+        let mut merged = TraceLog::new();
+        for node in &mut self.nodes {
+            let t = node.stack.take_trace();
+            merged.merge(&t);
+        }
+        merged
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry(Reverse((at, seq)), kind));
+    }
+
+    fn pop_and_dispatch(&mut self) {
+        let HeapEntry(Reverse((at, _)), kind) = self.heap.pop().expect("peeked");
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match kind {
+            EventKind::PacketArrive { dst, src, payload } => {
+                let node = &mut self.nodes[dst.idx()];
+                if node.crashed {
+                    return;
+                }
+                self.stats.packets_delivered += 1;
+                node.stack.packet_in(at, src, payload);
+                self.ensure_step(dst);
+            }
+            EventKind::TimerFire { node, timer } => {
+                let n = &mut self.nodes[node.idx()];
+                if n.crashed {
+                    return;
+                }
+                n.stack.timer_fired(at, timer);
+                self.ensure_step(node);
+            }
+            EventKind::NodeStep { node } => {
+                self.nodes[node.idx()].step_scheduled = false;
+                self.node_step(node, at);
+            }
+            EventKind::Crash { node } => {
+                let n = &mut self.nodes[node.idx()];
+                n.crashed = true;
+                n.stack.crash(at);
+            }
+            EventKind::Action(f) => f(self),
+        }
+    }
+
+    fn node_step(&mut self, id: StackId, at: Time) {
+        let node = &mut self.nodes[id.idx()];
+        if node.crashed {
+            return;
+        }
+        let Some(info) = node.stack.step(at) else { return };
+        self.stats.steps += 1;
+        let cost = self.cfg.cpu.cost(info.category);
+        node.cpu_free = at + cost;
+        let done = node.cpu_free;
+        let actions = node.stack.drain_actions();
+        self.perform_actions(id, done, actions);
+        self.ensure_step(id);
+    }
+
+    fn perform_actions(&mut self, id: StackId, when: Time, actions: Vec<HostAction>) {
+        for action in actions {
+            match action {
+                HostAction::NetSend { dst, payload } => self.net_send(id, dst, payload, when),
+                HostAction::SetTimer { id: timer, delay } => {
+                    self.push(when + delay, EventKind::TimerFire { node: id, timer });
+                }
+                // The stack already forgot cancelled timers; firing one is
+                // a no-op, so nothing to do here.
+                HostAction::CancelTimer { .. } => {}
+            }
+        }
+    }
+
+    fn net_send(&mut self, src: StackId, dst: StackId, payload: Bytes, when: Time) {
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        if dst.idx() >= self.nodes.len() || self.partitions.contains(&(src, dst)) {
+            self.stats.packets_dropped += 1;
+            return;
+        }
+        if self.cfg.net.loss > 0.0 && self.rng.gen::<f64>() < self.cfg.net.loss {
+            self.stats.packets_dropped += 1;
+            return;
+        }
+        // Serialise on the sender's outbound link: a burst of sends
+        // queues behind the NIC, which is what bends the latency-vs-load
+        // curves at high throughput.
+        let bits = 8 * (payload.len() + self.cfg.net.header_bytes) as u64;
+        let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / self.cfg.net.bandwidth_bps);
+        let depart = when.max(self.nodes[src.idx()].nic_free);
+        self.nodes[src.idx()].nic_free = depart + tx;
+        let copies =
+            if self.cfg.net.duplicate > 0.0 && self.rng.gen::<f64>() < self.cfg.net.duplicate {
+                2
+            } else {
+                1
+            };
+        for _ in 0..copies {
+            let jitter = if self.cfg.net.jitter.as_nanos() > 0 {
+                Dur::nanos(self.rng.gen_range(0..self.cfg.net.jitter.as_nanos()))
+            } else {
+                Dur::ZERO
+            };
+            let arrive = depart + tx + self.cfg.net.latency + jitter;
+            self.push(arrive, EventKind::PacketArrive { dst, src, payload: payload.clone() });
+        }
+    }
+
+    fn ensure_step(&mut self, id: StackId) {
+        let node = &mut self.nodes[id.idx()];
+        if node.crashed || node.step_scheduled || !node.stack.has_work() {
+            return;
+        }
+        node.step_scheduled = true;
+        let at = self.now.max(node.cpu_free);
+        self.push(at, EventKind::NodeStep { node: id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
+    use dpu_core::wire::{self, Encode};
+    use dpu_core::{Call, Module, Response, ServiceId};
+
+    /// A module that, on start, sends one datagram to every peer and
+    /// counts datagrams received.
+    struct Pinger {
+        received: Vec<(StackId, Bytes)>,
+    }
+
+    impl Module for Pinger {
+        fn kind(&self) -> &str {
+            "pinger"
+        }
+        fn provides(&self) -> Vec<ServiceId> {
+            Vec::new()
+        }
+        fn requires(&self) -> Vec<ServiceId> {
+            vec![ServiceId::new(dpu_core::svc::NET)]
+        }
+        fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let me = ctx.stack_id();
+            for peer in ctx.peers().to_vec() {
+                if peer != me {
+                    let data = (peer, Bytes::from(vec![me.0 as u8])).to_bytes();
+                    ctx.call(&ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data);
+                }
+            }
+        }
+        fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+        fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+            if resp.op == net_ops::RECV {
+                let (src, data): (StackId, Bytes) = resp.decode().unwrap();
+                self.received.push((src, data));
+            }
+        }
+    }
+
+    /// In every pinger stack: net bridge is m1, pinger is m2.
+    const PINGER: dpu_core::ModuleId = dpu_core::ModuleId(2);
+
+    fn pinger_sim(n: u32, seed: u64) -> Sim {
+        Sim::new(SimConfig::lan(n, seed), |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(Pinger { received: vec![] }));
+            s
+        })
+    }
+
+    fn received(sim: &mut Sim, id: u32) -> usize {
+        sim.with_stack(StackId(id), |s| {
+            s.with_module::<Pinger, _>(PINGER, |p| p.received.len()).unwrap()
+        })
+    }
+
+    #[test]
+    fn all_to_all_pings_arrive() {
+        let mut sim = pinger_sim(4, 1);
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        for i in 0..4u32 {
+            assert_eq!(received(&mut sim, i), 3, "stack {i} should get one ping per peer");
+        }
+        assert_eq!(sim.stats().packets_sent, 12);
+        assert_eq!(sim.stats().packets_delivered, 12);
+        assert_eq!(sim.stats().packets_dropped, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut sim = pinger_sim(5, seed);
+            sim.run_until(Time::ZERO + Dur::millis(5));
+            let stats = sim.stats().clone();
+            let trace_len = sim.merged_trace().len();
+            (stats, trace_len)
+        };
+        assert_eq!(run(7), run(7));
+        let (a, _) = run(7);
+        let (b, _) = run(8);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+    }
+
+    #[test]
+    fn loss_drops_packets() {
+        let mut cfg = SimConfig::lan(2, 3);
+        cfg.net.loss = 1.0;
+        let mut sim = Sim::new(cfg, |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(Pinger { received: vec![] }));
+            s
+        });
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert_eq!(sim.stats().packets_sent, 2);
+        assert_eq!(sim.stats().packets_dropped, 2);
+        assert_eq!(sim.stats().packets_delivered, 0);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut cfg = SimConfig::lan(2, 3);
+        cfg.net.duplicate = 1.0;
+        let mut sim = Sim::new(cfg, |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(Pinger { received: vec![] }));
+            s
+        });
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert_eq!(sim.stats().packets_delivered, 4);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut sim = pinger_sim(2, 9);
+        sim.partition(&[StackId(0)], &[StackId(1)]);
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert_eq!(sim.stats().packets_delivered, 0);
+        assert_eq!(sim.stats().packets_dropped, 2);
+        sim.heal_partitions();
+        let data = (StackId(1), Bytes::from_static(b"x")).to_bytes();
+        sim.with_stack(StackId(0), |s| {
+            s.call_as(PINGER, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        assert_eq!(sim.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut sim = pinger_sim(3, 5);
+        sim.crash_at(Time::ZERO, StackId(2));
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        // The crash event at t=0 was scheduled before any processing.
+        assert_eq!(received(&mut sim, 2), 0);
+        assert!(sim.stack(StackId(2)).is_crashed());
+    }
+
+    #[test]
+    fn scheduled_actions_run_in_order() {
+        let mut sim = pinger_sim(2, 5);
+        sim.schedule(Time::ZERO + Dur::millis(2), |sim| {
+            assert_eq!(sim.now(), Time::ZERO + Dur::millis(2));
+            sim.crash_at(sim.now(), StackId(1));
+        });
+        sim.schedule_in(Dur::millis(1), |sim| {
+            assert!(!sim.stack(StackId(1)).is_crashed());
+        });
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert!(sim.stack(StackId(1)).is_crashed());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = pinger_sim(2, 5);
+        sim.run_until(Time::ZERO + Dur::secs(1));
+        assert_eq!(sim.now(), Time::ZERO + Dur::secs(1));
+    }
+
+    #[test]
+    fn cpu_cost_serialises_steps_on_one_node() {
+        // With a huge per-step cost, a burst of packets takes multiple
+        // service times to process on the receiving node.
+        let mut cfg = SimConfig::lan(2, 11);
+        cfg.cpu.response = Dur::millis(10);
+        let mut sim = Sim::new(cfg, |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(Pinger { received: vec![] }));
+            s
+        });
+        for _ in 0..5 {
+            let data = (StackId(1), Bytes::from_static(b"x")).to_bytes();
+            sim.with_stack(StackId(0), |s| {
+                s.call_as(PINGER, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+            });
+        }
+        // Node 1 receives 6 datagrams in total: the startup ping from
+        // node 0 plus the 5 injected ones.
+        sim.run_until(Time::ZERO + Dur::millis(38));
+        let partial = received(&mut sim, 1);
+        assert!(partial < 6, "CPU queueing must spread processing out; got {partial}");
+        sim.run_until(Time::ZERO + Dur::millis(200));
+        assert_eq!(received(&mut sim, 1), 6);
+    }
+
+    #[test]
+    fn wire_roundtrip_through_sim_payloads() {
+        let payload = Bytes::from(vec![7u8; 100]);
+        let encoded = (StackId(1), payload.clone()).to_bytes();
+        let (dst, data): (StackId, Bytes) = wire::from_bytes(&encoded).unwrap();
+        assert_eq!(dst, StackId(1));
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn run_until_quiescent_stops_when_drained() {
+        let mut sim = pinger_sim(3, 13);
+        let end = sim.run_until_quiescent(Time::ZERO + Dur::secs(10));
+        assert!(end < Time::ZERO + Dur::secs(1), "pingers quiesce quickly, got {end}");
+        assert_eq!(sim.stats().packets_delivered, 6);
+    }
+}

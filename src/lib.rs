@@ -1,0 +1,24 @@
+//! # dpu — Dynamic Protocol Update
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Structural and Algorithmic Issues of Dynamic Protocol Update"*
+//! (Rütti, Wojciechowski, Schiper; IPDPS 2006).
+//!
+//! * [`core`] — the composition model (services, modules, stacks, dynamic
+//!   bindings) and the DPU correctness checkers;
+//! * [`sim`] — the deterministic discrete-event host;
+//! * [`net`] — UDP-like datagrams and reliable point-to-point;
+//! * [`protocols`] — failure detector, consensus, atomic broadcast
+//!   variants, group membership;
+//! * [`repl`] — the replacement module (Algorithm 1) and the baseline
+//!   switchers;
+//! * [`runtime`] — a threaded real-time host.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use dpu_core as core;
+pub use dpu_net as net;
+pub use dpu_protocols as protocols;
+pub use dpu_repl as repl;
+pub use dpu_runtime as runtime;
+pub use dpu_sim as sim;

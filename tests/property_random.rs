@@ -1,0 +1,115 @@
+//! Property-based integration tests: randomized schedules of loads,
+//! switch times and target protocols must always preserve the atomic
+//! broadcast properties and the generic DPU properties. Each case is a
+//! full multi-stack simulation, so the case count is kept moderate; the
+//! schedules cover the space broadly (seeded shrinking works as usual).
+
+use dpu::repl::builder::{
+    check_run, drive_load, group_sim, request_change, specs, GroupStackOpts, SwitchLayer,
+};
+use dpu::sim::SimConfig;
+use dpu_core::time::{Dur, Time};
+use dpu_core::{ModuleSpec, StackId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    Ct,
+    Seq,
+    Ring,
+}
+
+impl Target {
+    fn spec(self, ns: u64) -> ModuleSpec {
+        match self {
+            Target::Ct => specs::ct(ns),
+            Target::Seq => specs::seq(ns),
+            Target::Ring => specs::ring(ns),
+        }
+    }
+}
+
+fn target_strategy() -> impl Strategy<Value = Target> {
+    prop_oneof![Just(Target::Ct), Just(Target::Seq), Just(Target::Ring)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 32,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any sequence of 1–3 protocol switches at random times, under a
+    /// random load, on 3 or 5 stacks, with a random seed, preserves all
+    /// four atomic broadcast properties and weak well-formedness.
+    #[test]
+    fn random_switch_schedules_preserve_all_properties(
+        seed in 0u64..1_000,
+        n in prop_oneof![Just(3u32), Just(5u32)],
+        load in 20.0f64..80.0,
+        offsets_ms in proptest::collection::vec(300u64..2700, 1..=3),
+        targets in proptest::collection::vec(target_strategy(), 3),
+    ) {
+        let opts = GroupStackOpts {
+            abcast: specs::ct(0),
+            layer: SwitchLayer::Repl,
+            probe_pad: Some(8),
+            with_gm: false,
+            extra_defaults: Vec::new(),
+        };
+        let (mut sim, h) = group_sim(SimConfig::lan(n, seed), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        let until = sim.now() + Dur::secs(3);
+        drive_load(&mut sim, &h, load, until);
+        let mut sorted = offsets_ms.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (k, off) in sorted.iter().enumerate() {
+            let spec = targets[k % targets.len()].spec(k as u64 + 1);
+            let h2 = h.clone();
+            let initiator = StackId((k as u32) % n);
+            sim.schedule(Time::ZERO + Dur::millis(300 + off), move |sim| {
+                request_change(sim, initiator, &h2, &spec);
+            });
+        }
+        sim.run_until(until + Dur::secs(12));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        // Completeness: everything sent is delivered everywhere.
+        let sent = report.checker.broadcast_count();
+        for id in sim.stack_ids() {
+            prop_assert_eq!(report.checker.delivery_count(id), sent, "stack {}", id);
+        }
+    }
+
+    /// Random loss rates (up to 15%) with one switch still satisfy the
+    /// properties — the reliability machinery underneath recovers
+    /// everything.
+    #[test]
+    fn random_loss_with_switch_preserves_properties(
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.15,
+        switch_ms in 500u64..1500,
+    ) {
+        let mut cfg = SimConfig::lan(3, seed);
+        cfg.net.loss = loss;
+        let opts = GroupStackOpts {
+            abcast: specs::ct(0),
+            layer: SwitchLayer::Repl,
+            probe_pad: Some(8),
+            with_gm: false,
+            extra_defaults: Vec::new(),
+        };
+        let (mut sim, h) = group_sim(cfg, &opts);
+        sim.run_until(Time::ZERO + Dur::millis(300));
+        let until = sim.now() + Dur::secs(2);
+        drive_load(&mut sim, &h, 30.0, until);
+        let h2 = h.clone();
+        sim.schedule(Time::ZERO + Dur::millis(300 + switch_ms), move |sim| {
+            request_change(sim, StackId(1), &h2, &specs::ct(1));
+        });
+        sim.run_until(until + Dur::secs(25));
+        check_run(&mut sim, &h).assert_ok();
+    }
+}

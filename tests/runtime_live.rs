@@ -1,0 +1,125 @@
+//! Live-runtime integration tests: the same stacks the simulator proves
+//! correct run on OS threads with the wall clock, and the dynamic
+//! protocol update works there too (the paper's cluster experiment in
+//! miniature). Wall-clock tests are kept short and generous with
+//! deadlines to stay robust on loaded CI machines.
+
+use dpu::repl::builder::{build, specs, GroupStackOpts, SwitchLayer};
+use dpu::runtime::{Runtime, RuntimeConfig};
+use dpu_core::abcast_check::AbcastChecker;
+use dpu_core::probe::Probe;
+use dpu_core::{ModuleId, ServiceId, StackId};
+use dpu_protocols::abcast::ops as ab_ops;
+use dpu_repl::abcast_repl::ReplAbcastModule;
+use std::time::{Duration, Instant};
+
+fn opts() -> GroupStackOpts {
+    GroupStackOpts {
+        abcast: specs::ct(0),
+        layer: SwitchLayer::Repl,
+        probe_pad: Some(8),
+        with_gm: false,
+        extra_defaults: Vec::new(),
+    }
+}
+
+fn send(rt: &Runtime, node: u32, probe: ModuleId, top: &ServiceId) {
+    let top = top.clone();
+    let now = rt.now();
+    rt.with_stack(StackId(node), move |s| {
+        let payload = s
+            .with_module::<Probe, _>(probe, |p| p.next_payload(StackId(node), now))
+            .expect("probe");
+        s.call_as(probe, &top, ab_ops::ABCAST, payload);
+    });
+}
+
+fn wait_for_deliveries(rt: &Runtime, probe: ModuleId, n: u32, count: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = (0..n).all(|node| {
+            rt.with_stack(StackId(node), move |s| {
+                s.with_module::<Probe, _>(probe, |p| p.delivered().len()).expect("probe")
+            }) >= count
+        });
+        if done {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {count} deliveries");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn live_switch_preserves_total_order_across_threads() {
+    let o = opts();
+    let o2 = o.clone();
+    let rt = Runtime::spawn(RuntimeConfig::new(3), move |sc| build(sc, &o2).stack);
+    let h = build(dpu_core::StackConfig::nth(0, 3, 0), &o).handles;
+    let probe = h.probe.unwrap();
+    let layer = h.layer.unwrap();
+    let top = h.top_service.clone();
+
+    std::thread::sleep(Duration::from_millis(200));
+    for node in 0..3 {
+        send(&rt, node, probe, &top);
+    }
+    wait_for_deliveries(&rt, probe, 3, 3);
+
+    // Live switch, with messages racing it.
+    let spec = specs::seq(1);
+    let data = dpu_core::wire::to_bytes(&spec);
+    let top2 = top.clone();
+    rt.with_stack(StackId(1), move |s| s.call_as(probe, &top2, dpu_repl::CHANGE_OP, data));
+    for node in 0..3 {
+        send(&rt, node, probe, &top);
+    }
+    wait_for_deliveries(&rt, probe, 3, 6);
+
+    // Every stack switched exactly once and the four ABcast properties
+    // hold on the recorded probe logs.
+    let mut checker = AbcastChecker::new((0..3).map(StackId));
+    for node in 0..3 {
+        let sn = rt.with_stack(StackId(node), move |s| {
+            s.with_module::<ReplAbcastModule, _>(layer, |m| m.seq_number()).expect("repl")
+        });
+        assert_eq!(sn, 1, "stack {node}");
+        let (sent, delivered) = rt.with_stack(StackId(node), move |s| {
+            s.with_module::<Probe, _>(probe, |p| {
+                (p.sent().to_vec(), p.delivered().to_vec())
+            })
+            .expect("probe")
+        });
+        for (msg, t) in sent {
+            checker.record_broadcast(msg, StackId(node), t);
+        }
+        for rec in delivered {
+            checker.record_delivery(rec.msg, StackId(node), rec.delivered_at);
+        }
+    }
+    checker.assert_ok();
+    rt.shutdown();
+}
+
+#[test]
+fn live_stack_survives_lossy_network() {
+    let mut cfg = RuntimeConfig::new(3);
+    cfg.loss = 0.10;
+    let o = opts();
+    let o2 = o.clone();
+    let rt = Runtime::spawn(cfg, move |sc| build(sc, &o2).stack);
+    let h = build(dpu_core::StackConfig::nth(0, 3, 0), &o).handles;
+    let probe = h.probe.unwrap();
+    let top = h.top_service.clone();
+
+    std::thread::sleep(Duration::from_millis(200));
+    for round in 0..4 {
+        for node in 0..3 {
+            send(&rt, node, probe, &top);
+        }
+        wait_for_deliveries(&rt, probe, 3, (round + 1) * 3);
+    }
+    let stats = rt.stats();
+    assert!(stats.packets_dropped > 0, "loss model must have fired");
+    rt.shutdown();
+}
