@@ -53,7 +53,12 @@ impl Module for Sink {
 fn bench_dispatch(c: &mut Criterion) {
     let svc = ServiceId::new("echo");
     let mut stack = Stack::new(
-        StackConfig { id: dpu_core::StackId(0), peers: vec![dpu_core::StackId(0)], seed: 1, trace: false },
+        StackConfig {
+            id: dpu_core::StackId(0),
+            peers: vec![dpu_core::StackId(0)],
+            seed: 1,
+            trace: false,
+        },
         FactoryRegistry::new(),
     );
     let echo = stack.add_module(Box::new(Echo { svc: svc.clone() }));

@@ -27,9 +27,8 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| from_bytes::<ProbeMsg>(black_box(&encoded)).unwrap());
     });
 
-    let batch: Vec<(StackId, u64, Bytes)> = (0..32)
-        .map(|i| (StackId(i % 7), u64::from(i), Bytes::from(vec![0u8; 48])))
-        .collect();
+    let batch: Vec<(StackId, u64, Bytes)> =
+        (0..32).map(|i| (StackId(i % 7), u64::from(i), Bytes::from(vec![0u8; 48]))).collect();
     let batch_bytes = to_bytes(&batch);
     group.throughput(Throughput::Bytes(batch_bytes.len() as u64));
     group.bench_function("encode_consensus_batch_32", |b| {

@@ -88,10 +88,7 @@ fn main() {
     let rows = parallel_map(jobs, |(delay_ms, load)| {
         let spec = ModuleSpec::with_params(
             CT_KIND,
-            &CtAbcastParams {
-                batch_delay: Dur::millis(delay_ms),
-                ..CtAbcastParams::default()
-            },
+            &CtAbcastParams { batch_delay: Dur::millis(delay_ms), ..CtAbcastParams::default() },
         );
         let mut cfg = SimConfig::lan(3, seed);
         cfg.trace = false;

@@ -37,8 +37,13 @@ fn main() {
     for row in compare_switchers(&cfg) {
         println!(
             "{:<28}\t{:.3}\t{:.3}\t{}\t{:.4}\t{:.4}\t{}",
-            row.name, row.switch_ms, row.blocked_ms, row.coord_msgs, row.steady_ms,
-            row.peak_ms, row.messages
+            row.name,
+            row.switch_ms,
+            row.blocked_ms,
+            row.coord_msgs,
+            row.steady_ms,
+            row.peak_ms,
+            row.messages
         );
     }
 }

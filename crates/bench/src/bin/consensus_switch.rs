@@ -59,9 +59,8 @@ fn main() {
         let module = bound.unwrap();
         let (kind, decided) = sim.with_stack(id, |s| {
             let kind = s.module_kind(module).unwrap().to_string();
-            let decided = s
-                .with_module::<ConsensusModule, _>(module, |m| m.decided_count())
-                .unwrap();
+            let decided =
+                s.with_module::<ConsensusModule, _>(module, |m| m.decided_count()).unwrap();
             (kind, decided)
         });
         assert_eq!(kind, KIND_OFFSET);
@@ -69,9 +68,7 @@ fn main() {
     }
 
     let latencies = collect_latencies(&mut sim, &h);
-    let before = Summary::of(
-        latencies.iter().filter(|m| m.sent_at < trigger).map(|m| m.avg),
-    );
+    let before = Summary::of(latencies.iter().filter(|m| m.sent_at < trigger).map(|m| m.avg));
     let after = Summary::of(
         latencies.iter().filter(|m| m.sent_at >= trigger + Dur::millis(500)).map(|m| m.avg),
     );

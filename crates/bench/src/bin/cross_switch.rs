@@ -54,11 +54,8 @@ fn main() {
             let (start, end) = outcome.windows[0];
             let before = Summary::of_window(&outcome.latencies, Time::ZERO, start);
             let during = during_summary(&outcome);
-            let after = Summary::of_window(
-                &outcome.latencies,
-                end + Dur::millis(300),
-                cfg.measure_end(),
-            );
+            let after =
+                Summary::of_window(&outcome.latencies, end + Dur::millis(300), cfg.measure_end());
             println!(
                 "{from_name}\t{to_name}\t{:.4}\t{:.4}\t{:.4}\t{:.3}\t{}",
                 before.mean_ms,

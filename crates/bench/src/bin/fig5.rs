@@ -53,10 +53,7 @@ fn main() {
     let after = Summary::of_window(&outcome.latencies, end + margin, cfg.measure_end());
     println!("#\n# phase     \tmean_ms\tp95_ms\tmax_ms\tmsgs");
     for (name, s) in [("before", before), ("during", during), ("after", after)] {
-        println!(
-            "# {name:<10}\t{:.4}\t{:.4}\t{:.4}\t{}",
-            s.mean_ms, s.p95_ms, s.max_ms, s.n
-        );
+        println!("# {name:<10}\t{:.4}\t{:.4}\t{:.4}\t{}", s.mean_ms, s.p95_ms, s.max_ms, s.n);
     }
     println!(
         "# paper shape check: during-mean {:.2}x before-mean; after within {:.1}% of before",

@@ -145,11 +145,7 @@ pub fn run_repl_switches(
 /// The latency summary of messages sent inside any replacement window.
 pub fn during_summary(outcome: &SwitchOutcome) -> Summary {
     Summary::of(outcome.latencies.iter().filter_map(|m| {
-        outcome
-            .windows
-            .iter()
-            .any(|&(a, b)| m.sent_at >= a && m.sent_at < b)
-            .then_some(m.avg)
+        outcome.windows.iter().any(|&(a, b)| m.sent_at >= a && m.sent_at < b).then_some(m.avg)
     }))
 }
 
@@ -244,13 +240,9 @@ fn run_one_comparison(cfg: &ExpConfig, layer: SwitchLayer) -> CompareRow {
 
     let latencies = collect_latencies(&mut sim, &h);
     let steady = Summary::of(
-        latencies
-            .iter()
-            .filter(|m| m.sent_at < trigger || m.sent_at >= complete)
-            .map(|m| m.avg),
+        latencies.iter().filter(|m| m.sent_at < trigger || m.sent_at >= complete).map(|m| m.avg),
     );
-    let peak =
-        latencies.iter().map(|m| m.avg.as_millis_f64()).fold(0.0f64, f64::max);
+    let peak = latencies.iter().map(|m| m.avg.as_millis_f64()).fold(0.0f64, f64::max);
     CompareRow {
         name: match layer {
             SwitchLayer::Repl => "repl (Algorithm 1)",
@@ -295,8 +287,7 @@ pub fn fig6_point(n: u32, load: f64, mode: Fig6Mode, seed: u64) -> Summary {
                 durs.extend(
                     msgs.iter()
                         .filter(|m| {
-                            m.sent_at >= Time::ZERO + cfg.warmup
-                                && m.sent_at < cfg.measure_end()
+                            m.sent_at >= Time::ZERO + cfg.warmup && m.sent_at < cfg.measure_end()
                         })
                         .map(|m| m.avg),
                 );
@@ -306,8 +297,7 @@ pub fn fig6_point(n: u32, load: f64, mode: Fig6Mode, seed: u64) -> Summary {
                 durs.extend(
                     msgs.iter()
                         .filter(|m| {
-                            m.sent_at >= Time::ZERO + cfg.warmup
-                                && m.sent_at < cfg.measure_end()
+                            m.sent_at >= Time::ZERO + cfg.warmup && m.sent_at < cfg.measure_end()
                         })
                         .map(|m| m.avg),
                 );
@@ -330,14 +320,10 @@ pub fn fig6_point(n: u32, load: f64, mode: Fig6Mode, seed: u64) -> Summary {
 
 /// Run independent jobs on OS threads (one per job) and collect results
 /// in order — the parameter sweeps are embarrassingly parallel.
-pub fn parallel_map<T: Send, R: Send>(
-    items: Vec<T>,
-    f: impl Fn(T) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let f = &f;
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> =
-            items.into_iter().map(|item| scope.spawn(move |_| f(item))).collect();
+        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move |_| f(item))).collect();
         handles.into_iter().map(|h| h.join().expect("sweep job")).collect()
     })
     .expect("sweep scope")

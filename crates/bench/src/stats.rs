@@ -39,10 +39,8 @@ pub fn collect_latencies(sim: &mut Sim, h: &Handles) -> Vec<MsgLatency> {
         }
         live_stacks += 1;
         let (s, d) = sim.with_stack(id, |st| {
-            st.with_module::<Probe, _>(probe, |p| {
-                (p.sent().to_vec(), p.delivered().to_vec())
-            })
-            .expect("probe present")
+            st.with_module::<Probe, _>(probe, |p| (p.sent().to_vec(), p.delivered().to_vec()))
+                .expect("probe present")
         });
         for (msg, t) in s {
             sent.insert(msg, t);
@@ -105,11 +103,7 @@ impl Summary {
 
     /// Summarise the messages sent within `[from, to)`.
     pub fn of_window(msgs: &[MsgLatency], from: Time, to: Time) -> Summary {
-        Summary::of(
-            msgs.iter()
-                .filter(|m| m.sent_at >= from && m.sent_at < to)
-                .map(|m| m.avg),
-        )
+        Summary::of(msgs.iter().filter(|m| m.sent_at >= from && m.sent_at < to).map(|m| m.avg))
     }
 }
 

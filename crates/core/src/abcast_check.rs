@@ -170,10 +170,8 @@ impl AbcastChecker {
             if self.crashed.contains(sender) || !self.stacks.contains(sender) {
                 continue;
             }
-            let delivered = self
-                .deliveries
-                .get(sender)
-                .is_some_and(|d| d.iter().any(|(m, _)| m == msg));
+            let delivered =
+                self.deliveries.get(sender).is_some_and(|d| d.iter().any(|(m, _)| m == msg));
             if !delivered {
                 violations.push(AbcastViolation::Validity { msg: *msg });
             }
@@ -188,10 +186,7 @@ impl AbcastChecker {
         }
         for (msg, by) in &delivered_anywhere {
             for j in &correct {
-                let has = self
-                    .deliveries
-                    .get(j)
-                    .is_some_and(|d| d.iter().any(|(m, _)| m == msg));
+                let has = self.deliveries.get(j).is_some_and(|d| d.iter().any(|(m, _)| m == msg));
                 if !has {
                     violations.push(AbcastViolation::Agreement {
                         msg: *msg,
@@ -319,9 +314,7 @@ mod tests {
         c.record_delivery(msg(0, 0), sid(0), Time(1));
         c.record_delivery(msg(0, 0), sid(0), Time(2));
         let v = c.check();
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, AbcastViolation::DuplicateDelivery { times: 2, .. })));
+        assert!(v.iter().any(|x| matches!(x, AbcastViolation::DuplicateDelivery { times: 2, .. })));
     }
 
     #[test]

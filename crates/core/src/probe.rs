@@ -253,8 +253,7 @@ mod tests {
         while stack.step(t).is_some() {
             t = Time(t.0 + 50);
         }
-        let recs =
-            stack.with_module::<Probe, _>(probe_id, |p| p.delivered().to_vec()).unwrap();
+        let recs = stack.with_module::<Probe, _>(probe_id, |p| p.delivered().to_vec()).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].msg, (StackId(0), 0));
         assert_eq!(recs[0].sent_at, Time(100));

@@ -130,14 +130,13 @@ pub fn check_protocol_operationability(
                     v.push(Lifetime { created: *t, destroyed: None });
                 }
             }
-            TraceEvent::ModuleDestroyed { stack, module, kind: k }
-                if k == kind => {
-                    if let Some(idx) = open.remove(&(*stack, *module)) {
-                        if let Some(v) = lifetimes.get_mut(stack) {
-                            v[idx].destroyed = Some(*t);
-                        }
+            TraceEvent::ModuleDestroyed { stack, module, kind: k } if k == kind => {
+                if let Some(idx) = open.remove(&(*stack, *module)) {
+                    if let Some(v) = lifetimes.get_mut(stack) {
+                        v[idx].destroyed = Some(*t);
                     }
                 }
+            }
             _ => {}
         }
     }
@@ -191,11 +190,21 @@ mod tests {
         let mut log = TraceLog::new();
         log.push(
             Time(1),
-            TraceEvent::BlockedCall { stack: StackId(0), service: svc("p"), op: 1, from: ModuleId(1) },
+            TraceEvent::BlockedCall {
+                stack: StackId(0),
+                service: svc("p"),
+                op: 1,
+                from: ModuleId(1),
+            },
         );
         log.push(
             Time(2),
-            TraceEvent::ReleasedCall { stack: StackId(0), service: svc("p"), op: 1, from: ModuleId(1) },
+            TraceEvent::ReleasedCall {
+                stack: StackId(0),
+                service: svc("p"),
+                op: 1,
+                from: ModuleId(1),
+            },
         );
         let a = check_stack_well_formedness(&log);
         assert!(!a.strong);
@@ -208,7 +217,12 @@ mod tests {
         let mut log = TraceLog::new();
         log.push(
             Time(1),
-            TraceEvent::BlockedCall { stack: StackId(0), service: svc("p"), op: 1, from: ModuleId(1) },
+            TraceEvent::BlockedCall {
+                stack: StackId(0),
+                service: svc("p"),
+                op: 1,
+                from: ModuleId(1),
+            },
         );
         let a = check_stack_well_formedness(&log);
         assert!(!a.strong);
@@ -221,7 +235,12 @@ mod tests {
         let mut log = TraceLog::new();
         log.push(
             Time(1),
-            TraceEvent::BlockedCall { stack: StackId(0), service: svc("p"), op: 1, from: ModuleId(1) },
+            TraceEvent::BlockedCall {
+                stack: StackId(0),
+                service: svc("p"),
+                op: 1,
+                from: ModuleId(1),
+            },
         );
         log.push(Time(2), TraceEvent::Crash { stack: StackId(0) });
         let a = check_stack_well_formedness(&log);
@@ -286,10 +305,7 @@ mod tests {
     #[test]
     fn operationability_strong_when_all_stacks_have_module_at_bind() {
         let mut log = TraceLog::new();
-        push_all(
-            &mut log,
-            vec![created(0, 0, 1, "P"), created(0, 1, 1, "P"), bound(5, 0, 1)],
-        );
+        push_all(&mut log, vec![created(0, 0, 1, "P"), created(0, 1, 1, "P"), bound(5, 0, 1)]);
         let a = check_protocol_operationability(&log, "P", &[StackId(0), StackId(1)]);
         assert!(a.strong && a.weak);
     }

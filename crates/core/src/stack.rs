@@ -206,12 +206,7 @@ pub struct StackConfig {
 impl StackConfig {
     /// Configuration for stack `id` out of `n` stacks `0..n`.
     pub fn nth(id: u32, n: u32, seed: u64) -> StackConfig {
-        StackConfig {
-            id: StackId(id),
-            peers: (0..n).map(StackId).collect(),
-            seed,
-            trace: true,
-        }
+        StackConfig { id: StackId(id), peers: (0..n).map(StackId).collect(), seed, trace: true }
     }
 }
 
@@ -458,10 +453,8 @@ impl Stack {
                 );
             }
         }
-        self.trace.push(
-            self.now,
-            TraceEvent::Bind { stack: self.id, service: service.clone(), module },
-        );
+        self.trace
+            .push(self.now, TraceEvent::Bind { stack: self.id, service: service.clone(), module });
         if let Some(mut blocked) = self.waiting.remove(service) {
             for call in blocked.drain(..) {
                 self.trace.push(
@@ -496,12 +489,8 @@ impl Stack {
         if !self.modules.contains_key(&id) {
             return;
         }
-        let bound_services: Vec<ServiceId> = self
-            .bindings
-            .iter()
-            .filter(|(_, m)| **m == id)
-            .map(|(s, _)| s.clone())
-            .collect();
+        let bound_services: Vec<ServiceId> =
+            self.bindings.iter().filter(|(_, m)| **m == id).map(|(s, _)| s.clone()).collect();
         for svc in bound_services {
             self.unbind(&svc);
         }
@@ -550,8 +539,7 @@ impl Stack {
             .get(&resp.service)
             .map(|v| v.iter().copied().filter(|m| *m != resp.from).collect())
             .unwrap_or_default();
-        let live: Vec<ModuleId> =
-            to.into_iter().filter(|m| self.modules.contains_key(m)).collect();
+        let live: Vec<ModuleId> = to.into_iter().filter(|m| self.modules.contains_key(m)).collect();
         self.trace.push(
             self.now,
             TraceEvent::Response {
@@ -661,12 +649,8 @@ impl Stack {
 
     fn remove_module_records(&mut self, id: ModuleId) {
         self.modules.remove(&id);
-        let bound: Vec<ServiceId> = self
-            .bindings
-            .iter()
-            .filter(|(_, m)| **m == id)
-            .map(|(s, _)| s.clone())
-            .collect();
+        let bound: Vec<ServiceId> =
+            self.bindings.iter().filter(|(_, m)| **m == id).map(|(s, _)| s.clone()).collect();
         for svc in bound {
             self.unbind(&svc);
         }
@@ -749,12 +733,7 @@ impl ModuleCtx<'_> {
     /// Call a service (paper: "service call"). If the service is unbound
     /// the call blocks until a module is bound.
     pub fn call(&mut self, service: &ServiceId, op: Op, data: Bytes) {
-        self.stack.enqueue_call(Call {
-            service: service.clone(),
-            op,
-            data,
-            from: self.me,
-        });
+        self.stack.enqueue_call(Call { service: service.clone(), op, data, from: self.me });
     }
 
     /// Respond on a service this module provides (paper: "service
@@ -762,12 +741,7 @@ impl ModuleCtx<'_> {
     /// requires the service (excluding this module itself). Note that a
     /// module may respond even after being unbound.
     pub fn respond(&mut self, service: &ServiceId, op: Op, data: Bytes) {
-        self.stack.enqueue_response(Response {
-            service: service.clone(),
-            op,
-            data,
-            from: self.me,
-        });
+        self.stack.enqueue_response(Response { service: service.clone(), op, data, from: self.me });
     }
 
     /// Arm a one-shot timer; `tag` is returned to
@@ -1088,9 +1062,7 @@ mod tests {
         reg.register("middle", |_| {
             Box::new(Svc { name: "mid", kind_name: "middle", deps: vec!["low"] })
         });
-        reg.register("lower", |_| {
-            Box::new(Svc { name: "low", kind_name: "lower", deps: vec![] })
-        });
+        reg.register("lower", |_| Box::new(Svc { name: "low", kind_name: "lower", deps: vec![] }));
         let mut stack = Stack::new(StackConfig::nth(0, 1, 7), reg);
         stack.set_default_provider(ServiceId::new("mid"), ModuleSpec::new("middle"));
         stack.set_default_provider(ServiceId::new("low"), ModuleSpec::new("lower"));
@@ -1142,11 +1114,7 @@ mod tests {
         stack.packet_in(Time(7), StackId(1), Bytes::new());
         stack.timer_fired(Time(8), TimerId(1));
         assert!(!stack.has_work());
-        assert!(stack
-            .trace()
-            .events()
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::Crash { .. })));
+        assert!(stack.trace().events().iter().any(|(_, e)| matches!(e, TraceEvent::Crash { .. })));
     }
 
     #[test]

@@ -261,10 +261,22 @@ mod tests {
         let s = StackId(3);
         let svc = ServiceId::new("p");
         let evs = vec![
-            TraceEvent::Call { stack: s, service: svc.clone(), op: 0, from: ModuleId(1), to: ModuleId(2) },
+            TraceEvent::Call {
+                stack: s,
+                service: svc.clone(),
+                op: 0,
+                from: ModuleId(1),
+                to: ModuleId(2),
+            },
             TraceEvent::BlockedCall { stack: s, service: svc.clone(), op: 0, from: ModuleId(1) },
             TraceEvent::ReleasedCall { stack: s, service: svc.clone(), op: 0, from: ModuleId(1) },
-            TraceEvent::Response { stack: s, service: svc.clone(), op: 0, from: ModuleId(1), fanout: 2 },
+            TraceEvent::Response {
+                stack: s,
+                service: svc.clone(),
+                op: 0,
+                from: ModuleId(1),
+                fanout: 2,
+            },
             TraceEvent::Bind { stack: s, service: svc.clone(), module: ModuleId(1) },
             TraceEvent::Unbind { stack: s, service: svc.clone(), module: ModuleId(1) },
             TraceEvent::ModuleCreated { stack: s, module: ModuleId(1), kind: "k".into() },

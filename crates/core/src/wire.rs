@@ -417,7 +417,8 @@ mod tests {
 
     #[test]
     fn varint_overflow_is_an_error() {
-        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        let mut b =
+            Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
         assert_eq!(get_uvarint(&mut b), Err(WireError::VarintOverflow));
     }
 
@@ -476,10 +477,7 @@ mod tests {
         let mut buf = BytesMut::new();
         put_uvarint(&mut buf, 1_000_000);
         buf.put_u8(0);
-        assert!(matches!(
-            Vec::<u8>::from_bytes(&buf.freeze()),
-            Err(WireError::BadLength(_))
-        ));
+        assert!(matches!(Vec::<u8>::from_bytes(&buf.freeze()), Err(WireError::BadLength(_))));
     }
 
     #[test]
@@ -487,10 +485,7 @@ mod tests {
         let mut buf = BytesMut::new();
         7u32.encode(&mut buf);
         buf.put_u8(9); // trailing garbage
-        assert!(matches!(
-            u32::from_bytes(&buf.freeze()),
-            Err(WireError::BadLength(1))
-        ));
+        assert!(matches!(u32::from_bytes(&buf.freeze()), Err(WireError::BadLength(1))));
     }
 
     #[test]

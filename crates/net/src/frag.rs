@@ -148,11 +148,7 @@ impl FragModule {
 
     fn send_fragment(&mut self, ctx: &mut ModuleCtx<'_>, dst: StackId, frag: Fragment) {
         self.fragments_sent += 1;
-        let d = Dgram {
-            peer: dst,
-            channel: crate::FRAG_UDP_CHANNEL,
-            data: frag.to_bytes(),
-        };
+        let d = Dgram { peer: dst, channel: crate::FRAG_UDP_CHANNEL, data: frag.to_bytes() };
         ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
     }
 
@@ -221,13 +217,8 @@ impl Module for FragModule {
         for index in 0..count {
             let lo = index as usize * mtu;
             let hi = (lo + mtu).min(d.data.len());
-            let frag = Fragment {
-                msg_id,
-                index,
-                count,
-                channel: d.channel,
-                data: d.data.slice(lo..hi),
-            };
+            let frag =
+                Fragment { msg_id, index, count, channel: d.channel, data: d.data.slice(lo..hi) };
             self.send_fragment(ctx, d.peer, frag);
         }
     }
@@ -294,11 +285,7 @@ mod tests {
     }
 
     fn send_big(sim: &mut Sim, from: u32, to: u32, size: usize, fill: u8) {
-        let d = Dgram {
-            peer: StackId(to),
-            channel: 5,
-            data: Bytes::from(vec![fill; size]),
-        };
+        let d = Dgram { peer: StackId(to), channel: 5, data: Bytes::from(vec![fill; size]) };
         sim.with_stack(StackId(from), |s| {
             s.call_as(SINK, &ServiceId::new(crate::FRAG_SVC), dgram::SEND, wire::to_bytes(&d))
         });
@@ -309,9 +296,8 @@ mod tests {
         let mut sim = Sim::new(SimConfig::lan(2, 1), mk_stack);
         send_big(&mut sim, 0, 1, 100, 7);
         sim.run_until(Time::ZERO + Dur::millis(50));
-        let got = sim.with_stack(StackId(1), |s| {
-            s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap()
-        });
+        let got = sim
+            .with_stack(StackId(1), |s| s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap());
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].data.len(), 100);
         let frags = sim.with_stack(StackId(0), |s| {
@@ -326,9 +312,8 @@ mod tests {
         let size = 10_000; // 8 fragments at mtu 1400
         send_big(&mut sim, 0, 1, size, 9);
         sim.run_until(Time::ZERO + Dur::millis(100));
-        let got = sim.with_stack(StackId(1), |s| {
-            s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap()
-        });
+        let got = sim
+            .with_stack(StackId(1), |s| s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap());
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].channel, 5);
         assert_eq!(got[0].data, Bytes::from(vec![9u8; size]));
@@ -345,9 +330,8 @@ mod tests {
         send_big(&mut sim, 1, 2, 5_000, 2);
         send_big(&mut sim, 0, 2, 3_000, 3);
         sim.run_until(Time::ZERO + Dur::millis(200));
-        let got = sim.with_stack(StackId(2), |s| {
-            s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap()
-        });
+        let got = sim
+            .with_stack(StackId(2), |s| s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap());
         assert_eq!(got.len(), 3);
         for d in &got {
             let first = d.data[0];
@@ -364,9 +348,8 @@ mod tests {
             send_big(&mut sim, 0, 1, 4_000, i);
         }
         sim.run_until(Time::ZERO + Dur::secs(1));
-        let got = sim.with_stack(StackId(1), |s| {
-            s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap()
-        });
+        let got = sim
+            .with_stack(StackId(1), |s| s.with_module::<Sink, _>(SINK, |k| k.got.clone()).unwrap());
         // Unreliable by design: some messages may be lost, but whatever
         // arrives is complete and uncorrupted.
         assert!(got.len() < 5, "50% fragment loss must lose some message");
@@ -402,18 +385,9 @@ mod tests {
         cfg.net.loss = 0.25;
         let mut sim = Sim::new(cfg, mk);
         for i in 0..4u8 {
-            let d = Dgram {
-                peer: StackId(1),
-                channel: 5,
-                data: Bytes::from(vec![i; 6_000]),
-            };
+            let d = Dgram { peer: StackId(1), channel: 5, data: Bytes::from(vec![i; 6_000]) };
             sim.with_stack(StackId(0), |s| {
-                s.call_as(
-                    SINK5,
-                    &ServiceId::new(crate::RP2P_SVC),
-                    dgram::SEND,
-                    wire::to_bytes(&d),
-                )
+                s.call_as(SINK5, &ServiceId::new(crate::RP2P_SVC), dgram::SEND, wire::to_bytes(&d))
             });
         }
         sim.run_until(Time::ZERO + Dur::secs(20));
@@ -453,11 +427,8 @@ mod tests {
                 channel: 5,
                 data: Bytes::from_static(b"half"),
             };
-            let d = Dgram {
-                peer: StackId(1),
-                channel: crate::FRAG_UDP_CHANNEL,
-                data: frag.to_bytes(),
-            };
+            let d =
+                Dgram { peer: StackId(1), channel: crate::FRAG_UDP_CHANNEL, data: frag.to_bytes() };
             sim.with_stack(StackId(0), |s| {
                 s.call_as(SINK, &ServiceId::new(crate::UDP_SVC), dgram::SEND, wire::to_bytes(&d))
             });

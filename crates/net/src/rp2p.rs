@@ -57,10 +57,7 @@ impl Encode for Rp2pConfig {
 
 impl Decode for Rp2pConfig {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        Ok(Rp2pConfig {
-            retransmit: Dur::nanos(u64::decode(buf)?),
-            lower: String::decode(buf)?,
-        })
+        Ok(Rp2pConfig { retransmit: Dur::nanos(u64::decode(buf)?), lower: String::decode(buf)? })
     }
 }
 
@@ -263,9 +260,7 @@ impl Module for Rp2pModule {
             .out
             .iter()
             .flat_map(|(&peer, pout)| {
-                pout.unacked
-                    .iter()
-                    .map(move |(&seq, (ch, data))| (peer, seq, *ch, data.clone()))
+                pout.unacked.iter().map(move |(&seq, (ch, data))| (peer, seq, *ch, data.clone()))
             })
             .collect();
         for (peer, seq, channel, data) in pending {
@@ -324,11 +319,7 @@ mod tests {
     }
 
     fn send(sim: &mut Sim, from: u32, to: u32, tagbyte: u8) {
-        let d = Dgram {
-            peer: StackId(to),
-            channel: 5,
-            data: Bytes::from(vec![tagbyte]),
-        };
+        let d = Dgram { peer: StackId(to), channel: 5, data: Bytes::from(vec![tagbyte]) };
         sim.with_stack(StackId(from), |s| {
             s.call_as(SINK, &ServiceId::new(crate::RP2P_SVC), dgram::SEND, wire::to_bytes(&d))
         });

@@ -175,8 +175,7 @@ impl CtAbcastModule {
 
     fn gossip(&self, ctx: &mut ModuleCtx<'_>, key: MsgKey, data: &Bytes) {
         let me = ctx.stack_id();
-        let frame =
-            Gossip { ns: self.params.namespace, key, data: data.clone() }.to_bytes();
+        let frame = Gossip { ns: self.params.namespace, key, data: data.clone() }.to_bytes();
         for peer in ctx.peers().to_vec() {
             if peer == me {
                 continue;
@@ -215,11 +214,7 @@ impl CtAbcastModule {
             .map(|(&(origin, seq), data)| (origin, seq, data.clone()))
             .collect();
         let value = batch.to_bytes();
-        ctx.call(
-            &self.cons_svc,
-            cons_ops::PROPOSE,
-            (self.params.namespace, k, value).to_bytes(),
-        );
+        ctx.call(&self.cons_svc, cons_ops::PROPOSE, (self.params.namespace, k, value).to_bytes());
     }
 
     fn drain_decisions(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -266,12 +261,7 @@ impl Module for CtAbcastModule {
         self.try_propose(ctx, false);
     }
 
-    fn on_timer(
-        &mut self,
-        ctx: &mut ModuleCtx<'_>,
-        _timer: dpu_core::TimerId,
-        tag: u64,
-    ) {
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _timer: dpu_core::TimerId, tag: u64) {
         if tag == TAG_BATCH {
             self.batch_timer_armed = false;
             let k = self.next_instance;
@@ -510,10 +500,7 @@ mod tests {
         };
         let eager = run(Dur::ZERO);
         let batched = run(Dur::millis(5));
-        assert!(
-            batched < eager,
-            "batching must use fewer instances: {batched} vs {eager}"
-        );
+        assert!(batched < eager, "batching must use fewer instances: {batched} vs {eager}");
         assert_eq!(batched, 1, "a 5ms window should capture the whole burst");
     }
 

@@ -95,10 +95,7 @@ pub(crate) mod testkit {
     pub const APP: ModuleId = ModuleId(7);
 
     /// Build the standard stack with `mk_abcast` supplying the variant.
-    pub fn mk_stack(
-        sc: StackConfig,
-        mk_abcast: impl FnOnce() -> Box<dyn Module>,
-    ) -> Stack {
+    pub fn mk_stack(sc: StackConfig, mk_abcast: impl FnOnce() -> Box<dyn Module>) -> Stack {
         let mut s = Stack::new(sc, FactoryRegistry::new());
         let udp = s.add_module(Box::new(UdpModule::new()));
         let rp2p = s.add_module(Box::new(Rp2pModule::new(Rp2pConfig::default())));

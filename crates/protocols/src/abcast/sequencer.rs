@@ -287,8 +287,7 @@ mod tests {
     #[test]
     fn namespace_filtering_drops_foreign_frames() {
         let p1 = SeqAbcastParams { namespace: 1, service: "abcast".into() };
-        let frame_bytes =
-            encode_frame(2, &Frame::Order { seq: 0, data: Bytes::from_static(b"x") });
+        let frame_bytes = encode_frame(2, &Frame::Order { seq: 0, data: Bytes::from_static(b"x") });
         let (ns, _) = decode_frame(&frame_bytes).unwrap();
         assert_eq!(ns, 2);
         assert_ne!(ns, p1.namespace);

@@ -102,10 +102,7 @@ impl Encode for ConsensusParams {
 
 impl Decode for ConsensusParams {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        Ok(ConsensusParams {
-            service: String::decode(buf)?,
-            incarnation: u64::decode(buf)?,
-        })
+        Ok(ConsensusParams { service: String::decode(buf)?, incarnation: u64::decode(buf)? })
     }
 }
 
@@ -826,11 +823,7 @@ mod tests {
         propose(&mut sim, 1, 0, 0, "minority-b");
         sim.run_until(sim.now() + Dur::secs(3));
         for i in 0..2 {
-            assert_eq!(
-                decision(&mut sim, i, 0, 0),
-                None,
-                "a minority must never decide (safety)"
-            );
+            assert_eq!(decision(&mut sim, i, 0, 0), None, "a minority must never decide (safety)");
         }
         // Heal, and let the majority side propose too (CT terminates
         // once all correct processes have proposed); the instance must

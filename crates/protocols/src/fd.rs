@@ -55,11 +55,7 @@ pub struct FdConfig {
 
 impl Default for FdConfig {
     fn default() -> Self {
-        FdConfig {
-            heartbeat: Dur::millis(20),
-            timeout: Dur::millis(100),
-            backoff: Dur::millis(50),
-        }
+        FdConfig { heartbeat: Dur::millis(20), timeout: Dur::millis(100), backoff: Dur::millis(50) }
     }
 }
 
@@ -123,11 +119,7 @@ impl FdModule {
 
     /// Currently suspected peers.
     pub fn suspected(&self) -> Vec<StackId> {
-        self.peers
-            .iter()
-            .filter(|(_, p)| p.suspected)
-            .map(|(&id, _)| id)
-            .collect()
+        self.peers.iter().filter(|(_, p)| p.suspected).map(|(&id, _)| id).collect()
     }
 
     /// How many suspicions were later revoked (accuracy diagnostics).
@@ -358,10 +350,7 @@ mod tests {
         assert!(wrong >= 2);
         // Peer timeout grew beyond the initial 100ms.
         let timeout = sim.with_stack(StackId(0), |s| {
-            s.with_module::<FdModule, _>(FD, |m| {
-                m.peers.get(&StackId(1)).unwrap().timeout
-            })
-            .unwrap()
+            s.with_module::<FdModule, _>(FD, |m| m.peers.get(&StackId(1)).unwrap().timeout).unwrap()
         });
         assert!(timeout > FdConfig::default().timeout);
     }
@@ -370,16 +359,14 @@ mod tests {
     fn query_triggers_immediate_response() {
         let mut sim = Sim::new(SimConfig::lan(2, 3), mk_stack);
         sim.run_until(Time::ZERO + Dur::millis(50));
-        let before = sim.with_stack(StackId(0), |s| {
-            s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap()
-        });
+        let before = sim
+            .with_stack(StackId(0), |s| s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap());
         sim.with_stack(StackId(0), |s| {
             s.call_as(SINK, &ServiceId::new(crate::FD_SVC), ops::QUERY, Bytes::new())
         });
         sim.run_until(sim.now() + Dur::millis(10));
-        let after = sim.with_stack(StackId(0), |s| {
-            s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap()
-        });
+        let after = sim
+            .with_stack(StackId(0), |s| s.with_module::<FdSink, _>(SINK, |k| k.updates).unwrap());
         assert_eq!(after, before + 1);
     }
 

@@ -242,10 +242,7 @@ impl Module for GmModule {
     }
 
     fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
-        if self.auto_exclude
-            && resp.service == self.fd_svc
-            && resp.op == crate::fd::ops::SUSPECTS
-        {
+        if self.auto_exclude && resp.service == self.fd_svc && resp.op == crate::fd::ops::SUSPECTS {
             let Ok(suspected) = resp.decode::<Vec<StackId>>() else { return };
             for s in suspected {
                 if self.view.members.contains(&s) && self.proposed_exclusions.insert(s) {
@@ -286,8 +283,7 @@ mod tests {
     const GM: ModuleId = ModuleId(8);
 
     fn mk_gm_stack(sc: StackConfig) -> Stack {
-        let mut s =
-            mk_stack(sc, || Box::new(CtAbcastModule::new(CtAbcastParams::default())));
+        let mut s = mk_stack(sc, || Box::new(CtAbcastModule::new(CtAbcastParams::default())));
         let gm = s.add_module(Box::new(GmModule::new(GmParams::default())));
         s.bind(&ServiceId::new(crate::GM_SVC), gm);
         s
@@ -357,8 +353,7 @@ mod tests {
     #[test]
     fn auto_exclude_removes_crashed_member_from_all_views() {
         let mk = |sc: StackConfig| -> Stack {
-            let mut s =
-                mk_stack(sc, || Box::new(CtAbcastModule::new(CtAbcastParams::default())));
+            let mut s = mk_stack(sc, || Box::new(CtAbcastModule::new(CtAbcastParams::default())));
             let gm = s.add_module(Box::new(GmModule::new(GmParams {
                 auto_exclude: true,
                 ..GmParams::default()
@@ -390,11 +385,7 @@ mod tests {
         let v = View { id: 7, members: vec![StackId(0), StackId(2)] };
         let b = wire::to_bytes(&v);
         assert_eq!(wire::from_bytes::<View>(&b).unwrap(), v);
-        let p = GmParams {
-            service: "gm".into(),
-            abcast: "r-abcast".into(),
-            auto_exclude: true,
-        };
+        let p = GmParams { service: "gm".into(), abcast: "r-abcast".into(), auto_exclude: true };
         let b = wire::to_bytes(&p);
         assert_eq!(wire::from_bytes::<GmParams>(&b).unwrap(), p);
     }
@@ -403,11 +394,7 @@ mod tests {
     fn factory_registration() {
         let mut reg = dpu_core::FactoryRegistry::new();
         GmModule::register(&mut reg);
-        let p = GmParams {
-            service: "gm".into(),
-            abcast: "r-abcast".into(),
-            auto_exclude: false,
-        };
+        let p = GmParams { service: "gm".into(), abcast: "r-abcast".into(), auto_exclude: false };
         let m = reg.build(&ModuleSpec::with_params(KIND, &p)).unwrap();
         assert_eq!(m.kind(), KIND);
         assert_eq!(m.requires(), vec![ServiceId::new("r-abcast")]);

@@ -229,9 +229,7 @@ mod tests {
     }
 
     fn got(sim: &mut Sim, node: u32) -> Vec<(StackId, Bytes)> {
-        sim.with_stack(StackId(node), |s| {
-            s.with_module::<App, _>(APP, |a| a.got.clone()).unwrap()
-        })
+        sim.with_stack(StackId(node), |s| s.with_module::<App, _>(APP, |a| a.got.clone()).unwrap())
     }
 
     #[test]
@@ -259,9 +257,8 @@ mod tests {
             assert_eq!(unique.len(), 5, "node {node} has duplicates");
         }
         // Relays did happen (each non-origin stack relays each message).
-        let relays = sim.with_stack(StackId(0), |s| {
-            s.with_module::<RbModule, _>(RB, |m| m.relays()).unwrap()
-        });
+        let relays = sim
+            .with_stack(StackId(0), |s| s.with_module::<RbModule, _>(RB, |m| m.relays()).unwrap());
         assert!(relays > 0);
     }
 

@@ -120,10 +120,9 @@ impl Decode for ReplPayload {
                 id: (StackId::decode(buf)?, u64::decode(buf)?),
                 data: Bytes::decode(buf)?,
             }),
-            1 => Ok(ReplPayload::NewAbcast {
-                sn: u64::decode(buf)?,
-                spec: ModuleSpec::decode(buf)?,
-            }),
+            1 => {
+                Ok(ReplPayload::NewAbcast { sn: u64::decode(buf)?, spec: ModuleSpec::decode(buf)? })
+            }
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -242,10 +241,7 @@ impl Module for ReplAbcastModule {
                 let id = (ctx.stack_id(), self.next_id);
                 self.next_id += 1;
                 self.undelivered.insert(id, call.data.clone());
-                self.abcast(
-                    ctx,
-                    &ReplPayload::Nil { sn: self.seq_number, id, data: call.data },
-                );
+                self.abcast(ctx, &ReplPayload::Nil { sn: self.seq_number, id, data: call.data });
             }
             // Lines 5–6: changeABcast(prot).
             CHANGE_OP => {
@@ -285,11 +281,8 @@ impl Module for ReplAbcastModule {
                 self.last_switch_at = Some(ctx.now());
                 self.switch_times.push(ctx.now());
                 // Lines 15–16: reissue undelivered under the new protocol.
-                let reissue: Vec<((StackId, u64), Bytes)> = self
-                    .undelivered
-                    .iter()
-                    .map(|(&id, data)| (id, data.clone()))
-                    .collect();
+                let reissue: Vec<((StackId, u64), Bytes)> =
+                    self.undelivered.iter().map(|(&id, data)| (id, data.clone())).collect();
                 self.reissued_total += reissue.len() as u64;
                 for (id, data) in reissue {
                     self.abcast(ctx, &ReplPayload::Nil { sn: self.seq_number, id, data });
@@ -325,11 +318,7 @@ mod tests {
 
     #[test]
     fn payload_roundtrips() {
-        let nil = ReplPayload::Nil {
-            sn: 3,
-            id: (StackId(1), 9),
-            data: Bytes::from_static(b"msg"),
-        };
+        let nil = ReplPayload::Nil { sn: 3, id: (StackId(1), 9), data: Bytes::from_static(b"msg") };
         let b = wire::to_bytes(&nil);
         match wire::from_bytes::<ReplPayload>(&b).unwrap() {
             ReplPayload::Nil { sn, id, data } => {

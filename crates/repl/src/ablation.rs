@@ -74,10 +74,7 @@ impl Decode for Payload {
                 id: (StackId::decode(buf)?, u64::decode(buf)?),
                 data: Bytes::decode(buf)?,
             }),
-            1 => Ok(Payload::NewAbcast {
-                sn: u64::decode(buf)?,
-                spec: ModuleSpec::decode(buf)?,
-            }),
+            1 => Ok(Payload::NewAbcast { sn: u64::decode(buf)?, spec: ModuleSpec::decode(buf)? }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -169,16 +166,10 @@ impl Module for BrokenRepl {
                         // flight under the old protocol is lost.
                     }
                     Omit::VersionGuard => {
-                        let reissue: Vec<_> = self
-                            .undelivered
-                            .iter()
-                            .map(|(&id, d)| (id, d.clone()))
-                            .collect();
+                        let reissue: Vec<_> =
+                            self.undelivered.iter().map(|(&id, d)| (id, d.clone())).collect();
                         for (id, data) in reissue {
-                            self.abcast(
-                                ctx,
-                                &Payload::Nil { sn: self.seq_number, id, data },
-                            );
+                            self.abcast(ctx, &Payload::Nil { sn: self.seq_number, id, data });
                         }
                     }
                 }
@@ -240,10 +231,7 @@ mod tests {
         (sim, handles.unwrap())
     }
 
-    fn run_adversarial_switch(
-        omit: Omit,
-        seed: u64,
-    ) -> Vec<AbcastViolation> {
+    fn run_adversarial_switch(omit: Omit, seed: u64) -> Vec<AbcastViolation> {
         let (mut sim, h) = broken_sim(omit, seed);
         sim.run_until(Time::ZERO + Dur::millis(300));
         let until = sim.now() + Dur::secs(3);
@@ -264,18 +252,12 @@ mod tests {
         let mut seen_validity_loss = false;
         for seed in [1u64, 2, 3, 4, 5] {
             let violations = run_adversarial_switch(Omit::Reissue, seed);
-            if violations
-                .iter()
-                .any(|v| matches!(v, AbcastViolation::Validity { .. }))
-            {
+            if violations.iter().any(|v| matches!(v, AbcastViolation::Validity { .. })) {
                 seen_validity_loss = true;
                 break;
             }
         }
-        assert!(
-            seen_validity_loss,
-            "dropping lines 15-16 must lose in-flight messages under load"
-        );
+        assert!(seen_validity_loss, "dropping lines 15-16 must lose in-flight messages under load");
     }
 
     #[test]
@@ -293,10 +275,7 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            seen_duplicate,
-            "dropping the line-18 guard must duplicate (or disorder) messages"
-        );
+        assert!(seen_duplicate, "dropping the line-18 guard must duplicate (or disorder) messages");
     }
 
     #[test]
@@ -311,8 +290,7 @@ mod tests {
                 with_gm: false,
                 extra_defaults: Vec::new(),
             };
-            let (mut sim, h) =
-                crate::builder::group_sim(SimConfig::lan(3, seed), &opts);
+            let (mut sim, h) = crate::builder::group_sim(SimConfig::lan(3, seed), &opts);
             sim.run_until(Time::ZERO + Dur::millis(300));
             let until = sim.now() + Dur::secs(3);
             drive_load(&mut sim, &h, 80.0, until);

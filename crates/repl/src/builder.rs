@@ -31,9 +31,9 @@ use dpu_core::abcast_check::AbcastChecker;
 use dpu_core::probe::Probe;
 use dpu_core::props;
 use dpu_core::time::{Dur, Time};
-use dpu_core::{
-    FactoryRegistry, ModuleId, ModuleSpec, ServiceId, Stack, StackConfig, StackId,
-};
+use dpu_core::{FactoryRegistry, ModuleId, ModuleSpec, ServiceId, Stack, StackConfig, StackId};
+use dpu_net::rp2p::Rp2pModule;
+use dpu_net::udp::UdpModule;
 use dpu_protocols::abcast::ct::CtAbcastModule;
 use dpu_protocols::abcast::ops as ab_ops;
 use dpu_protocols::abcast::ring::RingAbcastModule;
@@ -41,8 +41,6 @@ use dpu_protocols::abcast::sequencer::SeqAbcastModule;
 use dpu_protocols::consensus::ConsensusModule;
 use dpu_protocols::fd::FdModule;
 use dpu_protocols::gm::{GmModule, GmParams};
-use dpu_net::rp2p::Rp2pModule;
-use dpu_net::udp::UdpModule;
 use dpu_sim::{Sim, SimConfig};
 
 /// Ready-made [`ModuleSpec`]s for the protocols of the workspace, with
@@ -298,9 +296,8 @@ pub fn send_probe(sim: &mut Sim, node: StackId, h: &Handles) {
     let top = h.top_service.clone();
     let now = sim.now();
     sim.with_stack(node, |s| {
-        let payload = s
-            .with_module::<Probe, _>(probe, |p| p.next_payload(node, now))
-            .expect("probe present");
+        let payload =
+            s.with_module::<Probe, _>(probe, |p| p.next_payload(node, now)).expect("probe present");
         s.call_as(probe, &top, ab_ops::ABCAST, payload);
     });
 }
@@ -323,9 +320,7 @@ pub fn drive_load(sim: &mut Sim, h: &Handles, rate_per_sec: f64, until: Time) {
     for node in 0..n {
         let offset = Dur::nanos(interval.as_nanos() * u64::from(node) / u64::from(n));
         let h = h.clone();
-        sim.schedule_in(offset, move |sim| {
-            load_tick(sim, StackId(node), h, interval, until)
-        });
+        sim.schedule_in(offset, move |sim| load_tick(sim, StackId(node), h, interval, until));
     }
 }
 
@@ -373,10 +368,8 @@ pub fn check_run(sim: &mut Sim, h: &Handles) -> RunReport {
             checker.record_crash(id);
         }
         let (sent, delivered) = sim.with_stack(id, |s| {
-            s.with_module::<Probe, _>(probe, |p| {
-                (p.sent().to_vec(), p.delivered().to_vec())
-            })
-            .expect("probe present")
+            s.with_module::<Probe, _>(probe, |p| (p.sent().to_vec(), p.delivered().to_vec()))
+                .expect("probe present")
         });
         for (msg, t) in sent {
             checker.record_broadcast(msg, id, t);
@@ -401,10 +394,7 @@ mod tests {
     use dpu_protocols::abcast::sequencer::{SeqAbcastParams, KIND as SEQ_KIND};
 
     fn ct_spec(namespace: u64) -> ModuleSpec {
-        ModuleSpec::with_params(
-            CT_KIND,
-            &CtAbcastParams { namespace, ..CtAbcastParams::default() },
-        )
+        ModuleSpec::with_params(CT_KIND, &CtAbcastParams { namespace, ..CtAbcastParams::default() })
     }
 
     fn seq_spec(namespace: u64, service: &str) -> ModuleSpec {
@@ -510,15 +500,12 @@ mod tests {
 
     #[test]
     fn maestro_switch_blocks_the_application() {
-        let (mut sim, h) =
-            run_with_switch(SwitchLayer::Maestro, ct_spec(0), ct_spec(1), 3, 5);
+        let (mut sim, h) = run_with_switch(SwitchLayer::Maestro, ct_spec(0), ct_spec(1), 3, 5);
         let layer = h.layer.unwrap();
         for id in sim.stack_ids() {
             let (switches, blocked) = sim.with_stack(id, |s| {
-                s.with_module::<MaestroSwitcher, _>(layer, |m| {
-                    (m.switches(), m.total_blocked())
-                })
-                .unwrap()
+                s.with_module::<MaestroSwitcher, _>(layer, |m| (m.switches(), m.total_blocked()))
+                    .unwrap()
             });
             assert_eq!(switches, 1, "{id}");
             assert!(
@@ -532,13 +519,8 @@ mod tests {
     fn graceful_switch_via_alternate_slot() {
         // GA's restriction: the new AAC must provide the pre-declared
         // alternative slot.
-        let (mut sim, h) = run_with_switch(
-            SwitchLayer::Graceful,
-            ct_spec(0),
-            seq_spec(1, "abcast.alt"),
-            3,
-            13,
-        );
+        let (mut sim, h) =
+            run_with_switch(SwitchLayer::Graceful, ct_spec(0), seq_spec(1, "abcast.alt"), 3, 13);
         let layer = h.layer.unwrap();
         for id in sim.stack_ids() {
             let (switches, blocked, msgs) = sim.with_stack(id, |s| {
@@ -560,10 +542,7 @@ mod tests {
         // GA's pre-declared AAC slots: the first switch targets
         // "abcast.alt", the second must target "abcast" again.
         use crate::graceful::GracefulSwitcher;
-        let opts = GroupStackOpts {
-            layer: SwitchLayer::Graceful,
-            ..Default::default()
-        };
+        let opts = GroupStackOpts { layer: SwitchLayer::Graceful, ..Default::default() };
         let (mut sim, h) = group_sim(SimConfig::lan(3, 53), &opts);
         sim.run_until(Time::ZERO + Dur::millis(300));
         send_probe(&mut sim, StackId(0), &h);
@@ -573,8 +552,7 @@ mod tests {
         sim.run_until(Time::ZERO + Dur::secs(5));
         let layer = h.layer.unwrap();
         let inactive = sim.with_stack(StackId(0), |s| {
-            s.with_module::<GracefulSwitcher, _>(layer, |m| m.inactive_slot().clone())
-                .unwrap()
+            s.with_module::<GracefulSwitcher, _>(layer, |m| m.inactive_slot().clone()).unwrap()
         });
         assert_eq!(inactive, ServiceId::new(dpu_protocols::ABCAST_SVC));
         send_probe(&mut sim, StackId(1), &h);
@@ -599,10 +577,7 @@ mod tests {
 
     #[test]
     fn no_layer_configuration_works_without_switching() {
-        let opts = GroupStackOpts {
-            layer: SwitchLayer::None,
-            ..Default::default()
-        };
+        let opts = GroupStackOpts { layer: SwitchLayer::None, ..Default::default() };
         let (mut sim, h) = group_sim(SimConfig::lan(3, 3), &opts);
         assert_eq!(h.top_service, ServiceId::new("abcast"));
         sim.run_until(Time::ZERO + Dur::millis(200));
@@ -715,8 +690,7 @@ mod tests {
             });
             assert_eq!(sn, 1, "{id}: exactly one of the two requests applies");
             let bound = sim.stack(id).bound(&ServiceId::new(dpu_protocols::ABCAST_SVC));
-            let kind =
-                sim.stack(id).module_kind(bound.expect("abcast bound")).unwrap().to_string();
+            let kind = sim.stack(id).module_kind(bound.expect("abcast bound")).unwrap().to_string();
             kinds.push(kind);
         }
         // All stacks agree on *which* request won.
@@ -731,11 +705,8 @@ mod tests {
         let opts = GroupStackOpts::default();
         let (mut sim, h) = group_sim(SimConfig::lan(3, 43), &opts);
         sim.run_until(Time::ZERO + Dur::millis(300));
-        let specs_seq: Vec<ModuleSpec> = vec![
-            seq_spec(1, dpu_protocols::ABCAST_SVC),
-            ring_spec(2),
-            ct_spec(3),
-        ];
+        let specs_seq: Vec<ModuleSpec> =
+            vec![seq_spec(1, dpu_protocols::ABCAST_SVC), ring_spec(2), ct_spec(3)];
         for (k, spec) in specs_seq.iter().enumerate() {
             request_change(&mut sim, StackId(k as u32), &h, spec);
             send_probe(&mut sim, StackId(k as u32), &h);

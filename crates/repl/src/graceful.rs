@@ -348,7 +348,11 @@ impl Module for GracefulSwitcher {
                     self.queued.push_back(call.data);
                 } else {
                     let active = self.active.clone();
-                    ctx.call(&active, ab_ops::ABCAST, Envelope::Data { data: call.data }.to_bytes());
+                    ctx.call(
+                        &active,
+                        ab_ops::ABCAST,
+                        Envelope::Data { data: call.data }.to_bytes(),
+                    );
                 }
             }
             CHANGE_OP => {

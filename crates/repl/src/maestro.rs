@@ -263,7 +263,13 @@ impl MaestroSwitcher {
         ctx.call(&self.required, ab_ops::ABCAST, env.to_bytes());
     }
 
-    fn start_flush(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64, spec: ModuleSpec, coord: StackId) {
+    fn start_flush(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        epoch: u64,
+        spec: ModuleSpec,
+        coord: StackId,
+    ) {
         if self.phase != Phase::Idle || epoch <= self.epoch {
             return;
         }
@@ -274,12 +280,8 @@ impl MaestroSwitcher {
         self.markers_seen.clear();
         self.ready_seen.clear();
         // Collect any markers that raced ahead of the Flush message.
-        let buffered: Vec<StackId> = self
-            .future_markers
-            .iter()
-            .filter(|(e, _)| *e == epoch)
-            .map(|&(_, s)| s)
-            .collect();
+        let buffered: Vec<StackId> =
+            self.future_markers.iter().filter(|(e, _)| *e == epoch).map(|&(_, s)| s).collect();
         self.future_markers.retain(|(e, _)| *e > epoch);
         self.markers_seen.extend(buffered);
         self.blocked_since = Some(ctx.now());
@@ -366,11 +368,11 @@ impl Module for MaestroSwitcher {
                 let me = ctx.stack_id();
                 self.switch_started = Some(ctx.now());
                 for peer in ctx.peers().to_vec() {
-                    self.send_coord(ctx, peer, &Coord::Flush {
-                        epoch,
-                        spec: spec.clone(),
-                        coord: me,
-                    });
+                    self.send_coord(
+                        ctx,
+                        peer,
+                        &Coord::Flush { epoch, spec: spec.clone(), coord: me },
+                    );
                 }
             }
             _ => {}

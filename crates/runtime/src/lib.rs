@@ -274,10 +274,7 @@ impl Runtime {
     ) -> R {
         let (tx, rx) = bounded(1);
         let wrapped: StackFn = Box::new(move |s| Box::new(f(s)) as Box<dyn Any + Send>);
-        self.nodes[id.idx()]
-            .ctl
-            .send(Ctl::With(wrapped, tx))
-            .expect("node thread alive");
+        self.nodes[id.idx()].ctl.send(Ctl::With(wrapped, tx)).expect("node thread alive");
         let boxed = rx.recv().expect("node replies");
         *boxed.downcast::<R>().expect("result type")
     }
@@ -418,9 +415,8 @@ mod tests {
             s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
         });
         std::thread::sleep(Duration::from_millis(100));
-        let got = rt.with_stack(StackId(1), |s| {
-            s.with_module::<PingPong, _>(PP, |p| p.got.len()).unwrap()
-        });
+        let got = rt
+            .with_stack(StackId(1), |s| s.with_module::<PingPong, _>(PP, |p| p.got.len()).unwrap());
         assert_eq!(got, 0);
         let stats = rt.stats();
         assert_eq!(stats.packets_dropped, stats.packets_sent);

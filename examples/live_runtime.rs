@@ -10,7 +10,7 @@
 use dpu::repl::builder::{build, specs, GroupStackOpts, SwitchLayer};
 use dpu::runtime::{Runtime, RuntimeConfig};
 use dpu_core::probe::Probe;
-use dpu_core::{StackId, ModuleId, ServiceId};
+use dpu_core::{ModuleId, ServiceId, StackId};
 use dpu_protocols::abcast::ops as ab_ops;
 use dpu_repl::abcast_repl::ReplAbcastModule;
 use std::time::Duration;
@@ -100,10 +100,7 @@ fn wait_for(rt: &Runtime, probe: ModuleId, count: usize) {
         if (0..3).all(|node| delivered(rt, node, probe) >= count) {
             return;
         }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "timed out waiting for {count} deliveries"
-        );
+        assert!(std::time::Instant::now() < deadline, "timed out waiting for {count} deliveries");
         std::thread::sleep(Duration::from_millis(20));
     }
 }

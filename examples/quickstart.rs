@@ -19,8 +19,8 @@ fn main() {
     // 1. Three stacks, each: probe → r-abcast (Repl) → abcast (CT) →
     //    consensus → fd/rp2p → udp → net, in a deterministic simulation.
     let opts = GroupStackOpts {
-        abcast: specs::ct(0),        // consensus-based ABcast, incarnation 0
-        layer: SwitchLayer::Repl,    // the paper's replacement module
+        abcast: specs::ct(0),     // consensus-based ABcast, incarnation 0
+        layer: SwitchLayer::Repl, // the paper's replacement module
         probe_pad: Some(16),
         with_gm: false,
         extra_defaults: Vec::new(),
@@ -59,9 +59,7 @@ fn main() {
             })
             .unwrap()
         });
-        println!(
-            "{node}: seqNumber={sn} switches={switches} undelivered={undelivered}"
-        );
+        println!("{node}: seqNumber={sn} switches={switches} undelivered={undelivered}");
         assert_eq!(sn, 1);
         assert_eq!(undelivered, 0);
     }

@@ -1,0 +1,335 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the structural API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`], [`BenchmarkId`],
+//! [`Throughput`] — with a simple adaptive timing loop instead of
+//! criterion's statistical machinery. Each benchmark is warmed up
+//! briefly, then timed for a fixed wall-clock budget, and the mean
+//! ns/iteration (plus derived throughput, when declared) is printed.
+//! Good enough to compare runs by eye and to keep `cargo bench`
+//! targets compiling and runnable; swap in the real crate for proper
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value. Re-exported from
+/// `std::hint`, which is what recent criterion versions do internally.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration, used to derive a
+/// rate from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+/// Types accepted wherever a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing helper handed to the benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing it, until the measurement
+    /// budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few iterations untimed.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Measure in growing batches until the budget is spent.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    /// `iter` variant that hands the routine a fresh input per batch.
+    /// The setup closure's cost is excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters_done += 1;
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters_done == 0 {
+            println!("{id:<40} (no iterations)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib = b as f64 / ns; // bytes per ns == GiB-ish per s
+                format!("  {:>10.3} GB/s", gib)
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.3} Melem/s", e as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("{id:<40} {:>12.1} ns/iter ({} iters){rate}", ns, self.iters_done);
+    }
+}
+
+/// How `iter_batched` inputs are sized. Accepted and ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input per iteration.
+    SmallInput,
+    /// Large input per iteration.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver. One instance is created by [`criterion_main!`]
+/// and threaded through every registered group function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep default runs short: the shim reports a mean, not a
+        // distribution, so long sampling buys nothing.
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Parses criterion-style CLI args. The shim accepts and ignores
+    /// them (including the `--bench` flag cargo passes).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.budget = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.budget;
+        run_one(id.into_id(), budget, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks. The group inherits
+    /// the driver's measurement budget until overridden per group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup { _parent: self, name: name.into(), budget, throughput: None }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, budget };
+    f(&mut b);
+    b.report(&id, throughput);
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion uses this for statistical sample counts; the shim maps
+    /// it onto the time budget (more samples → longer budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget = Duration::from_millis(30).saturating_mul(n.max(10) as u32 / 10);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Accepted and ignored (the shim has no separate warm-up phase).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the throughput of subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(format!("{}/{}", self.name, id.into_id()), self.budget, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(format!("{}/{}", self.name, id.into_id()), self.budget, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_inherits_parent_measurement_time() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(7));
+        let g = c.benchmark_group("g");
+        assert_eq!(g.budget, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("sz", 64), &64usize, |b, &n| {
+            b.iter(|| black_box(vec![0u8; n]));
+        });
+        g.finish();
+    }
+}

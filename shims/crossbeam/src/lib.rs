@@ -1,0 +1,454 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Implements the subset the workspace uses:
+//!
+//! * [`channel`] — MPMC [`channel::bounded`] / [`channel::unbounded`]
+//!   channels built on `Mutex` + `Condvar`, plus a [`select!`] macro
+//!   limited to the shape the runtime needs (`recv(..) -> ..` arms
+//!   followed by one `default(timeout)` arm);
+//! * [`thread`] — [`thread::scope`] scoped threads, delegating to
+//!   `std::thread::scope` with crossbeam's `Result`-returning signature.
+//!
+//! The `select!` implementation polls ready arms with a short sleep
+//! rather than parking on an event list; for the runtime's workloads
+//! (millisecond-scale timers, test traffic) the difference is not
+//! observable, only a little extra idle CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! MPMC channels with an API matching `crossbeam-channel`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub use crate::select;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        // Signalled on push, pop, and endpoint drop.
+        cond: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    fn mk<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cond: Condvar::new(),
+            cap,
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mk(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    /// `bounded(0)` is a rendezvous channel: `send` blocks until a
+    /// receiver takes the value, as in the real crate.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        mk(Some(cap))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full (or,
+        /// for a zero-capacity channel, until a receiver takes it).
+        /// Fails only if every [`Receiver`] has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    // Rendezvous: wait for the queue slot, push, then
+                    // wait until the receiver has popped our value
+                    // (ours is the only element while it is queued).
+                    Some(0) if !st.queue.is_empty() => {
+                        st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(0) => {
+                        st.queue.push_back(value);
+                        self.shared.cond.notify_all();
+                        while !st.queue.is_empty() {
+                            if st.receivers == 0 {
+                                // Receivers vanished before the handoff:
+                                // reclaim the (sole) queued value.
+                                let v = st.queue.pop_front().expect("sole queued value");
+                                return Err(SendError(v));
+                            }
+                            st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                        return Ok(());
+                    }
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            self.shared.cond.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or every
+        /// [`Sender`] has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.shared.cond.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            match st.queue.pop_front() {
+                Some(v) => {
+                    self.shared.cond.notify_all();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receives a message, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.shared.cond.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .cond
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers += 1;
+            drop(st);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    /// Implementation detail of [`select!`]: pins the `Ok` type of a
+    /// select arm's binding to the receiver's element type.
+    #[doc(hidden)]
+    pub fn __typed_recv_result<T>(
+        _rx: &Receiver<T>,
+        r: Result<T, RecvError>,
+    ) -> Result<T, RecvError> {
+        r
+    }
+}
+
+/// Waits on several channel operations at once.
+///
+/// Shim limitation: supports only the shape used in this workspace —
+/// one or more `recv($receiver) -> $binding => $block` arms followed by
+/// a mandatory `default($timeout) => $block` arm. Arms are polled in
+/// order with a short sleep in between until one is ready or the
+/// timeout elapses. A disconnected channel counts as ready and yields
+/// `Err(RecvError)`, matching `crossbeam-channel`.
+#[macro_export]
+macro_rules! select {
+    (
+        $(recv($rx:expr) -> $pat:pat => $body:block)+
+        default($timeout:expr) => $dbody:block $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            $(
+                {
+                    let __rx = &($rx);
+                    match __rx.try_recv() {
+                        ::std::result::Result::Ok(__v) => {
+                            let $pat = $crate::channel::__typed_recv_result(
+                                __rx,
+                                ::std::result::Result::Ok(__v),
+                            );
+                            break $body;
+                        }
+                        ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                            let $pat = $crate::channel::__typed_recv_result(
+                                __rx,
+                                ::std::result::Result::Err($crate::channel::RecvError),
+                            );
+                            break $body;
+                        }
+                        ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                    }
+                }
+            )+
+            if ::std::time::Instant::now() >= __deadline {
+                break $dbody;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+    }};
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning API, backed
+    //! by `std::thread::scope`.
+
+    use std::any::Any;
+
+    /// A scope handle; spawn threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to join a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// could spawn further threads), like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle { inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })) }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads. All spawned threads
+    /// are joined before this returns. Returns `Ok` with the closure's
+    /// result; a panic in an *unjoined* thread propagates as a panic
+    /// (std semantics) rather than an `Err`, which no caller here
+    /// relies on.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_then_delivers() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn zero_capacity_channel_is_rendezvous() {
+        let (tx, rx) = bounded::<u32>(0);
+        let taken = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let taken2 = std::sync::Arc::clone(&taken);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            taken2.store(true, std::sync::atomic::Ordering::SeqCst);
+            rx.recv()
+        });
+        // send must block until the receiver is actually taking.
+        tx.send(9).unwrap();
+        assert!(taken.load(std::sync::atomic::Ordering::SeqCst), "send returned before handoff");
+        assert_eq!(h.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn zero_capacity_send_fails_when_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(0);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(rx);
+        });
+        assert_eq!(tx.send(5), Err(crate::channel::SendError(5)));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_picks_ready_arm_or_default() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        let mut hit;
+        select! {
+            recv(rx) -> msg => { assert_eq!(msg, Ok(7)); hit = 1; }
+            recv(rx2) -> _msg => { hit = 2; }
+            default(Duration::from_millis(5)) => { hit = 3; }
+        }
+        assert_eq!(hit, 1);
+        select! {
+            recv(rx) -> _msg => { hit = 4; }
+            default(Duration::from_millis(5)) => { hit = 5; }
+        }
+        assert_eq!(hit, 5);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

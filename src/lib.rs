@@ -14,7 +14,26 @@
 //!   switchers;
 //! * [`runtime`] — a threaded real-time host.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! ## Quickstart
+//!
+//! `examples/quickstart.rs` is the end-to-end tour: it builds the
+//! paper's Figure-4 group communication stack on three simulated
+//! machines, broadcasts through it, replaces the atomic broadcast
+//! protocol *while messages are in flight* (the paper's Algorithm 1),
+//! and then mechanically checks the four atomic broadcast properties
+//! across the switch:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The other examples (`adaptive_chat`, `replicated_kv`,
+//! `membership_demo`, `live_runtime`) exercise the same stack under
+//! different workloads and hosts; `cargo test -q` and `cargo bench`
+//! run the test suite and the criterion microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use dpu_core as core;
 pub use dpu_net as net;

@@ -122,10 +122,7 @@ fn crash_of_the_initiator_right_after_requesting_a_switch() {
             })
         })
         .collect();
-    assert!(
-        sns.iter().all(|&s| s == sns[0]),
-        "survivors disagree on the switch: {sns:?}"
-    );
+    assert!(sns.iter().all(|&s| s == sns[0]), "survivors disagree on the switch: {sns:?}");
 }
 
 #[test]
@@ -152,10 +149,8 @@ fn partition_delays_but_does_not_break_the_switch() {
     sim.run_until(sim.now() + Dur::secs(25));
     for i in 0..3 {
         let sn = sim.with_stack(StackId(i), |s| {
-            s.with_module::<dpu_repl::abcast_repl::ReplAbcastModule, _>(layer, |m| {
-                m.seq_number()
-            })
-            .unwrap()
+            s.with_module::<dpu_repl::abcast_repl::ReplAbcastModule, _>(layer, |m| m.seq_number())
+                .unwrap()
         });
         assert_eq!(sn, 1, "stack {i} must catch up after heal");
     }

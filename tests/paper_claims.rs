@@ -60,10 +60,8 @@ fn the_paper_experiment_n7_ct_to_ct_under_constant_load() {
     let layer = h.layer.unwrap();
     for id in sim.stack_ids() {
         let (sn, undelivered) = sim.with_stack(id, |s| {
-            s.with_module::<ReplAbcastModule, _>(layer, |m| {
-                (m.seq_number(), m.undelivered_len())
-            })
-            .unwrap()
+            s.with_module::<ReplAbcastModule, _>(layer, |m| (m.seq_number(), m.undelivered_len()))
+                .unwrap()
         });
         assert_eq!(sn, 1, "stack {id}");
         assert_eq!(undelivered, 0, "stack {id}");
@@ -169,10 +167,7 @@ fn double_indirection_also_works() {
         // Second replacement layer on top of the first.
         let params = ReplParams { service: "r-abcast".into() };
         let spec = ModuleSpec::with_params(dpu_repl::abcast_repl::KIND, &params);
-        let outer = built
-            .stack
-            .install(&spec)
-            .expect("outer repl layer installs");
+        let outer = built.stack.install(&spec).expect("outer repl layer installs");
         built.stack.bind(&ServiceId::new("r-r-abcast"), outer);
         // Move the probe to the outer service.
         let probe = built.stack.add_module(Box::new(dpu_core::probe::Probe::new(
@@ -201,8 +196,7 @@ fn double_indirection_also_works() {
     sim.run_until(Time::ZERO + Dur::secs(4));
     for node in 0..3u32 {
         let n = sim.with_stack(StackId(node), |s| {
-            s.with_module::<dpu_core::probe::Probe, _>(probe, |p| p.delivered().len())
-                .unwrap()
+            s.with_module::<dpu_core::probe::Probe, _>(probe, |p| p.delivered().len()).unwrap()
         });
         assert_eq!(n, 3, "stack {node} through double indirection");
     }

@@ -85,10 +85,8 @@ fn live_switch_preserves_total_order_across_threads() {
         });
         assert_eq!(sn, 1, "stack {node}");
         let (sent, delivered) = rt.with_stack(StackId(node), move |s| {
-            s.with_module::<Probe, _>(probe, |p| {
-                (p.sent().to_vec(), p.delivered().to_vec())
-            })
-            .expect("probe")
+            s.with_module::<Probe, _>(probe, |p| (p.sent().to_vec(), p.delivered().to_vec()))
+                .expect("probe")
         });
         for (msg, t) in sent {
             checker.record_broadcast(msg, StackId(node), t);

@@ -70,10 +70,8 @@ fn full_architecture_soak() {
     let layer = h.layer.unwrap();
     for id in (0..6).map(StackId) {
         let (sn, undelivered) = sim.with_stack(id, |s| {
-            s.with_module::<ReplAbcastModule, _>(layer, |m| {
-                (m.seq_number(), m.undelivered_len())
-            })
-            .unwrap()
+            s.with_module::<ReplAbcastModule, _>(layer, |m| (m.seq_number(), m.undelivered_len()))
+                .unwrap()
         });
         assert_eq!(sn, 2, "{id} must have applied both switches");
         assert_eq!(undelivered, 0, "{id} must have no stuck messages");
