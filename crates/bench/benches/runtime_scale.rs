@@ -1,0 +1,105 @@
+//! Stacks-per-process throughput of the sharded live runtime: 256
+//! ping-pong stacks multiplexed on 1 vs 4 shard threads. One sample is
+//! a full wave — every stack pings its successor and the wave is done
+//! when every stack has seen both the ping addressed to it and the pong
+//! it got back — so the metric is end-to-end host scheduling (mailboxes,
+//! timer wheels, `StackDriver::poll`), not protocol work.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
+use dpu_core::wire::Encode;
+use dpu_core::{Call, Module, Response, ServiceId, Stack, StackConfig, StackId};
+use dpu_runtime::{Runtime, RuntimeConfig};
+use std::time::{Duration, Instant};
+
+const STACKS: u32 = 256;
+
+/// Replies "pong" to any "ping"; counts every datagram.
+struct PingPong {
+    got: u64,
+}
+
+impl Module for PingPong {
+    fn kind(&self) -> &str {
+        "pingpong"
+    }
+    fn provides(&self) -> Vec<ServiceId> {
+        Vec::new()
+    }
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![ServiceId::new(dpu_core::svc::NET)]
+    }
+    fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.op != net_ops::RECV {
+            return;
+        }
+        let (src, data): (StackId, Bytes) = resp.decode().unwrap();
+        self.got += 1;
+        if data.as_ref() == b"ping" {
+            let reply = (src, Bytes::from_static(b"pong")).to_bytes();
+            ctx.call(&ServiceId::new(dpu_core::svc::NET), net_ops::SEND, reply);
+        }
+    }
+}
+
+/// Net bridge is module 1, the ping-pong module is module 2.
+const PP: dpu_core::ModuleId = dpu_core::ModuleId(2);
+
+fn mk(sc: StackConfig) -> Stack {
+    let mut s = Stack::new(sc, FactoryRegistry::new());
+    s.add_module(Box::new(PingPong { got: 0 }));
+    s
+}
+
+/// Send one ping from every stack to its successor and wait until every
+/// stack's receipt counter reaches `target` (2 receipts per wave: the
+/// ping it is addressed and the pong for its own ping).
+fn wave(rt: &Runtime, wave_no: u64) {
+    for i in 0..STACKS {
+        let data = (StackId((i + 1) % STACKS), Bytes::from_static(b"ping")).to_bytes();
+        rt.with_stack(StackId(i), move |s| {
+            s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+    }
+    let target = 2 * wave_no;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let done = (0..STACKS).all(|i| {
+            rt.with_stack(StackId(i), |s| s.with_module::<PingPong, _>(PP, |p| p.got).unwrap())
+                >= target
+        });
+        if done {
+            return;
+        }
+        assert!(Instant::now() < deadline, "wave {wave_no} incomplete after 30s");
+        std::thread::yield_now();
+    }
+}
+
+fn bench_runtime_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scale");
+    // One wave moves 2 * STACKS packets (pings + pongs).
+    group.throughput(Throughput::Elements(u64::from(2 * STACKS)));
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for shards in [1u32, 4] {
+        let rt = Runtime::spawn(RuntimeConfig::new(STACKS).with_shards(shards), mk);
+        let mut wave_no = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("ping_wave_256_stacks", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    wave_no += 1;
+                    wave(&rt, wave_no);
+                })
+            },
+        );
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_scale);
+criterion_main!(benches);

@@ -20,10 +20,11 @@
 //!
 //! On top of the model, the crate provides:
 //!
-//! * the host boundary ([`HostAction`]) through which a stack talks to the
-//!   outside world (network sends, timers) so the same stack runs unchanged
-//!   under the deterministic simulator (`dpu-sim`) and the threaded runtime
-//!   (`dpu-runtime`);
+//! * the host boundary: [`HostAction`]s through which a stack talks to
+//!   the outside world (network sends, timers), and the unified host API
+//!   ([`host`]) whose [`StackDriver`] encapsulates the canonical drive
+//!   loop so the same stack runs unchanged under the deterministic
+//!   simulator (`dpu-sim`) and the sharded live runtime (`dpu-runtime`);
 //! * a binary wire codec ([`wire`]) used by all protocol messages;
 //! * trace recording ([`trace`]) and mechanical checkers for the paper's
 //!   generic DPU correctness properties ([`props`]) — strong/weak
@@ -39,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod abcast_check;
+pub mod host;
 pub mod ids;
 pub mod module;
 pub mod probe;
@@ -48,6 +50,7 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use host::{ActionSink, HostEvent, StackDriver, Wakeup};
 pub use ids::{ModuleId, ServiceId, StackId, TimerId};
 pub use module::{Call, Module, ModuleSpec, Op, Response};
 pub use stack::{FactoryRegistry, HostAction, ModuleCtx, Stack, StackConfig};

@@ -20,9 +20,12 @@
 //! ```
 //!
 //! [`group_sim`] instantiates `n` such stacks in a deterministic
-//! simulation; [`drive_load`] generates the paper's constant-rate
-//! workload; [`check_run`] applies the generic DPU properties (§3) and
-//! the four atomic broadcast properties (§5.1) to the finished run.
+//! simulation and [`group_runtime`] instantiates them on the sharded
+//! live runtime (same stacks, wall clock — the paper's host-agnosticism
+//! claim in one call); [`drive_load`] generates the paper's
+//! constant-rate workload; [`check_run`] applies the generic DPU
+//! properties (§3) and the four atomic broadcast properties (§5.1) to a
+//! finished simulation run.
 
 use crate::abcast_repl::{ReplAbcastModule, ReplParams};
 use crate::graceful::{GracefulParams, GracefulSwitcher};
@@ -41,6 +44,7 @@ use dpu_protocols::abcast::sequencer::SeqAbcastModule;
 use dpu_protocols::consensus::ConsensusModule;
 use dpu_protocols::fd::FdModule;
 use dpu_protocols::gm::{GmModule, GmParams};
+use dpu_runtime::{Runtime, RuntimeConfig};
 use dpu_sim::{Sim, SimConfig};
 
 /// Ready-made [`ModuleSpec`]s for the protocols of the workspace, with
@@ -288,6 +292,44 @@ pub fn group_sim(sim_cfg: SimConfig, opts: &GroupStackOpts) -> (Sim, Handles) {
         built.stack
     });
     (sim, handles.expect("at least one stack"))
+}
+
+/// Instantiate `cfg.n` identical stacks (per `opts`) on the sharded
+/// live runtime — the counterpart of [`group_sim`] for wall-clock hosts.
+/// The returned [`Handles`] are identical on every stack (construction
+/// is deterministic).
+pub fn group_runtime(cfg: RuntimeConfig, opts: &GroupStackOpts) -> (Runtime, Handles) {
+    let mut handles: Option<Handles> = None;
+    let rt = Runtime::spawn(cfg, |sc| {
+        let built = build(sc, opts);
+        if handles.is_none() {
+            handles = Some(built.handles.clone());
+        }
+        built.stack
+    });
+    (rt, handles.expect("at least one stack"))
+}
+
+/// Send one probe message from `node` on the live runtime (stamps the
+/// current wall-clock time). Counterpart of [`send_probe`].
+pub fn send_probe_live(rt: &Runtime, node: StackId, h: &Handles) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let now = rt.now();
+    rt.with_stack(node, move |s| {
+        let payload =
+            s.with_module::<Probe, _>(probe, |p| p.next_payload(node, now)).expect("probe present");
+        s.call_as(probe, &top, ab_ops::ABCAST, payload);
+    });
+}
+
+/// Request a protocol change from `node` on the live runtime (the
+/// paper's `changeABcast(prot)`). Counterpart of [`request_change`].
+pub fn request_change_live(rt: &Runtime, node: StackId, h: &Handles, new_spec: &ModuleSpec) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let data = dpu_core::wire::to_bytes(new_spec);
+    rt.with_stack(node, move |s| s.call_as(probe, &top, crate::CHANGE_OP, data));
 }
 
 /// Send one probe message from `node` (stamps the current virtual time).
@@ -573,6 +615,19 @@ mod tests {
         for id in sim.stack_ids() {
             assert_eq!(report.checker.delivery_count(id), 3, "{id}");
         }
+    }
+
+    #[test]
+    fn group_runtime_spawns_same_handles_as_group_sim() {
+        let opts = GroupStackOpts::default();
+        let (rt, h_rt) = group_runtime(dpu_runtime::RuntimeConfig::new(3).with_shards(2), &opts);
+        let (_, h_sim) = group_sim(SimConfig::lan(3, 1), &opts);
+        assert_eq!(h_rt.top_service, h_sim.top_service);
+        assert_eq!(h_rt.probe, h_sim.probe);
+        assert_eq!(h_rt.layer, h_sim.layer);
+        assert_eq!(h_rt.abcast, h_sim.abcast);
+        let stacks = rt.shutdown();
+        assert_eq!(stacks.len(), 3);
     }
 
     #[test]

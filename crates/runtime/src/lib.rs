@@ -1,68 +1,120 @@
-//! # dpu-runtime — a threaded real-time host for DPU stacks
+//! # dpu-runtime — a sharded event-loop host for DPU stacks
 //!
 //! Runs the same [`Stack`]s as the deterministic simulator, but for real:
-//! one OS thread per stack, crossbeam channels as the (in-process)
-//! network, and the wall clock as the time source. This demonstrates that
-//! protocol modules are host-agnostic — the examples use it to run live
-//! protocol switches outside the simulator.
+//! a small, fixed pool of *shard* threads multiplexes any number of
+//! [`StackDriver`]s under the wall clock, with crossbeam channels as the
+//! (in-process) network. This is the scaling host of the workspace —
+//! thousands of stacks per process on a handful of threads — and it
+//! demonstrates that protocol modules are host-agnostic: every stack is
+//! driven exclusively through the unified host API of
+//! [`dpu_core::host`].
 //!
 //! ```no_run
 //! use dpu_core::{Stack, StackConfig, FactoryRegistry};
 //! use dpu_runtime::{Runtime, RuntimeConfig};
 //!
-//! let rt = Runtime::spawn(RuntimeConfig::new(3), |sc| {
+//! let rt = Runtime::spawn(RuntimeConfig::new(256).with_shards(4), |sc| {
 //!     Stack::new(sc, FactoryRegistry::new())
 //! });
 //! // interact via rt.with_stack(...), then:
 //! rt.shutdown();
 //! ```
 //!
-//! The host contract is identical to the simulator's: it executes
-//! [`HostAction`]s (sends, timers) and feeds packets/timer expirations
-//! back into the stack. Since real threads race, runs are *not*
-//! reproducible — use `dpu-sim` for experiments, this runtime for live
-//! demos and soak tests.
+//! # The sharding model
+//!
+//! The `n` stacks are assigned round-robin to [`RuntimeConfig::shards`]
+//! worker threads. Each shard owns:
+//!
+//! * its stacks' [`StackDriver`]s — stack, timer queue and drive loop;
+//! * one **mailbox** (an unbounded crossbeam channel) carrying packet
+//!   deliveries, control requests and shutdown;
+//! * one **timer wheel** (a min-heap of `(deadline, event)` pairs)
+//!   holding the next poll deadline of each driver plus packets whose
+//!   modeled delivery time has not arrived yet.
+//!
+//! The shard loop is: fire due wheel entries → poll the touched drivers
+//! (the canonical drain-timers/step/execute loop lives in
+//! [`StackDriver::poll`]) → block on the mailbox until the earliest
+//! wheel deadline. Network sends are executed *by the sending shard*
+//! through an [`ActionSink`] that applies the loss model and routes the
+//! packet to the destination's shard, stamped with a delivery time of
+//! `now + delay` — per-packet latency costs no thread any sleep, so one
+//! slow link never stalls the other stacks of a shard.
+//!
+//! Control requests ([`Runtime::with_stack`]) route to the owning shard
+//! and run between polls; [`Runtime::stats`] and [`Runtime::shutdown`]
+//! keep their pre-sharding signatures.
+//!
+//! Since real threads race, runs are *not* reproducible — use `dpu-sim`
+//! for experiments, this runtime for live demos and soak tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use dpu_core::stack::HostAction;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dpu_core::host::{ActionSink, HostEvent, StackDriver, Wakeup};
 use dpu_core::time::{Dur, Time};
-use dpu_core::{Stack, StackConfig, StackId, TimerId};
-use parking_lot::Mutex;
+use dpu_core::{Stack, StackConfig, StackId};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Configuration of the threaded runtime.
+/// Configuration of the sharded runtime.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
-    /// Number of stacks (threads).
+    /// Number of stacks.
     pub n: u32,
+    /// Number of shard (worker) threads multiplexing the stacks.
+    /// `0` (the default) picks `min(n, available_parallelism)`; an
+    /// explicit count is capped to `n` (a shard with no stacks would
+    /// just idle).
+    pub shards: u32,
     /// Seed mixed into each stack's deterministic RNG stream.
     pub seed: u64,
     /// Probability of dropping an in-flight packet (fault injection for
     /// soak tests; uses an internal xorshift generator).
     pub loss: f64,
-    /// Artificial per-packet delivery delay.
+    /// Artificial per-packet delivery delay. Applied as a delivery
+    /// *timestamp* on the receiving shard's timer wheel — no thread
+    /// sleeps, so delay on one packet never stalls other stacks.
     pub delay: Dur,
     /// Record stack traces.
     pub trace: bool,
 }
 
 impl RuntimeConfig {
-    /// `n` stacks with no fault injection.
+    /// `n` stacks with no fault injection, shard count picked
+    /// automatically.
     pub fn new(n: u32) -> RuntimeConfig {
-        RuntimeConfig { n, seed: 0, loss: 0.0, delay: Dur::ZERO, trace: false }
+        RuntimeConfig { n, shards: 0, seed: 0, loss: 0.0, delay: Dur::ZERO, trace: false }
+    }
+
+    /// Set the shard-thread count (builder style). Capped to `n` at
+    /// spawn time; see [`RuntimeConfig::shards`].
+    pub fn with_shards(mut self, shards: u32) -> RuntimeConfig {
+        self.shards = shards;
+        self
+    }
+
+    fn effective_shards(&self) -> u32 {
+        let auto = || {
+            let cores =
+                std::thread::available_parallelism().map(|p| p.get() as u32).unwrap_or(4).max(1);
+            self.n.clamp(1, cores)
+        };
+        match self.shards {
+            0 => auto(),
+            s => s.min(self.n.max(1)),
+        }
     }
 }
 
-/// Aggregate counters across all nodes.
+/// Aggregate counters across all shards.
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
     /// Packets handed to the in-process network.
@@ -71,50 +123,37 @@ pub struct RuntimeStats {
     pub packets_dropped: u64,
 }
 
-struct Packet {
-    src: StackId,
-    payload: Bytes,
+#[derive(Default)]
+struct StatsInner {
+    packets_sent: AtomicU64,
+    packets_dropped: AtomicU64,
 }
 
 type StackFn = Box<dyn FnOnce(&mut Stack) -> Box<dyn Any + Send> + Send>;
 
-enum Ctl {
-    /// Run a closure against the node's stack and send back the result.
-    With(StackFn, Sender<Box<dyn Any + Send>>),
-    /// Stop the node thread.
+enum ShardMsg {
+    /// Deliver `payload` from `src` to `dst` once the wall clock reaches
+    /// `at` (the sender already applied the loss model).
+    Deliver { dst: StackId, src: StackId, payload: Bytes, at: Time },
+    /// Run a closure against `dst`'s stack and send back the result.
+    Ctl { dst: StackId, f: StackFn, reply: Sender<Box<dyn Any + Send>> },
+    /// Stop the shard and return its stacks.
     Stop,
 }
 
-struct NodeHandle {
-    ctl: Sender<Ctl>,
-    thread: Option<JoinHandle<Stack>>,
-}
-
-/// The threaded runtime. See crate docs.
-pub struct Runtime {
-    nodes: Vec<NodeHandle>,
-    start: Instant,
-    stats: Arc<Mutex<RuntimeStats>>,
-}
-
-struct NodeCtx {
-    stack: Stack,
-    packets: Receiver<Packet>,
-    ctl: Receiver<Ctl>,
-    switchboard: Vec<Sender<Packet>>,
-    start: Instant,
-    timers: BinaryHeap<Reverse<(Time, TimerId)>>,
-    stats: Arc<Mutex<RuntimeStats>>,
+/// The sending half of the in-process network: executes a driver's
+/// `NetSend`s by routing each packet to the destination stack's shard,
+/// stamped with its delivery time.
+struct Router {
+    shard_of: Arc<Vec<u32>>,
+    mailboxes: Vec<Sender<ShardMsg>>,
+    stats: Arc<StatsInner>,
     loss: f64,
     delay: Dur,
     rng: u64,
 }
 
-impl NodeCtx {
-    fn now(&self) -> Time {
-        Time(self.start.elapsed().as_nanos() as u64)
-    }
-
+impl Router {
     fn next_rand(&mut self) -> f64 {
         let mut x = self.rng;
         x ^= x >> 12;
@@ -123,135 +162,279 @@ impl NodeCtx {
         self.rng = x;
         (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
+}
 
-    fn perform(&mut self, actions: Vec<HostAction>) {
-        for action in actions {
-            match action {
-                HostAction::NetSend { dst, payload } => {
-                    self.stats.lock().packets_sent += 1;
-                    if self.loss > 0.0 && self.next_rand() < self.loss {
-                        self.stats.lock().packets_dropped += 1;
-                        continue;
-                    }
-                    if let Some(tx) = self.switchboard.get(dst.idx()) {
-                        // Ignore send errors: the destination may have
-                        // shut down already.
-                        let _ = tx.send(Packet { src: self.stack.id(), payload });
-                    }
-                }
-                HostAction::SetTimer { id, delay } => {
-                    self.timers.push(Reverse((self.now() + delay, id)));
-                }
-                HostAction::CancelTimer { .. } => {
-                    // The stack forgets cancelled timers; firing is a
-                    // no-op, so lazy cancellation suffices.
-                }
-            }
+impl ActionSink for Router {
+    fn net_send(&mut self, at: Time, src: StackId, dst: StackId, payload: Bytes) {
+        // SeqCst pairs with the dropped-before-sent load order in
+        // `Runtime::stats` to keep its snapshot monotonic.
+        self.stats.packets_sent.fetch_add(1, Ordering::SeqCst);
+        if self.loss > 0.0 && self.next_rand() < self.loss {
+            self.stats.packets_dropped.fetch_add(1, Ordering::SeqCst);
+            return;
         }
-    }
-
-    fn run(mut self) -> Stack {
-        loop {
-            // 1. Drain due timers.
-            let now = self.now();
-            while let Some(Reverse((at, id))) = self.timers.peek().copied() {
-                if at > now {
-                    break;
-                }
-                self.timers.pop();
-                self.stack.timer_fired(now, id);
-            }
-            // 2. Run the stack until idle, executing host actions.
-            while self.stack.step(self.now()).is_some() {
-                let actions = self.stack.drain_actions();
-                if !actions.is_empty() {
-                    let delayed = self.delay;
-                    if delayed > Dur::ZERO {
-                        std::thread::sleep(delayed.to_std());
-                    }
-                    self.perform(actions);
-                }
-            }
-            // Actions can also be produced without a step (e.g. by a
-            // control closure); drain defensively.
-            let actions = self.stack.drain_actions();
-            if !actions.is_empty() {
-                self.perform(actions);
-            }
-            // 3. Sleep until the next timer or an external event.
-            let timeout = match self.timers.peek() {
-                Some(Reverse((at, _))) => at.since(self.now()).to_std(),
-                None => Duration::from_millis(50),
-            };
-            crossbeam::channel::select! {
-                recv(self.packets) -> pkt => {
-                    if let Ok(p) = pkt {
-                        let now = self.now();
-                        self.stack.packet_in(now, p.src, p.payload);
-                    }
-                }
-                recv(self.ctl) -> msg => {
-                    match msg {
-                        Ok(Ctl::With(f, reply)) => {
-                            let r = f(&mut self.stack);
-                            let _ = reply.send(r);
-                        }
-                        Ok(Ctl::Stop) | Err(_) => return self.stack,
-                    }
-                }
-                default(timeout) => {}
-            }
-        }
+        let Some(&shard) = self.shard_of.get(dst.idx()) else { return };
+        // Ignore send errors: the destination shard may have shut down.
+        let _ = self.mailboxes[shard as usize].send(ShardMsg::Deliver {
+            dst,
+            src,
+            payload,
+            at: at + self.delay,
+        });
     }
 }
 
+/// An entry on a shard's timer wheel. Ordered by `(time, seq)` for a
+/// stable min-heap with FIFO tie-breaking (like the simulator's heap).
+struct WheelEntry(Reverse<(Time, u64)>, WheelItem);
+
+enum WheelItem {
+    /// Poll local driver `usize`; stale if its stamp moved (see
+    /// [`Shard::next_wake`]).
+    Wake(usize),
+    /// A packet whose modeled delivery time had not arrived when it
+    /// reached the shard.
+    Deliver { local: usize, src: StackId, payload: Bytes },
+}
+
+impl PartialEq for WheelEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for WheelEntry {}
+impl PartialOrd for WheelEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WheelEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// One worker thread: a set of drivers, a mailbox, a timer wheel.
+struct Shard {
+    ids: Vec<StackId>,
+    drivers: Vec<StackDriver>,
+    /// Scheduled wheel wake time per local driver. A wheel `Wake` whose
+    /// time differs from the stamp is stale and is skipped; the stamp
+    /// moves whenever a nearer deadline is scheduled, so cancelled and
+    /// superseded wakeups purge themselves on pop.
+    next_wake: Vec<Option<Time>>,
+    wheel: BinaryHeap<WheelEntry>,
+    wheel_seq: u64,
+    mailbox: Receiver<ShardMsg>,
+    router: Router,
+    start: Instant,
+}
+
+/// How long an idle shard sleeps when its wheel is empty. (Shutdown
+/// does not rely on this: [`Runtime::shutdown`] and [`Runtime`]'s
+/// `Drop` both post an explicit `Stop` to every mailbox.)
+const IDLE_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Upper bound on mailbox messages handled between wheel checks, so a
+/// flood of packets cannot starve due timers or delivery-timestamp
+/// ordering.
+const DRAIN_BATCH: usize = 128;
+
+impl Shard {
+    fn now(&self) -> Time {
+        Time(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn run(mut self) -> Vec<(StackId, Stack)> {
+        // Service the stacks' start-up work (on_start handlers).
+        for i in 0..self.drivers.len() {
+            self.poll_driver(i);
+        }
+        loop {
+            let now = self.now();
+            self.fire_wheel(now);
+            let timeout = match self.wheel.peek() {
+                Some(WheelEntry(Reverse((at, _)), _)) => {
+                    at.since(self.now()).to_std().min(IDLE_TIMEOUT)
+                }
+                None => IDLE_TIMEOUT,
+            };
+            match self.mailbox.recv_timeout(timeout) {
+                Ok(msg) => {
+                    if !self.handle(msg) {
+                        break;
+                    }
+                    for _ in 0..DRAIN_BATCH {
+                        match self.mailbox.try_recv() {
+                            Ok(msg) => {
+                                if !self.handle(msg) {
+                                    return self.into_stacks();
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.into_stacks()
+    }
+
+    fn into_stacks(self) -> Vec<(StackId, Stack)> {
+        self.ids.into_iter().zip(self.drivers.into_iter().map(StackDriver::into_stack)).collect()
+    }
+
+    /// Returns `false` on `Stop`.
+    fn handle(&mut self, msg: ShardMsg) -> bool {
+        match msg {
+            ShardMsg::Deliver { dst, src, payload, at } => {
+                // Always through the wheel, even when already due: the
+                // wheel pops by (stamp, arrival seq), so a due packet
+                // cannot overtake an earlier-stamped one still parked
+                // there (per-sender FIFO survives `delay`).
+                let local = self.local_idx(dst);
+                self.push_wheel(at, WheelItem::Deliver { local, src, payload });
+            }
+            ShardMsg::Ctl { dst, f, reply } => {
+                let local = self.local_idx(dst);
+                let r = f(self.drivers[local].stack_mut());
+                let _ = reply.send(r);
+                // The closure may have queued work or produced actions.
+                self.poll_driver(local);
+            }
+            ShardMsg::Stop => return false,
+        }
+        true
+    }
+
+    fn local_idx(&self, id: StackId) -> usize {
+        // Round-robin assignment: shard s owns stacks s, s+k, s+2k, ...
+        // Must stay in lockstep with the `shard_of` map built in
+        // `Runtime::spawn`; the assert ties the two encodings together.
+        let local = id.idx() / self.router.mailboxes.len();
+        debug_assert_eq!(self.ids[local], id, "stack-to-shard assignment diverged");
+        local
+    }
+
+    fn fire_wheel(&mut self, now: Time) {
+        while let Some(WheelEntry(Reverse((at, _)), _)) = self.wheel.peek() {
+            if *at > now {
+                break;
+            }
+            let WheelEntry(Reverse((at, _)), item) = self.wheel.pop().expect("peeked");
+            match item {
+                WheelItem::Wake(local) => {
+                    if self.next_wake[local] != Some(at) {
+                        continue; // stale: superseded by a nearer wake
+                    }
+                    self.next_wake[local] = None;
+                    self.poll_driver(local);
+                }
+                WheelItem::Deliver { local, src, payload } => {
+                    self.drivers[local].inject(HostEvent::Packet { src, payload });
+                    self.poll_driver(local);
+                }
+            }
+        }
+    }
+
+    /// Run one driver's canonical drive loop and keep a wheel wake
+    /// scheduled at its next deadline.
+    fn poll_driver(&mut self, local: usize) {
+        let now = self.now();
+        match self.drivers[local].poll(now, &mut self.router) {
+            Wakeup::Idle => {}
+            Wakeup::At(at) => {
+                if self.next_wake[local].is_none_or(|w| at < w) {
+                    self.next_wake[local] = Some(at);
+                    self.push_wheel(at, WheelItem::Wake(local));
+                }
+            }
+        }
+    }
+
+    fn push_wheel(&mut self, at: Time, item: WheelItem) {
+        let seq = self.wheel_seq;
+        self.wheel_seq += 1;
+        self.wheel.push(WheelEntry(Reverse((at, seq)), item));
+    }
+}
+
+/// The sharded runtime. See crate docs.
+pub struct Runtime {
+    mailboxes: Vec<Sender<ShardMsg>>,
+    shard_of: Arc<Vec<u32>>,
+    threads: Vec<JoinHandle<Vec<(StackId, Stack)>>>,
+    start: Instant,
+    stats: Arc<StatsInner>,
+}
+
 impl Runtime {
-    /// Spawn `cfg.n` stacks, one thread each. `mk_stack` builds each
-    /// stack from its [`StackConfig`].
+    /// Spawn `cfg.n` stacks multiplexed over `cfg.shards` worker
+    /// threads. `mk_stack` builds each stack from its [`StackConfig`]
+    /// (called on the spawning thread, in stack-id order).
     pub fn spawn(cfg: RuntimeConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Runtime {
         let start = Instant::now();
-        let stats = Arc::new(Mutex::new(RuntimeStats::default()));
-        let mut pkt_txs = Vec::new();
-        let mut pkt_rxs = Vec::new();
-        for _ in 0..cfg.n {
-            let (tx, rx) = unbounded::<Packet>();
-            pkt_txs.push(tx);
-            pkt_rxs.push(rx);
-        }
-        let mut nodes = Vec::new();
-        for (i, packets) in pkt_rxs.into_iter().enumerate() {
+        let stats = Arc::new(StatsInner::default());
+        let shards = cfg.effective_shards() as usize;
+        let shard_of: Arc<Vec<u32>> =
+            Arc::new((0..cfg.n).map(|i| i % shards as u32).collect::<Vec<_>>());
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards).map(|_| unbounded::<ShardMsg>()).unzip();
+        let mut by_shard: Vec<(Vec<StackId>, Vec<StackDriver>)> =
+            (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for i in 0..cfg.n {
             let sc = StackConfig {
-                id: StackId(i as u32),
+                id: StackId(i),
                 peers: (0..cfg.n).map(StackId).collect(),
                 seed: cfg.seed,
                 trace: cfg.trace,
             };
-            let stack = mk_stack(sc);
-            let (ctl_tx, ctl_rx) = unbounded::<Ctl>();
-            let ctx = NodeCtx {
-                stack,
-                packets,
-                ctl: ctl_rx,
-                switchboard: pkt_txs.clone(),
-                start,
-                timers: BinaryHeap::new(),
-                stats: Arc::clone(&stats),
-                loss: cfg.loss,
-                delay: cfg.delay,
-                rng: cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1,
-            };
-            let thread = std::thread::Builder::new()
-                .name(format!("dpu-node-{i}"))
-                .spawn(move || ctx.run())
-                .expect("spawn node thread");
-            nodes.push(NodeHandle { ctl: ctl_tx, thread: Some(thread) });
+            let (ids, drivers) = &mut by_shard[(i as usize) % shards];
+            ids.push(StackId(i));
+            drivers.push(StackDriver::new(mk_stack(sc)));
         }
-        Runtime { nodes, start, stats }
+        let threads = by_shard
+            .into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(s, ((ids, drivers), mailbox))| {
+                let n_local = drivers.len();
+                let shard = Shard {
+                    ids,
+                    drivers,
+                    next_wake: vec![None; n_local],
+                    wheel: BinaryHeap::new(),
+                    wheel_seq: 0,
+                    mailbox,
+                    router: Router {
+                        shard_of: Arc::clone(&shard_of),
+                        mailboxes: txs.clone(),
+                        stats: Arc::clone(&stats),
+                        loss: cfg.loss,
+                        delay: cfg.delay,
+                        rng: cfg.seed ^ (s as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1,
+                    },
+                    start,
+                };
+                std::thread::Builder::new()
+                    .name(format!("dpu-shard-{s}"))
+                    .spawn(move || shard.run())
+                    .expect("spawn shard thread")
+            })
+            .collect();
+        Runtime { mailboxes: txs, shard_of, threads, start, stats }
     }
 
     /// Number of stacks.
     pub fn n(&self) -> u32 {
-        self.nodes.len() as u32
+        self.shard_of.len() as u32
+    }
+
+    /// Number of shard threads.
+    pub fn shards(&self) -> u32 {
+        self.mailboxes.len() as u32
     }
 
     /// Wall-clock time since the runtime started, as virtual [`Time`].
@@ -259,14 +442,24 @@ impl Runtime {
         Time(self.start.elapsed().as_nanos() as u64)
     }
 
-    /// Aggregate network counters.
+    /// Aggregate network counters. The snapshot is monotonic
+    /// (`packets_dropped <= packets_sent` always holds): `dropped` is
+    /// loaded first and every drop increment is sequenced after its
+    /// send increment, all SeqCst.
     pub fn stats(&self) -> RuntimeStats {
-        let s = self.stats.lock();
-        RuntimeStats { packets_sent: s.packets_sent, packets_dropped: s.packets_dropped }
+        let packets_dropped = self.stats.packets_dropped.load(Ordering::SeqCst);
+        let packets_sent = self.stats.packets_sent.load(Ordering::SeqCst);
+        RuntimeStats { packets_sent, packets_dropped }
     }
 
-    /// Run a closure against the stack of node `id` (on its own thread)
-    /// and return the result. Blocks until the node services the request.
+    /// Run a closure against the stack of node `id` (on its owning
+    /// shard) and return the result. Blocks until the shard services the
+    /// request.
+    ///
+    /// Must be called from *outside* the runtime's shard threads. A call
+    /// issued from code already running on a shard (e.g. inside another
+    /// `with_stack` closure) targeting a stack of that same shard would
+    /// wait on the very thread that is executing it — a self-deadlock.
     pub fn with_stack<R: Send + 'static>(
         &self,
         id: StackId,
@@ -274,21 +467,42 @@ impl Runtime {
     ) -> R {
         let (tx, rx) = bounded(1);
         let wrapped: StackFn = Box::new(move |s| Box::new(f(s)) as Box<dyn Any + Send>);
-        self.nodes[id.idx()].ctl.send(Ctl::With(wrapped, tx)).expect("node thread alive");
-        let boxed = rx.recv().expect("node replies");
+        let shard = self.shard_of[id.idx()] as usize;
+        self.mailboxes[shard]
+            .send(ShardMsg::Ctl { dst: id, f: wrapped, reply: tx })
+            .expect("shard thread alive");
+        let boxed = rx.recv().expect("shard replies");
         *boxed.downcast::<R>().expect("result type")
     }
 
-    /// Stop all node threads and return the final stacks (for post-hoc
-    /// trace inspection).
+    /// Stop all shard threads and return the final stacks in id order
+    /// (for post-hoc trace inspection).
     pub fn shutdown(mut self) -> Vec<Stack> {
-        for node in &self.nodes {
-            let _ = node.ctl.send(Ctl::Stop);
+        for mb in &self.mailboxes {
+            let _ = mb.send(ShardMsg::Stop);
         }
-        self.nodes
-            .iter_mut()
-            .map(|n| n.thread.take().expect("not yet joined").join().expect("node thread"))
-            .collect()
+        let mut stacks: Vec<(StackId, Stack)> = std::mem::take(&mut self.threads)
+            .into_iter()
+            .flat_map(|t| t.join().expect("shard thread"))
+            .collect();
+        stacks.sort_by_key(|(id, _)| *id);
+        stacks.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Every shard's Router holds senders to every mailbox, so shards
+        // never observe disconnection on their own; stop them explicitly
+        // so dropping a Runtime without `shutdown()` (e.g. on a test
+        // panic) does not leak the shard threads. After `shutdown()` the
+        // receivers are gone and these sends are ignored errors.
+        for mb in &self.mailboxes {
+            let _ = mb.send(ShardMsg::Stop);
+        }
+        for t in std::mem::take(&mut self.threads) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -297,7 +511,7 @@ mod tests {
     use super::*;
     use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
     use dpu_core::wire::Encode;
-    use dpu_core::{Call, Module, Response, ServiceId};
+    use dpu_core::{Call, Module, Response, ServiceId, TimerId};
 
     /// Counts datagrams; replies "pong" to any "ping".
     struct PingPong {
@@ -328,7 +542,10 @@ mod tests {
         }
     }
 
+    /// In every test stack here: net bridge is module 1, the test module
+    /// is module 2.
     const PP: dpu_core::ModuleId = dpu_core::ModuleId(2);
+    const BEAT: dpu_core::ModuleId = dpu_core::ModuleId(2);
 
     fn mk(sc: StackConfig) -> Stack {
         let mut s = Stack::new(sc, FactoryRegistry::new());
@@ -337,8 +554,9 @@ mod tests {
     }
 
     #[test]
-    fn ping_pong_roundtrip_between_threads() {
-        let rt = Runtime::spawn(RuntimeConfig::new(2), mk);
+    fn ping_pong_roundtrip_between_shards() {
+        let rt = Runtime::spawn(RuntimeConfig::new(2).with_shards(2), mk);
+        assert_eq!(rt.shards(), 2);
         let data = (StackId(1), Bytes::from_static(b"ping")).to_bytes();
         rt.with_stack(StackId(0), move |s| {
             s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
@@ -357,6 +575,38 @@ mod tests {
         }
         assert!(rt.stats().packets_sent >= 2);
         rt.shutdown();
+    }
+
+    #[test]
+    fn many_stacks_multiplex_on_two_shards() {
+        let n = 32u32;
+        let rt = Runtime::spawn(RuntimeConfig::new(n).with_shards(2), mk);
+        assert_eq!(rt.shards(), 2);
+        // Every stack pings its successor; every stack must see a pong.
+        for i in 0..n {
+            let data = (StackId((i + 1) % n), Bytes::from_static(b"ping")).to_bytes();
+            rt.with_stack(StackId(i), move |s| {
+                s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let done = (0..n).all(|i| {
+                rt.with_stack(StackId(i), |s| {
+                    s.with_module::<PingPong, _>(PP, |p| {
+                        p.got.iter().any(|(_, d)| d.as_ref() == b"pong")
+                    })
+                    .unwrap()
+                })
+            });
+            if done {
+                break;
+            }
+            assert!(Instant::now() < deadline, "32-stack ping ring incomplete after 10s");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stacks = rt.shutdown();
+        assert_eq!(stacks.len(), n as usize);
     }
 
     #[test]
@@ -394,7 +644,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let beats = rt.with_stack(StackId(0), |s| {
-                s.with_module::<TimerBeat, _>(PP, |b| b.beats).unwrap()
+                s.with_module::<TimerBeat, _>(BEAT, |b| b.beats).unwrap()
             });
             if beats >= 5 {
                 break;
@@ -424,10 +674,65 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_returns_final_stacks() {
-        let rt = Runtime::spawn(RuntimeConfig::new(3), mk);
+    fn delay_is_a_delivery_timestamp_not_a_sleep() {
+        // Pre-shard runtimes slept the whole node thread per delayed
+        // packet. Now the packet waits on the receiving shard's wheel:
+        // a control round-trip through the same (single) shard must
+        // complete in a fraction of the delay.
+        // Generous margins (2 s delay, 1 s bound) so a preempted CI
+        // runner does not flake the property.
+        let mut cfg = RuntimeConfig::new(2).with_shards(1);
+        cfg.delay = Dur::secs(2);
+        let rt = Runtime::spawn(cfg, mk);
+        let data = (StackId(1), Bytes::from_static(b"ping")).to_bytes();
+        rt.with_stack(StackId(0), move |s| {
+            s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        let t0 = Instant::now();
+        let got_now = rt
+            .with_stack(StackId(1), |s| s.with_module::<PingPong, _>(PP, |p| p.got.len()).unwrap());
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "shard stalled on packet delay: control round-trip took {:?}",
+            t0.elapsed()
+        );
+        // Only meaningful if we actually read back before the delivery
+        // time (a preempted runner could legitimately deliver by now).
+        if t0.elapsed() < Duration::from_secs(2) {
+            assert_eq!(got_now, 0, "packet must not arrive before its delivery time");
+        }
+        // The packet still arrives once its timestamp is due.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let got = rt.with_stack(StackId(1), |s| {
+                s.with_module::<PingPong, _>(PP, |p| p.got.len()).unwrap()
+            });
+            if got > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "delayed packet never delivered");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_stops_shard_threads() {
+        let rt = Runtime::spawn(RuntimeConfig::new(8).with_shards(2), mk);
+        let data = (StackId(1), Bytes::from_static(b"ping")).to_bytes();
+        rt.with_stack(StackId(0), move |s| {
+            s.call_as(PP, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        // Drop joins the shard threads; completing (not hanging) is the
+        // assertion.
+        drop(rt);
+    }
+
+    #[test]
+    fn shutdown_returns_final_stacks_in_id_order() {
+        let rt = Runtime::spawn(RuntimeConfig::new(5).with_shards(2), mk);
         let stacks = rt.shutdown();
-        assert_eq!(stacks.len(), 3);
+        assert_eq!(stacks.len(), 5);
         for (i, s) in stacks.iter().enumerate() {
             assert_eq!(s.id(), StackId(i as u32));
         }

@@ -33,10 +33,11 @@
 #![warn(missing_docs)]
 
 use bytes::Bytes;
-use dpu_core::stack::{HostAction, StepCategory};
+use dpu_core::host::{ActionSink, HostEvent, StackDriver};
+use dpu_core::stack::StepCategory;
 use dpu_core::time::{Dur, Time};
 use dpu_core::trace::TraceLog;
-use dpu_core::{Stack, StackConfig, StackId, TimerId};
+use dpu_core::{Stack, StackConfig, StackId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -160,10 +161,24 @@ pub struct SimStats {
 }
 
 enum EventKind {
-    PacketArrive { dst: StackId, src: StackId, payload: Bytes },
-    TimerFire { node: StackId, timer: TimerId },
-    NodeStep { node: StackId },
-    Crash { node: StackId },
+    PacketArrive {
+        dst: StackId,
+        src: StackId,
+        payload: Bytes,
+    },
+    /// Wake a node's [`StackDriver`] so it fires its due timers. One
+    /// wake is kept scheduled per node, stamped in [`Node::wake`];
+    /// entries whose time no longer matches the stamp are stale
+    /// (a nearer deadline was scheduled since) and are skipped.
+    NodeWake {
+        node: StackId,
+    },
+    NodeStep {
+        node: StackId,
+    },
+    Crash {
+        node: StackId,
+    },
     Action(Box<dyn FnOnce(&mut Sim) + Send>),
 }
 
@@ -189,13 +204,30 @@ impl Ord for HeapEntry {
 }
 
 struct Node {
-    stack: Stack,
+    /// The stack plus its timer queue, driven through the unified host
+    /// API (`dpu_core::host`).
+    driver: StackDriver,
     cpu_free: Time,
     /// When this node's outbound link finishes its current transmission;
     /// sends serialise behind it (NIC queueing).
     nic_free: Time,
     step_scheduled: bool,
     crashed: bool,
+    /// Time of the currently scheduled [`EventKind::NodeWake`], if any.
+    wake: Option<Time>,
+}
+
+/// [`ActionSink`] that buffers sends so they can be replayed through the
+/// network model once the driver borrow ends.
+#[derive(Default)]
+struct SendBuf {
+    sends: Vec<(Time, StackId, StackId, Bytes)>,
+}
+
+impl ActionSink for SendBuf {
+    fn net_send(&mut self, at: Time, src: StackId, dst: StackId, payload: Bytes) {
+        self.sends.push((at, src, dst, payload));
+    }
 }
 
 /// The deterministic discrete-event host. See module docs.
@@ -224,11 +256,12 @@ impl Sim {
                     trace: cfg.trace,
                 };
                 Node {
-                    stack: mk_stack(sc),
+                    driver: StackDriver::new(mk_stack(sc)),
                     cpu_free: Time::ZERO,
                     nic_free: Time::ZERO,
                     step_scheduled: false,
                     crashed: false,
+                    wake: None,
                 }
             })
             .collect();
@@ -272,13 +305,13 @@ impl Sim {
 
     /// Immutable access to a stack.
     pub fn stack(&self, id: StackId) -> &Stack {
-        &self.nodes[id.idx()].stack
+        self.nodes[id.idx()].driver.stack()
     }
 
     /// Mutate a stack, then reschedule its CPU if the mutation produced
     /// work. Use this (not direct field access) so injected calls run.
     pub fn with_stack<R>(&mut self, id: StackId, f: impl FnOnce(&mut Stack) -> R) -> R {
-        let r = f(&mut self.nodes[id.idx()].stack);
+        let r = f(self.nodes[id.idx()].driver.stack_mut());
         self.after_stack_mutation(id);
         r
     }
@@ -286,9 +319,11 @@ impl Sim {
     fn after_stack_mutation(&mut self, id: StackId) {
         // A direct mutation (e.g. install()) may have produced host
         // actions; execute them and schedule the CPU.
-        let actions = self.nodes[id.idx()].stack.drain_actions();
-        self.perform_actions(id, self.now, actions);
+        let mut buf = SendBuf::default();
+        self.nodes[id.idx()].driver.settle(self.now, &mut buf);
+        self.flush_sends(buf);
         self.ensure_step(id);
+        self.ensure_wake(id);
     }
 
     /// Schedule a closure to run at absolute virtual time `at` (clamped to
@@ -357,7 +392,7 @@ impl Sim {
     pub fn merged_trace(&mut self) -> TraceLog {
         let mut merged = TraceLog::new();
         for node in &mut self.nodes {
-            let t = node.stack.take_trace();
+            let t = node.driver.stack_mut().take_trace();
             merged.merge(&t);
         }
         merged
@@ -380,16 +415,20 @@ impl Sim {
                     return;
                 }
                 self.stats.packets_delivered += 1;
-                node.stack.packet_in(at, src, payload);
+                node.driver.inject(HostEvent::Packet { src, payload });
+                node.driver.absorb(at);
                 self.ensure_step(dst);
             }
-            EventKind::TimerFire { node, timer } => {
+            EventKind::NodeWake { node } => {
                 let n = &mut self.nodes[node.idx()];
-                if n.crashed {
+                if n.crashed || n.wake != Some(at) {
+                    // Stale wake: a nearer deadline superseded this entry.
                     return;
                 }
-                n.stack.timer_fired(at, timer);
+                n.wake = None;
+                n.driver.fire_due(at);
                 self.ensure_step(node);
+                self.ensure_wake(node);
             }
             EventKind::NodeStep { node } => {
                 self.nodes[node.idx()].step_scheduled = false;
@@ -398,7 +437,7 @@ impl Sim {
             EventKind::Crash { node } => {
                 let n = &mut self.nodes[node.idx()];
                 n.crashed = true;
-                n.stack.crash(at);
+                n.driver.stack_mut().crash(at);
             }
             EventKind::Action(f) => f(self),
         }
@@ -409,27 +448,23 @@ impl Sim {
         if node.crashed {
             return;
         }
-        let Some(info) = node.stack.step(at) else { return };
+        let Some(info) = node.driver.step_raw(at) else { return };
         self.stats.steps += 1;
         let cost = self.cfg.cpu.cost(info.category);
         node.cpu_free = at + cost;
         let done = node.cpu_free;
-        let actions = node.stack.drain_actions();
-        self.perform_actions(id, done, actions);
+        let mut buf = SendBuf::default();
+        node.driver.settle(done, &mut buf);
+        self.flush_sends(buf);
         self.ensure_step(id);
+        self.ensure_wake(id);
     }
 
-    fn perform_actions(&mut self, id: StackId, when: Time, actions: Vec<HostAction>) {
-        for action in actions {
-            match action {
-                HostAction::NetSend { dst, payload } => self.net_send(id, dst, payload, when),
-                HostAction::SetTimer { id: timer, delay } => {
-                    self.push(when + delay, EventKind::TimerFire { node: id, timer });
-                }
-                // The stack already forgot cancelled timers; firing one is
-                // a no-op, so nothing to do here.
-                HostAction::CancelTimer { .. } => {}
-            }
+    /// Replay sends buffered by a [`StackDriver`] call through the
+    /// network model, in action order.
+    fn flush_sends(&mut self, buf: SendBuf) {
+        for (at, src, dst, payload) in buf.sends {
+            self.net_send(src, dst, payload, at);
         }
     }
 
@@ -470,12 +505,29 @@ impl Sim {
 
     fn ensure_step(&mut self, id: StackId) {
         let node = &mut self.nodes[id.idx()];
-        if node.crashed || node.step_scheduled || !node.stack.has_work() {
+        if node.crashed || node.step_scheduled || !node.driver.stack().has_work() {
             return;
         }
         node.step_scheduled = true;
         let at = self.now.max(node.cpu_free);
         self.push(at, EventKind::NodeStep { node: id });
+    }
+
+    /// Keep one [`EventKind::NodeWake`] scheduled at the driver's
+    /// earliest timer deadline. Scheduling a nearer wake strands the old
+    /// heap entry; the stamp in [`Node::wake`] marks it stale.
+    fn ensure_wake(&mut self, id: StackId) {
+        let node = &mut self.nodes[id.idx()];
+        if node.crashed {
+            return;
+        }
+        let Some(deadline) = node.driver.next_deadline() else { return };
+        let at = deadline.max(self.now);
+        if node.wake.is_some_and(|w| w <= at) {
+            return;
+        }
+        node.wake = Some(at);
+        self.push(at, EventKind::NodeWake { node: id });
     }
 }
 

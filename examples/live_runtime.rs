@@ -7,24 +7,14 @@
 //! cargo run --example live_runtime
 //! ```
 
-use dpu::repl::builder::{build, specs, GroupStackOpts, SwitchLayer};
+use dpu::repl::builder::{
+    group_runtime, request_change_live, send_probe_live, specs, GroupStackOpts, SwitchLayer,
+};
 use dpu::runtime::{Runtime, RuntimeConfig};
 use dpu_core::probe::Probe;
-use dpu_core::{ModuleId, ServiceId, StackId};
-use dpu_protocols::abcast::ops as ab_ops;
+use dpu_core::{ModuleId, StackId};
 use dpu_repl::abcast_repl::ReplAbcastModule;
 use std::time::Duration;
-
-fn send(rt: &Runtime, node: u32, probe: ModuleId, top: &ServiceId) {
-    let top = top.clone();
-    let now = rt.now();
-    rt.with_stack(StackId(node), move |s| {
-        let payload = s
-            .with_module::<Probe, _>(probe, |p| p.next_payload(StackId(node), now))
-            .expect("probe");
-        s.call_as(probe, &top, ab_ops::ABCAST, payload);
-    });
-}
 
 fn delivered(rt: &Runtime, node: u32, probe: ModuleId) -> usize {
     rt.with_stack(StackId(node), move |s| {
@@ -40,29 +30,22 @@ fn main() {
         with_gm: false,
         extra_defaults: Vec::new(),
     };
-    let opts2 = opts.clone();
-    let rt = Runtime::spawn(RuntimeConfig::new(3), move |sc| build(sc, &opts2).stack);
-    // Handles are deterministic; recover them from a throwaway build.
-    let h = build(dpu_core::StackConfig::nth(0, 3, 0), &opts).handles;
+    let (rt, h) = group_runtime(RuntimeConfig::new(3).with_shards(2), &opts);
     let probe = h.probe.expect("probe");
     let layer = h.layer.expect("repl layer");
-    let top = h.top_service.clone();
 
-    println!("3 live stacks on OS threads; warming up ...");
+    println!("3 live stacks multiplexed on {} shard threads; warming up ...", rt.shards());
     std::thread::sleep(Duration::from_millis(300));
     for node in 0..3 {
-        send(&rt, node, probe, &top);
+        send_probe_live(&rt, StackId(node), &h);
     }
     wait_for(&rt, probe, 3);
     println!("3 messages totally ordered in real time");
 
     println!("hot-swapping abcast.ct → abcast.seq while sending ...");
-    let spec = specs::seq(1);
-    let data = dpu_core::wire::to_bytes(&spec);
-    let top2 = top.clone();
-    rt.with_stack(StackId(0), move |s| s.call_as(probe, &top2, dpu_repl::CHANGE_OP, data));
+    request_change_live(&rt, StackId(0), &h, &specs::seq(1));
     for node in 0..3 {
-        send(&rt, node, probe, &top);
+        send_probe_live(&rt, StackId(node), &h);
     }
     wait_for(&rt, probe, 6);
 

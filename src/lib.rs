@@ -12,7 +12,7 @@
 //!   variants, group membership;
 //! * [`repl`] — the replacement module (Algorithm 1) and the baseline
 //!   switchers;
-//! * [`runtime`] — a threaded real-time host.
+//! * [`runtime`] — a sharded event-loop real-time host.
 //!
 //! ## Quickstart
 //!

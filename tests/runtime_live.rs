@@ -4,12 +4,13 @@
 //! miniature). Wall-clock tests are kept short and generous with
 //! deadlines to stay robust on loaded CI machines.
 
-use dpu::repl::builder::{build, specs, GroupStackOpts, SwitchLayer};
+use dpu::repl::builder::{
+    group_runtime, request_change_live, send_probe_live, specs, GroupStackOpts, SwitchLayer,
+};
 use dpu::runtime::{Runtime, RuntimeConfig};
 use dpu_core::abcast_check::AbcastChecker;
 use dpu_core::probe::Probe;
-use dpu_core::{ModuleId, ServiceId, StackId};
-use dpu_protocols::abcast::ops as ab_ops;
+use dpu_core::{ModuleId, StackId};
 use dpu_repl::abcast_repl::ReplAbcastModule;
 use std::time::{Duration, Instant};
 
@@ -21,17 +22,6 @@ fn opts() -> GroupStackOpts {
         with_gm: false,
         extra_defaults: Vec::new(),
     }
-}
-
-fn send(rt: &Runtime, node: u32, probe: ModuleId, top: &ServiceId) {
-    let top = top.clone();
-    let now = rt.now();
-    rt.with_stack(StackId(node), move |s| {
-        let payload = s
-            .with_module::<Probe, _>(probe, |p| p.next_payload(StackId(node), now))
-            .expect("probe");
-        s.call_as(probe, &top, ab_ops::ABCAST, payload);
-    });
 }
 
 fn wait_for_deliveries(rt: &Runtime, probe: ModuleId, n: u32, count: usize) {
@@ -51,28 +41,22 @@ fn wait_for_deliveries(rt: &Runtime, probe: ModuleId, n: u32, count: usize) {
 }
 
 #[test]
-fn live_switch_preserves_total_order_across_threads() {
-    let o = opts();
-    let o2 = o.clone();
-    let rt = Runtime::spawn(RuntimeConfig::new(3), move |sc| build(sc, &o2).stack);
-    let h = build(dpu_core::StackConfig::nth(0, 3, 0), &o).handles;
+fn live_switch_preserves_total_order_across_shards() {
+    // 3 full Figure-4 stacks multiplexed on 2 shard threads.
+    let (rt, h) = group_runtime(RuntimeConfig::new(3).with_shards(2), &opts());
     let probe = h.probe.unwrap();
     let layer = h.layer.unwrap();
-    let top = h.top_service.clone();
 
     std::thread::sleep(Duration::from_millis(200));
     for node in 0..3 {
-        send(&rt, node, probe, &top);
+        send_probe_live(&rt, StackId(node), &h);
     }
     wait_for_deliveries(&rt, probe, 3, 3);
 
     // Live switch, with messages racing it.
-    let spec = specs::seq(1);
-    let data = dpu_core::wire::to_bytes(&spec);
-    let top2 = top.clone();
-    rt.with_stack(StackId(1), move |s| s.call_as(probe, &top2, dpu_repl::CHANGE_OP, data));
+    request_change_live(&rt, StackId(1), &h, &specs::seq(1));
     for node in 0..3 {
-        send(&rt, node, probe, &top);
+        send_probe_live(&rt, StackId(node), &h);
     }
     wait_for_deliveries(&rt, probe, 3, 6);
 
@@ -103,17 +87,13 @@ fn live_switch_preserves_total_order_across_threads() {
 fn live_stack_survives_lossy_network() {
     let mut cfg = RuntimeConfig::new(3);
     cfg.loss = 0.10;
-    let o = opts();
-    let o2 = o.clone();
-    let rt = Runtime::spawn(cfg, move |sc| build(sc, &o2).stack);
-    let h = build(dpu_core::StackConfig::nth(0, 3, 0), &o).handles;
+    let (rt, h) = group_runtime(cfg, &opts());
     let probe = h.probe.unwrap();
-    let top = h.top_service.clone();
 
     std::thread::sleep(Duration::from_millis(200));
     for round in 0..4 {
         for node in 0..3 {
-            send(&rt, node, probe, &top);
+            send_probe_live(&rt, StackId(node), &h);
         }
         wait_for_deliveries(&rt, probe, 3, (round + 1) * 3);
     }
