@@ -1,13 +1,24 @@
 //! Micro-benchmark: the wire codec (encode/decode of typical protocol
 //! payloads). The codec sits on every message path, so its cost bounds
 //! the per-event CPU model calibration.
+//!
+//! Three encode paths are measured:
+//!
+//! * `encode_*` — `to_bytes`, the one-shot path (exact-capacity buffer
+//!   sized by `Encode::encoded_len`);
+//! * `encode_*_scratch` — the `WireScratch` pool every stack uses on its
+//!   message path (steady-state allocation-free);
+//! * `encode_dgram_nested` — a protocol frame inside a `Dgram`, written
+//!   forward in one pass via `DgramRef`/`LenPrefixed` (what every
+//!   protocol send does), versus the two-pass encoding it replaced.
 
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dpu_core::probe::ProbeMsg;
 use dpu_core::time::Time;
-use dpu_core::wire::{from_bytes, to_bytes};
+use dpu_core::wire::{from_bytes, to_bytes, Encode, WireScratch};
 use dpu_core::StackId;
+use dpu_net::dgram::{Dgram, DgramRef};
 
 fn bench_codec(c: &mut Criterion) {
     let msg = ProbeMsg {
@@ -23,6 +34,10 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("encode_probe_msg", |b| {
         b.iter(|| to_bytes(black_box(&msg)));
     });
+    group.bench_function("encode_probe_msg_scratch", |b| {
+        let mut scratch = WireScratch::new();
+        b.iter(|| scratch.encode(black_box(&msg)));
+    });
     group.bench_function("decode_probe_msg", |b| {
         b.iter(|| from_bytes::<ProbeMsg>(black_box(&encoded)).unwrap());
     });
@@ -34,8 +49,30 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("encode_consensus_batch_32", |b| {
         b.iter(|| to_bytes(black_box(&batch)));
     });
+    group.bench_function("encode_consensus_batch_32_scratch", |b| {
+        let mut scratch = WireScratch::new();
+        b.iter(|| scratch.encode(black_box(&batch)));
+    });
     group.bench_function("decode_consensus_batch_32", |b| {
         b.iter(|| from_bytes::<Vec<(StackId, u64, Bytes)>>(black_box(&batch_bytes)).unwrap());
+    });
+
+    // The layered-send shape: a protocol frame inside a Dgram. One-pass
+    // (DgramRef, what the modules do now) vs the old two-pass encoding.
+    let body = (0u32, 77u64, 5u16, Bytes::from(vec![3u8; 64]));
+    let nested = DgramRef { peer: StackId(2), channel: 8, body: &body }.to_bytes();
+    group.throughput(Throughput::Bytes(nested.len() as u64));
+    group.bench_function("encode_dgram_nested_one_pass", |b| {
+        let mut scratch = WireScratch::new();
+        b.iter(|| {
+            scratch.encode(&DgramRef { peer: StackId(2), channel: 8, body: black_box(&body) })
+        });
+    });
+    group.bench_function("encode_dgram_nested_two_pass", |b| {
+        b.iter(|| {
+            let frame = to_bytes(black_box(&body));
+            to_bytes(&Dgram { peer: StackId(2), channel: 8, data: frame })
+        });
     });
     group.finish();
 }

@@ -1,0 +1,162 @@
+//! Generates `BENCH_wire.json`: the wire-codec performance baseline the
+//! CI run records so the perf trajectory of the message path is visible
+//! in-tree.
+//!
+//! Measures the three encode paths plus decode on the two canonical
+//! payload shapes of the `wire_codec` bench, then runs one short
+//! abcast-roundtrip simulation and records its aggregate
+//! [`dpu_core::wire::ScratchStats`] — `steady_allocs_per_msg` near zero
+//! is the "zero steady-state allocations on the encode path" claim in
+//! machine-checkable form (the hard gate is `tests/wire_steady_state.rs`;
+//! this file records the magnitude).
+//!
+//! Usage: `cargo run --release -p dpu-bench --bin bench_wire [out.json]`
+//! (default output path `BENCH_wire.json` in the current directory).
+//! Absolute nanoseconds vary with the host; the committed baseline
+//! records the machine-independent ratios alongside them.
+
+use bytes::Bytes;
+use dpu_bench::stats::collect_latencies;
+use dpu_core::probe::ProbeMsg;
+use dpu_core::time::{Dur, Time};
+use dpu_core::wire::{from_bytes, to_bytes, ScratchStats, WireScratch};
+use dpu_core::StackId;
+use dpu_repl::builder::{drive_load, group_sim, specs, GroupStackOpts, SwitchLayer};
+use dpu_sim::SimConfig;
+use std::time::Instant;
+
+/// Time `f` over enough iterations for a stable mean, in ns/iter.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm up, then measure in one block.
+    for _ in 0..10_000 {
+        f();
+    }
+    let iters = 2_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn roundtrip_scratch_stats() -> (usize, ScratchStats) {
+    let mut cfg = SimConfig::lan(3, 42);
+    cfg.trace = false;
+    let opts = GroupStackOpts {
+        abcast: specs::seq(0),
+        layer: SwitchLayer::None,
+        probe_pad: Some(32),
+        with_gm: false,
+        extra_defaults: Vec::new(),
+    };
+    let (mut sim, h) = group_sim(cfg, &opts);
+    sim.run_until(Time::ZERO + Dur::millis(300));
+    let until = sim.now() + Dur::secs(2);
+    drive_load(&mut sim, &h, 50.0, until);
+    sim.run_until(until + Dur::secs(1));
+    let delivered = collect_latencies(&mut sim, &h).len();
+    (delivered, sim.wire_stats())
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_wire.json".to_string());
+
+    let msg = ProbeMsg {
+        origin: StackId(3),
+        seq: 123_456,
+        sent_at: Time(987_654_321),
+        pad: Bytes::from(vec![7u8; 64]),
+    };
+    let encoded = to_bytes(&msg);
+    let batch: Vec<(StackId, u64, Bytes)> =
+        (0..32).map(|i| (StackId(i % 7), u64::from(i), Bytes::from(vec![0u8; 48]))).collect();
+    let batch_bytes = to_bytes(&batch);
+
+    let encode_probe = time_ns(|| {
+        std::hint::black_box(to_bytes(std::hint::black_box(&msg)));
+    });
+    let mut scratch = WireScratch::new();
+    let encode_probe_scratch = time_ns(|| {
+        std::hint::black_box(scratch.encode(std::hint::black_box(&msg)));
+    });
+    let decode_probe = time_ns(|| {
+        std::hint::black_box(from_bytes::<ProbeMsg>(std::hint::black_box(&encoded)).unwrap());
+    });
+    let encode_batch = time_ns(|| {
+        std::hint::black_box(to_bytes(std::hint::black_box(&batch)));
+    });
+    let decode_batch = time_ns(|| {
+        std::hint::black_box(
+            from_bytes::<Vec<(StackId, u64, Bytes)>>(std::hint::black_box(&batch_bytes)).unwrap(),
+        );
+    });
+    let scratch_stats = scratch.stats();
+
+    let (delivered, sim_stats) = roundtrip_scratch_stats();
+    let steady_allocs_per_msg = if sim_stats.emitted == 0 {
+        0.0
+    } else {
+        sim_stats.allocations as f64 / sim_stats.emitted as f64
+    };
+
+    // Pre-refactor reference, measured on the same machine at commit
+    // 1f2701e (PR 2 head, before the zero-copy message path): lets the
+    // committed baseline carry the improvement ratio, not just absolute
+    // nanoseconds that vary per host.
+    const PRE_ENCODE_PROBE: f64 = 146.0;
+    const PRE_DECODE_PROBE: f64 = 105.2;
+    const PRE_ENCODE_BATCH: f64 = 1060.1;
+    const PRE_DECODE_BATCH: f64 = 1283.2;
+
+    let json = format!(
+        r#"{{
+  "bench": "wire_codec + abcast_roundtrip (see crates/bench/src/bin/bench_wire.rs)",
+  "units": "ns_per_iter unless noted",
+  "pre_refactor_reference": {{
+    "commit": "1f2701e",
+    "encode_probe_msg": {PRE_ENCODE_PROBE},
+    "decode_probe_msg": {PRE_DECODE_PROBE},
+    "encode_consensus_batch_32": {PRE_ENCODE_BATCH},
+    "decode_consensus_batch_32": {PRE_DECODE_BATCH}
+  }},
+  "speedup_vs_pre_refactor": {{
+    "encode_probe_msg": {:.2},
+    "decode_probe_msg": {:.2},
+    "encode_consensus_batch_32": {:.2},
+    "decode_consensus_batch_32": {:.2}
+  }},
+  "encode_probe_msg": {encode_probe:.1},
+  "encode_probe_msg_scratch": {encode_probe_scratch:.1},
+  "decode_probe_msg": {decode_probe:.1},
+  "encode_consensus_batch_32": {encode_batch:.1},
+  "decode_consensus_batch_32": {decode_batch:.1},
+  "microbench_scratch": {{
+    "emitted": {},
+    "reclaimed": {},
+    "allocations": {}
+  }},
+  "abcast_roundtrip": {{
+    "variant": "sequencer, n=3, 50 msg/s x 2 s, pad 32",
+    "deliveries": {delivered},
+    "wire_emitted": {},
+    "wire_reclaimed": {},
+    "wire_allocations": {},
+    "steady_allocs_per_msg": {steady_allocs_per_msg:.5}
+  }}
+}}
+"#,
+        PRE_ENCODE_PROBE / encode_probe,
+        PRE_DECODE_PROBE / decode_probe,
+        PRE_ENCODE_BATCH / encode_batch,
+        PRE_DECODE_BATCH / decode_batch,
+        scratch_stats.emitted,
+        scratch_stats.reclaimed,
+        scratch_stats.allocations,
+        sim_stats.emitted,
+        sim_stats.reclaimed,
+        sim_stats.allocations,
+    );
+    std::fs::write(&out, &json).expect("write baseline json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

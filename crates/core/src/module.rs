@@ -150,6 +150,9 @@ impl Encode for ModuleSpec {
         self.kind.encode(buf);
         self.params.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.kind.encoded_len() + self.params.encoded_len()
+    }
 }
 
 impl Decode for ModuleSpec {

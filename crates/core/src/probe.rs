@@ -50,6 +50,13 @@ impl Encode for ProbeMsg {
         self.sent_at.encode(buf);
         self.pad.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        PROBE_MAGIC.encoded_len()
+            + self.origin.encoded_len()
+            + self.seq.encoded_len()
+            + self.sent_at.encoded_len()
+            + self.pad.encoded_len()
+    }
 }
 
 impl Decode for ProbeMsg {

@@ -32,7 +32,7 @@ use crate::ids::{ModuleId, ServiceId, StackId, TimerId};
 use crate::module::{Call, Module, ModuleSpec, Op, Response};
 use crate::time::{Dur, Time};
 use crate::trace::{TraceEvent, TraceLog};
-use crate::wire::{self, WireError};
+use crate::wire::{Encode, ScratchStats, WireError, WireScratch};
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -278,6 +278,10 @@ pub struct Stack {
     rng_state: u64,
     crashed: bool,
     net_bridge: ModuleId,
+    /// Reusable encode buffers for every message this stack produces —
+    /// the steady-state allocation-free path. One scratch per stack means
+    /// one per `StackDriver`, whichever host owns the driver.
+    scratch: WireScratch,
 }
 
 impl Stack {
@@ -307,6 +311,7 @@ impl Stack {
             rng_state: cfg.seed ^ (u64::from(cfg.id.0) + 1).wrapping_mul(0x9E3779B97F4A7C15),
             crashed: false,
             net_bridge: ModuleId(0),
+            scratch: WireScratch::new(),
         };
         let bridge = stack.insert_module(Box::new(NetBridge));
         stack.net_bridge = bridge;
@@ -562,7 +567,7 @@ impl Stack {
             return;
         }
         self.now = now;
-        let data = wire::to_bytes(&(src, payload));
+        let data = self.scratch.encode(&(src, payload));
         self.enqueue_response(Response {
             service: ServiceId::new(crate::svc::NET),
             op: net_ops::RECV,
@@ -665,6 +670,19 @@ impl Stack {
         std::mem::take(&mut self.actions)
     }
 
+    /// Encode a payload through this stack's [`WireScratch`] (steady-state
+    /// allocation-free; bytes identical to [`Encode::to_bytes`]). Hosts
+    /// and tests use this to build injected payloads; modules use
+    /// [`ModuleCtx::encode`].
+    pub fn encode<T: Encode + ?Sized>(&mut self, value: &T) -> Bytes {
+        self.scratch.encode(value)
+    }
+
+    /// Counters of this stack's scratch pool (see [`ScratchStats`]).
+    pub fn wire_stats(&self) -> ScratchStats {
+        self.scratch.stats()
+    }
+
     /// Run a closure against the concrete type of a module (downcast).
     /// Returns `None` if the module does not exist or has another type.
     pub fn with_module<M: Module, R>(
@@ -728,6 +746,14 @@ impl ModuleCtx<'_> {
     /// This module's own id.
     pub fn me(&self) -> ModuleId {
         self.me
+    }
+
+    /// Encode a payload through the stack's shared [`WireScratch`]: the
+    /// steady-state allocation-free way for a module to build the `data`
+    /// for [`ModuleCtx::call`] / [`ModuleCtx::respond`]. Produces bytes
+    /// identical to [`Encode::to_bytes`].
+    pub fn encode<T: Encode + ?Sized>(&mut self, value: &T) -> Bytes {
+        self.stack.scratch.encode(value)
     }
 
     /// Call a service (paper: "service call"). If the service is unbound

@@ -12,9 +12,35 @@
 //! The codec exists because the offline dependency set contains `serde` but
 //! no serde *format* crate; a direct `Encode`/`Decode` pair is smaller and
 //! gives us exact message sizes for the simulator's bandwidth model.
+//!
+//! # Steady-state allocation-free encoding
+//!
+//! The wire format is **frozen** (the golden trace in
+//! `tests/host_equivalence.rs` pins it byte for byte), but the *path* that
+//! produces those bytes is built to avoid per-message allocation:
+//!
+//! * [`Encode::encoded_len`] reports the exact encoded size before any
+//!   byte is written, so buffers are sized once and nested length
+//!   prefixes are written *forward* — no intermediate buffer per layer;
+//! * [`LenPrefixed`] wraps a value so it encodes as `uvarint(len)` +
+//!   `encoding`, byte-identical to encoding `value.to_bytes()` as a
+//!   [`Bytes`] field, letting a whole nested frame be written into one
+//!   buffer;
+//! * [`WireScratch`] is a reusable buffer pool: each stack (and therefore
+//!   each `StackDriver`) owns one, and in steady state every emitted
+//!   message reclaims the backing buffer of an earlier message whose
+//!   consumers have dropped it — zero new backing allocations
+//!   ([`ScratchStats`] counts them).
+//!
+//! Decoding is zero-copy: [`Bytes`] fields borrow the input buffer
+//! (`split_to` is a pointer advance on the shared backing storage), and
+//! `String` fields validate UTF-8 on the borrowed slice before the single
+//! unavoidable allocation. Length prefixes are validated against the
+//! remaining input *before* any allocation, so malformed frames cannot
+//! trigger huge `with_capacity` calls.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Error produced when decoding malformed or truncated input.
@@ -54,11 +80,40 @@ pub trait Encode {
     /// Append the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
 
-    /// Encode into a fresh, frozen buffer.
+    /// Exact number of bytes [`Encode::encode`] will append.
+    ///
+    /// The contract `encoded_len() == encode(..).len()` is what allows
+    /// forward length-prefix writing ([`LenPrefixed`]) and exact buffer
+    /// sizing ([`WireScratch`]); it is property-tested for every message
+    /// type in the workspace.
+    fn encoded_len(&self) -> usize;
+
+    /// Encode into a fresh, frozen buffer, sized exactly.
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32);
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
         self.encode(&mut buf);
         buf.freeze()
+    }
+
+    /// Encode through a reusable [`WireScratch`]; in steady state this
+    /// reuses the backing buffer of an earlier message instead of
+    /// allocating. The bytes produced are identical to
+    /// [`Encode::to_bytes`].
+    fn encode_into(&self, scratch: &mut WireScratch) -> Bytes
+    where
+        Self: Sized,
+    {
+        scratch.encode(self)
+    }
+}
+
+/// Blanket impl: a reference encodes exactly like its referent.
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
     }
 }
 
@@ -78,17 +133,52 @@ pub trait Decode: Sized {
     }
 }
 
+/// Exact number of bytes [`put_uvarint`] writes for `v`.
+#[inline]
+pub const fn uvarint_len(v: u64) -> usize {
+    // ceil(significant_bits / 7), with 0 occupying one byte.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Read a length prefix and validate it against the remaining input
+/// **before any allocation**. Every encoded element (and every raw byte)
+/// occupies at least one input byte, so a genuine length can never exceed
+/// `buf.remaining()`; anything larger is a malformed frame and fails
+/// here, before a `with_capacity` could be asked for gigabytes.
+#[inline]
+pub fn get_length_prefix(buf: &mut Bytes) -> WireResult<usize> {
+    let len = get_uvarint(buf)?;
+    if len > buf.remaining() as u64 {
+        return Err(WireError::BadLength(len));
+    }
+    Ok(len as usize)
+}
+
 /// Write an unsigned LEB128 varint.
+#[inline]
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    // Fast path: the overwhelming share of fields (tags, ids, channels,
+    // lengths) fit one byte.
+    if v < 0x80 {
+        buf.put_u8(v as u8);
+        return;
+    }
+    // Staged in a stack array so the buffer is touched exactly once.
+    let mut tmp = [0u8; 10];
+    let mut n = 0;
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
-            return;
+            tmp[n] = byte;
+            n += 1;
+            break;
         }
-        buf.put_u8(byte | 0x80);
+        tmp[n] = byte | 0x80;
+        n += 1;
     }
+    buf.put_slice(&tmp[..n]);
 }
 
 /// Read an unsigned LEB128 varint.
@@ -130,6 +220,9 @@ macro_rules! impl_uint {
             fn encode(&self, buf: &mut BytesMut) {
                 put_uvarint(buf, u64::from(*self));
             }
+            fn encoded_len(&self) -> usize {
+                uvarint_len(u64::from(*self))
+            }
         }
         impl Decode for $ty {
             fn decode(buf: &mut Bytes) -> WireResult<Self> {
@@ -146,6 +239,9 @@ impl Encode for usize {
     fn encode(&self, buf: &mut BytesMut) {
         put_uvarint(buf, *self as u64);
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(*self as u64)
+    }
 }
 
 impl Decode for usize {
@@ -159,6 +255,9 @@ impl Encode for i64 {
     fn encode(&self, buf: &mut BytesMut) {
         put_uvarint(buf, zigzag(*self));
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(zigzag(*self))
+    }
 }
 
 impl Decode for i64 {
@@ -170,6 +269,9 @@ impl Decode for i64 {
 impl Encode for bool {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -187,23 +289,31 @@ impl Encode for String {
         put_uvarint(buf, self.len() as u64);
         buf.put_slice(self.as_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl Decode for String {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        let len = get_uvarint(buf)?;
-        if len > buf.remaining() as u64 {
-            return Err(WireError::BadLength(len));
+        let len = get_length_prefix(buf)?;
+        let raw = buf.split_to(len);
+        // Validate on the borrowed slice first, so the only allocation is
+        // the final owned copy of a known-valid string.
+        match std::str::from_utf8(&raw) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(WireError::InvalidUtf8),
         }
-        let raw = buf.split_to(len as usize);
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
     }
 }
 
-impl Encode for &str {
+impl Encode for str {
     fn encode(&self, buf: &mut BytesMut) {
         put_uvarint(buf, self.len() as u64);
         buf.put_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -212,15 +322,16 @@ impl Encode for Bytes {
         put_uvarint(buf, self.len() as u64);
         buf.put_slice(self);
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl Decode for Bytes {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        let len = get_uvarint(buf)?;
-        if len > buf.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
-        Ok(buf.split_to(len as usize))
+        let len = get_length_prefix(buf)?;
+        // Zero-copy: a window into the shared backing buffer.
+        Ok(buf.split_to(len))
     }
 }
 
@@ -231,16 +342,17 @@ impl<T: Encode> Encode for Vec<T> {
             item.encode(buf);
         }
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Decode> Decode for Vec<T> {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        let len = get_uvarint(buf)?;
-        // Each element takes at least one byte on the wire.
-        if len > buf.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
-        let mut out = Vec::with_capacity(len as usize);
+        // Each element takes at least one byte on the wire, so the length
+        // check bounds the allocation below by the input size.
+        let len = get_length_prefix(buf)?;
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::decode(buf)?);
         }
@@ -255,14 +367,14 @@ impl<T: Encode + Ord> Encode for BTreeSet<T> {
             item.encode(buf);
         }
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Decode + Ord> Decode for BTreeSet<T> {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        let len = get_uvarint(buf)?;
-        if len > buf.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
+        let len = get_length_prefix(buf)?;
         let mut out = BTreeSet::new();
         for _ in 0..len {
             out.insert(T::decode(buf)?);
@@ -279,14 +391,15 @@ impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
             v.encode(buf);
         }
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64)
+            + self.iter().map(|(k, v)| k.encoded_len() + v.encoded_len()).sum::<usize>()
+    }
 }
 
 impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        let len = get_uvarint(buf)?;
-        if len > buf.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
+        let len = get_length_prefix(buf)?;
         let mut out = BTreeMap::new();
         for _ in 0..len {
             let k = K::decode(buf)?;
@@ -306,6 +419,9 @@ impl<T: Encode> Encode for Option<T> {
                 v.encode(buf);
             }
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
     }
 }
 
@@ -328,6 +444,9 @@ macro_rules! impl_tuple {
             fn encode(&self, buf: &mut BytesMut) {
                 $(self.$idx.encode(buf);)+
             }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
         }
         impl<$($name: Decode),+> Decode for ($($name,)+) {
             fn decode(buf: &mut Bytes) -> WireResult<Self> {
@@ -347,6 +466,9 @@ impl Encode for crate::ids::StackId {
     fn encode(&self, buf: &mut BytesMut) {
         self.0.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
 }
 
 impl Decode for crate::ids::StackId {
@@ -359,11 +481,154 @@ impl Encode for crate::time::Time {
     fn encode(&self, buf: &mut BytesMut) {
         self.0.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
 }
 
 impl Decode for crate::time::Time {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         Ok(crate::time::Time(u64::decode(buf)?))
+    }
+}
+
+/// Encodes its referent behind a forward-written length prefix:
+/// `uvarint(encoded_len)` followed by the encoding itself.
+///
+/// This is byte-identical to encoding `value.to_bytes()` as a [`Bytes`]
+/// field, which is how layered frames used to be built — each layer
+/// encoding into a fresh buffer that the next layer copied. Wrapping the
+/// inner value in `LenPrefixed` instead writes the whole nested structure
+/// into one buffer in a single pass. The receiver still decodes the field
+/// as [`Bytes`] (zero-copy) and peels it with `from_bytes`.
+pub struct LenPrefixed<'a, T: Encode + ?Sized>(pub &'a T);
+
+impl<T: Encode + ?Sized> Encode for LenPrefixed<'_, T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.0.encoded_len() as u64);
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        let inner = self.0.encoded_len();
+        uvarint_len(inner as u64) + inner
+    }
+}
+
+/// Counters of one [`WireScratch`] pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Messages encoded through the scratch.
+    pub emitted: u64,
+    /// Messages whose backing buffer was reclaimed from an earlier
+    /// message (no new backing allocation).
+    pub reclaimed: u64,
+    /// Messages that required a new backing allocation — a fresh buffer,
+    /// or a reclaimed one that had to grow. In steady state this counter
+    /// stops moving: that is the "zero steady-state allocations" property
+    /// the benches assert.
+    pub allocations: u64,
+}
+
+impl ScratchStats {
+    /// Merge another pool's counters into this one (host aggregation).
+    pub fn absorb(&mut self, other: ScratchStats) {
+        self.emitted += other.emitted;
+        self.reclaimed += other.reclaimed;
+        self.allocations += other.allocations;
+    }
+}
+
+/// How many emitted buffers a [`WireScratch`] keeps a handle to for
+/// reclaim. Bounds both the scan cost per encode and the retained memory
+/// (entries whose consumers are long-lived rotate out).
+const SCRATCH_RETAIN: usize = 32;
+
+/// Largest message a [`WireScratch`] will retain for reclaim. Messages
+/// above this (jumbo batches) allocate per emission instead, so one
+/// burst of huge messages cannot pin `SCRATCH_RETAIN` jumbo buffers per
+/// stack for the process lifetime — with thousands of stacks per
+/// process, that ratchet would be gigabytes of dead encode buffers.
+const SCRATCH_RETAIN_MAX_BYTES: usize = 64 * 1024;
+
+/// A reusable encode-buffer pool: the steady-state allocation-free path.
+///
+/// `encode` sizes the buffer exactly via [`Encode::encoded_len`], writes
+/// the message, and hands out the frozen [`Bytes`] while *retaining a
+/// clone* of it. On a later `encode`, any retained buffer whose consumers
+/// have dropped their handles is reclaimed (`BytesMut::try_from(Bytes)`,
+/// which succeeds only for a unique owner) and reused — so once traffic
+/// reaches a steady state, no new backing buffers are allocated. One
+/// scratch lives in every [`crate::Stack`], i.e. one per `StackDriver`,
+/// so the pool is single-threaded and needs no locking.
+#[derive(Default)]
+pub struct WireScratch {
+    retained: VecDeque<Bytes>,
+    stats: ScratchStats,
+}
+
+impl WireScratch {
+    /// An empty pool.
+    pub fn new() -> WireScratch {
+        WireScratch::default()
+    }
+
+    /// Pool counters so far.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Encode `value`, reusing a reclaimed buffer when one is free.
+    /// The produced bytes are identical to [`Encode::to_bytes`].
+    pub fn encode<T: Encode + ?Sized>(&mut self, value: &T) -> Bytes {
+        let len = value.encoded_len();
+        let mut buf = self.take_buffer(len);
+        value.encode(&mut buf);
+        debug_assert_eq!(buf.len(), len, "encoded_len() disagrees with encode()");
+        let out = buf.freeze();
+        if len <= SCRATCH_RETAIN_MAX_BYTES {
+            if self.retained.len() == SCRATCH_RETAIN {
+                self.retained.pop_front();
+            }
+            self.retained.push_back(out.clone());
+        }
+        self.stats.emitted += 1;
+        out
+    }
+
+    /// A cleared buffer with capacity for `len` bytes: a reclaimed one if
+    /// any retained handle is uniquely owned again, else a fresh one.
+    /// Still-shared entries are skipped with a cheap refcount peek
+    /// (`Bytes::is_unique`), not moved around.
+    fn take_buffer(&mut self, len: usize) -> BytesMut {
+        for i in 0..self.retained.len() {
+            if !self.retained[i].is_unique() {
+                continue;
+            }
+            let candidate = self.retained.remove(i).expect("index in range");
+            let Ok(mut buf) = BytesMut::try_from(candidate) else {
+                // Unreachable for a single-threaded pool, but harmless.
+                break;
+            };
+            if buf.capacity() < len {
+                self.stats.allocations += 1;
+            } else {
+                self.stats.reclaimed += 1;
+            }
+            buf.clear();
+            buf.reserve(len);
+            return buf;
+        }
+        self.stats.allocations += 1;
+        BytesMut::with_capacity(len)
+    }
+}
+
+impl fmt::Debug for WireScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireScratch")
+            .field("retained", &self.retained.len())
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -375,6 +640,43 @@ pub fn to_bytes<T: Encode>(value: &T) -> Bytes {
 /// Decode a value from a frozen buffer, requiring full consumption.
 pub fn from_bytes<T: Decode>(bytes: &Bytes) -> WireResult<T> {
     T::from_bytes(bytes)
+}
+
+/// Wire-contract checking helpers, shared by every crate's codec tests.
+/// Hidden from docs: test support, not API.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    /// Assert the full wire contract for one value of `T`:
+    ///
+    /// 1. `encoded_len() == encode(..).len()` (forward sizing is exact);
+    /// 2. decode ∘ encode roundtrips at the byte level (checked by
+    ///    re-encoding, so `T` needs no `PartialEq`);
+    /// 3. decoding any strict prefix fails with an error — never panics,
+    ///    never fabricates a value (every varint and length prefix is
+    ///    validated against the remaining input);
+    /// 4. decoding single-byte corruptions never panics.
+    pub fn assert_wire_contract<T: Encode + Decode>(value: &T) {
+        let bytes = to_bytes(value);
+        assert_eq!(value.encoded_len(), bytes.len(), "encoded_len() != encode().len()");
+        let scratch_bytes = WireScratch::new().encode(value);
+        assert_eq!(scratch_bytes, bytes, "scratch encode differs from to_bytes");
+        let back = T::from_bytes(&bytes).expect("roundtrip decode failed");
+        assert_eq!(to_bytes(&back), bytes, "re-encoding the decoded value changed the bytes");
+        for cut in 0..bytes.len() {
+            let prefix = bytes.slice(..cut);
+            assert!(T::from_bytes(&prefix).is_err(), "decode of {cut}-byte prefix succeeded");
+        }
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut corrupt = bytes.to_vec();
+                corrupt[i] ^= flip;
+                // Must return (Ok or Err) — never panic, never overflow.
+                let _ = T::from_bytes(&Bytes::from(corrupt));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,14 +6,17 @@
 use bytes::Bytes;
 use dpu_core::probe::ProbeMsg;
 use dpu_core::time::Time;
-use dpu_core::wire::{from_bytes, to_bytes, Decode, Encode};
+use dpu_core::wire::{from_bytes, testing::assert_wire_contract, to_bytes, Decode, Encode};
 use dpu_core::{ModuleSpec, StackId};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Value equality on top of the full wire contract (`encoded_len`
+/// exactness, scratch-encode equality, truncated decodes fail, corrupted
+/// decodes never panic).
 fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
-    let bytes = to_bytes(v);
-    let back: T = from_bytes(&bytes).expect("roundtrip decode");
+    assert_wire_contract(v);
+    let back: T = from_bytes(&to_bytes(v)).expect("roundtrip decode");
     assert_eq!(&back, v);
 }
 

@@ -12,7 +12,7 @@
 //! fragment loses the whole message (the reassembly slot is evicted
 //! LRU-style). Reliability stays where it belongs — in RP2P above.
 
-use crate::dgram::{self, Dgram};
+use crate::dgram::{self, Dgram, DgramRef};
 use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
 use dpu_core::wire::{Decode, Encode, WireResult};
@@ -44,6 +44,9 @@ impl Encode for FragConfig {
         self.mtu.encode(buf);
         self.reassembly_slots.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.mtu.encoded_len() + self.reassembly_slots.encoded_len()
+    }
 }
 
 impl Decode for FragConfig {
@@ -68,6 +71,13 @@ impl Encode for Fragment {
         self.count.encode(buf);
         self.channel.encode(buf);
         self.data.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.msg_id.encoded_len()
+            + self.index.encoded_len()
+            + self.count.encoded_len()
+            + self.channel.encoded_len()
+            + self.data.encoded_len()
     }
 }
 
@@ -146,18 +156,23 @@ impl FragModule {
         self.evicted
     }
 
-    fn send_fragment(&mut self, ctx: &mut ModuleCtx<'_>, dst: StackId, frag: Fragment) {
+    fn send_fragment(&mut self, ctx: &mut ModuleCtx<'_>, dst: StackId, frag: &Fragment) {
         self.fragments_sent += 1;
-        let d = Dgram { peer: dst, channel: crate::FRAG_UDP_CHANNEL, data: frag.to_bytes() };
-        ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
+        // One forward pass: the fragment is encoded in place inside the
+        // Dgram frame, through the stack's reusable scratch.
+        let d = DgramRef { peer: dst, channel: crate::FRAG_UDP_CHANNEL, body: frag };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.udp_svc, dgram::SEND, payload);
     }
 
     fn on_fragment(&mut self, ctx: &mut ModuleCtx<'_>, src: StackId, frag: Fragment) {
         if frag.count == 1 {
-            // Fast path: unfragmented message.
+            // Fast path: unfragmented message; the payload Bytes is a
+            // zero-copy window into the received datagram.
             self.messages_reassembled += 1;
             let d = Dgram { peer: src, channel: frag.channel, data: frag.data };
-            ctx.respond(&self.frag_svc, dgram::RECV, d.to_bytes());
+            let up = ctx.encode(&d);
+            ctx.respond(&self.frag_svc, dgram::RECV, up);
             return;
         }
         let slots = self.slots.entry(src).or_default();
@@ -170,13 +185,15 @@ impl FragModule {
         if slot.parts.len() as u32 == slot.count {
             let slot = slots.remove(&frag.msg_id).expect("just present");
             order.retain(|&id| id != frag.msg_id);
-            let mut whole = BytesMut::new();
+            let total: usize = slot.parts.values().map(Bytes::len).sum();
+            let mut whole = BytesMut::with_capacity(total);
             for (_, part) in slot.parts {
                 whole.extend_from_slice(&part);
             }
             self.messages_reassembled += 1;
             let d = Dgram { peer: src, channel: slot.channel, data: whole.freeze() };
-            ctx.respond(&self.frag_svc, dgram::RECV, d.to_bytes());
+            let up = ctx.encode(&d);
+            ctx.respond(&self.frag_svc, dgram::RECV, up);
             return;
         }
         // Evict the oldest incomplete message under slot pressure.
@@ -219,7 +236,7 @@ impl Module for FragModule {
             let hi = (lo + mtu).min(d.data.len());
             let frag =
                 Fragment { msg_id, index, count, channel: d.channel, data: d.data.slice(lo..hi) };
-            self.send_fragment(ctx, d.peer, frag);
+            self.send_fragment(ctx, d.peer, &frag);
         }
     }
 
@@ -440,6 +457,18 @@ mod tests {
         });
         assert_eq!(reassembled, 0);
         assert!(evicted >= 1, "slot pressure must evict");
+    }
+
+    #[test]
+    fn fragment_and_config_wire_contract() {
+        for data in [Bytes::new(), Bytes::from_static(b"chunk"), Bytes::from(vec![1u8; 1400])] {
+            let frag = Fragment { msg_id: 77, index: 2, count: 9, channel: 5, data };
+            dpu_core::wire::testing::assert_wire_contract(&frag);
+        }
+        dpu_core::wire::testing::assert_wire_contract(&FragConfig {
+            mtu: 512,
+            reassembly_slots: 8,
+        });
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub mod dgram {
             self.channel.encode(buf);
             self.data.encode(buf);
         }
+        fn encoded_len(&self) -> usize {
+            self.peer.encoded_len() + self.channel.encoded_len() + self.data.encoded_len()
+        }
     }
 
     impl Decode for Dgram {
@@ -72,6 +75,34 @@ pub mod dgram {
                 channel: u16::decode(buf)?,
                 data: Bytes::decode(buf)?,
             })
+        }
+    }
+
+    /// Borrowing view of a [`Dgram`] whose payload is a not-yet-encoded
+    /// message: encodes byte-identically to
+    /// `Dgram { peer, channel, data: body.to_bytes() }` but writes the
+    /// nested frame *forward* into one buffer (the body's length prefix
+    /// comes from [`Encode::encoded_len`]), so no intermediate buffer is
+    /// built per layer. Every protocol module sends through this.
+    pub struct DgramRef<'a, B: Encode + ?Sized> {
+        /// Destination stack.
+        pub peer: StackId,
+        /// Multiplexing channel.
+        pub channel: u16,
+        /// The payload message, encoded in place.
+        pub body: &'a B,
+    }
+
+    impl<B: Encode + ?Sized> Encode for DgramRef<'_, B> {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.peer.encode(buf);
+            self.channel.encode(buf);
+            dpu_core::wire::LenPrefixed(self.body).encode(buf);
+        }
+        fn encoded_len(&self) -> usize {
+            self.peer.encoded_len()
+                + self.channel.encoded_len()
+                + dpu_core::wire::LenPrefixed(self.body).encoded_len()
         }
     }
 }
@@ -89,5 +120,31 @@ mod tests {
         let b = wire::to_bytes(&d);
         let back: Dgram = wire::from_bytes(&b).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn dgram_wire_contract() {
+        for data in [Bytes::new(), Bytes::from_static(b"abc"), Bytes::from(vec![0u8; 300])] {
+            let d = Dgram { peer: StackId(4), channel: 9, data };
+            wire::testing::assert_wire_contract(&d);
+        }
+    }
+
+    /// `DgramRef` must be byte-identical to the two-pass encoding it
+    /// replaces: a `Dgram` whose payload is the body's own encoding.
+    #[test]
+    fn dgram_ref_matches_nested_to_bytes() {
+        use super::dgram::DgramRef;
+        use dpu_core::wire::Encode;
+        let body = (7u16, Bytes::from_static(b"payload"), 42u64);
+        let one_pass = DgramRef { peer: StackId(3), channel: 5, body: &body }.to_bytes();
+        let two_pass =
+            Dgram { peer: StackId(3), channel: 5, data: wire::to_bytes(&body) }.to_bytes();
+        assert_eq!(one_pass, two_pass);
+        wire::testing::assert_wire_contract(&Dgram {
+            peer: StackId(3),
+            channel: 5,
+            data: wire::to_bytes(&body),
+        });
     }
 }

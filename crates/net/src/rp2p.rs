@@ -16,7 +16,7 @@
 //! wire traffic uses UDP channel [`RP2P_UDP_CHANNEL`]; the user-facing
 //! `channel` of each [`Dgram`] travels inside the RP2P frame.
 
-use crate::dgram::{self, Dgram};
+use crate::dgram::{self, Dgram, DgramRef};
 use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
 use dpu_core::time::Dur;
@@ -53,6 +53,9 @@ impl Encode for Rp2pConfig {
         self.retransmit.as_nanos().encode(buf);
         self.lower.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.retransmit.as_nanos().encoded_len() + self.lower.encoded_len()
+    }
 }
 
 impl Decode for Rp2pConfig {
@@ -81,6 +84,14 @@ impl Encode for Frame {
                 1u32.encode(buf);
                 cum.encode(buf);
             }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Frame::Data { seq, channel, data } => {
+                0u32.encoded_len() + seq.encoded_len() + channel.encoded_len() + data.encoded_len()
+            }
+            Frame::Ack { cum } => 1u32.encoded_len() + cum.encoded_len(),
         }
     }
 }
@@ -159,13 +170,16 @@ impl Rp2pModule {
     }
 
     fn udp_send(&self, ctx: &mut ModuleCtx<'_>, dst: StackId, frame: &Frame) {
-        let d = Dgram { peer: dst, channel: RP2P_UDP_CHANNEL, data: frame.to_bytes() };
-        ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
+        // Frame encoded in place inside the Dgram, one scratch pass.
+        let d = DgramRef { peer: dst, channel: RP2P_UDP_CHANNEL, body: frame };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.udp_svc, dgram::SEND, payload);
     }
 
     fn deliver(&self, ctx: &mut ModuleCtx<'_>, src: StackId, channel: u16, data: Bytes) {
         let d = Dgram { peer: src, channel, data };
-        ctx.respond(&self.rp2p_svc, dgram::RECV, d.to_bytes());
+        let up = ctx.encode(&d);
+        ctx.respond(&self.rp2p_svc, dgram::RECV, up);
     }
 
     fn handle_frame(&mut self, ctx: &mut ModuleCtx<'_>, src: StackId, frame: Frame) {
@@ -416,6 +430,15 @@ mod tests {
         Rp2pModule::register(&mut reg);
         let m = reg.build(&ModuleSpec::with_params(KIND, &cfg)).unwrap();
         assert_eq!(m.kind(), KIND);
+    }
+
+    #[test]
+    fn frame_and_config_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&Frame::Data { seq: 9, channel: 3, data: Bytes::from_static(b"xy") });
+        assert_wire_contract(&Frame::Data { seq: u64::MAX, channel: 0, data: Bytes::new() });
+        assert_wire_contract(&Frame::Ack { cum: 123_456 });
+        assert_wire_contract(&Rp2pConfig { retransmit: Dur::millis(55), lower: "udp".into() });
     }
 
     #[test]

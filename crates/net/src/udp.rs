@@ -8,17 +8,19 @@
 use crate::dgram::{self, Dgram};
 use bytes::Bytes;
 use dpu_core::stack::{net_ops, ModuleCtx};
-use dpu_core::wire::Encode;
+use dpu_core::wire::LenPrefixed;
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
 
 /// Module kind name, for factory registration.
 pub const KIND: &str = "udp";
 
-/// The UDP module. Stateless: purely translates between the `udp` service
-/// interface ([`Dgram`] frames) and raw `net` datagrams.
+/// The UDP module: translates between the `udp` service interface
+/// ([`Dgram`] frames) and raw `net` datagrams, counting malformed inbound
+/// frames it drops.
 pub struct UdpModule {
     udp_svc: ServiceId,
     net_svc: ServiceId,
+    malformed_dropped: u64,
 }
 
 impl UdpModule {
@@ -27,12 +29,21 @@ impl UdpModule {
         UdpModule {
             udp_svc: ServiceId::new(crate::UDP_SVC),
             net_svc: ServiceId::new(dpu_core::svc::NET),
+            malformed_dropped: 0,
         }
     }
 
     /// Register this module's factory under [`KIND`].
     pub fn register(reg: &mut dpu_core::FactoryRegistry) {
         reg.register(KIND, |_spec: &ModuleSpec| Box::new(UdpModule::new()));
+    }
+
+    /// Inbound datagrams dropped because their `(channel, data)` frame —
+    /// the part that actually crossed the wire — failed to decode. A
+    /// non-zero count points at a peer speaking a different wire format;
+    /// the drop is counted here rather than panicking the stack.
+    pub fn malformed_dropped(&self) -> u64 {
+        self.malformed_dropped
     }
 }
 
@@ -60,20 +71,33 @@ impl Module for UdpModule {
             return;
         }
         let Ok(d) = call.decode::<Dgram>() else { return };
-        // Frame: (channel, data); the destination travels in the net call.
-        let frame = (d.channel, d.data).to_bytes();
-        ctx.call(&self.net_svc, net_ops::SEND, (d.peer, frame).to_bytes());
+        // Frame: (channel, data); the destination travels in the net
+        // call. One forward pass through the stack scratch — no
+        // intermediate buffer for the nested frame.
+        let payload = ctx.encode(&(d.peer, LenPrefixed(&(d.channel, d.data))));
+        ctx.call(&self.net_svc, net_ops::SEND, payload);
     }
 
     fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
         if resp.op != net_ops::RECV {
             return;
         }
-        let Ok((src, frame)) = resp.decode::<(StackId, Bytes)>() else { return };
-        let Ok((channel, data)) = dpu_core::wire::from_bytes::<(u16, Bytes)>(&frame) else {
+        // The outer (src, frame) envelope is built by the local stack's
+        // `packet_in`, never by a peer — a decode failure here would be a
+        // local codec bug, not wire damage, so it is dropped without
+        // touching the malformed counter.
+        let Ok((src, frame)) = resp.decode::<(StackId, Bytes)>() else {
+            debug_assert!(false, "locally-built net envelope failed to decode");
             return;
         };
-        ctx.respond(&self.udp_svc, dgram::RECV, Dgram { peer: src, channel, data }.to_bytes());
+        // The inner frame IS untrusted wire input: malformed frames are
+        // dropped and counted, never unwrapped.
+        let Ok((channel, data)) = dpu_core::wire::from_bytes::<(u16, Bytes)>(&frame) else {
+            self.malformed_dropped += 1;
+            return;
+        };
+        let up = ctx.encode(&Dgram { peer: src, channel, data });
+        ctx.respond(&self.udp_svc, dgram::RECV, up);
     }
 }
 
@@ -160,6 +184,8 @@ mod tests {
         run_until_idle(&mut stack);
         let got = stack.with_module::<UdpSink, _>(user, |u| u.got.clone()).unwrap();
         assert!(got.is_empty());
+        let dropped = stack.with_module::<UdpModule, _>(udp, |m| m.malformed_dropped()).unwrap();
+        assert_eq!(dropped, 1, "the malformed frame must be counted, not unwrapped");
     }
 
     #[test]

@@ -19,9 +19,9 @@ use crate::channels;
 use crate::consensus::ops as cons_ops;
 use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
-use dpu_core::wire::{Decode, Encode, WireResult};
+use dpu_core::wire::{Decode, Encode, LenPrefixed, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Module kind name, for factory registration.
@@ -65,6 +65,12 @@ impl Encode for CtAbcastParams {
         self.consensus.encode(buf);
         self.batch_delay.as_nanos().encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.namespace.encoded_len()
+            + self.service.encoded_len()
+            + self.consensus.encoded_len()
+            + self.batch_delay.as_nanos().encoded_len()
+    }
 }
 
 impl Decode for CtAbcastParams {
@@ -91,6 +97,12 @@ impl Encode for Gossip {
         self.key.0.encode(buf);
         self.key.1.encode(buf);
         self.data.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.ns.encoded_len()
+            + self.key.0.encoded_len()
+            + self.key.1.encoded_len()
+            + self.data.encoded_len()
     }
 }
 
@@ -175,13 +187,16 @@ impl CtAbcastModule {
 
     fn gossip(&self, ctx: &mut ModuleCtx<'_>, key: MsgKey, data: &Bytes) {
         let me = ctx.stack_id();
-        let frame = Gossip { ns: self.params.namespace, key, data: data.clone() }.to_bytes();
+        let gossip = Gossip { ns: self.params.namespace, key, data: data.clone() };
         for peer in ctx.peers().to_vec() {
             if peer == me {
                 continue;
             }
-            let d = Dgram { peer, channel: channels::ABCAST_CT, data: frame.clone() };
-            ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+            // Gossip encoded in place inside the Dgram, one scratch pass
+            // per peer (each peer's datagram is an independent buffer).
+            let d = DgramRef { peer, channel: channels::ABCAST_CT, body: &gossip };
+            let payload = ctx.encode(&d);
+            ctx.call(&self.rp2p_svc, dgram::SEND, payload);
         }
     }
 
@@ -213,8 +228,9 @@ impl CtAbcastModule {
             .iter()
             .map(|(&(origin, seq), data)| (origin, seq, data.clone()))
             .collect();
-        let value = batch.to_bytes();
-        ctx.call(&self.cons_svc, cons_ops::PROPOSE, (self.params.namespace, k, value).to_bytes());
+        // The batch is framed in place inside the PROPOSE payload.
+        let payload = ctx.encode(&(self.params.namespace, k, LenPrefixed(&batch)));
+        ctx.call(&self.cons_svc, cons_ops::PROPOSE, payload);
     }
 
     fn drain_decisions(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -333,6 +349,17 @@ mod tests {
         Sim::new(SimConfig::lan(n, seed), |sc| {
             mk_stack(sc, || Box::new(CtAbcastModule::new(CtAbcastParams::default())))
         })
+    }
+
+    #[test]
+    fn gossip_and_params_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&Gossip {
+            ns: 3,
+            key: (StackId(1), 99),
+            data: Bytes::from_static(b"payload"),
+        });
+        assert_wire_contract(&CtAbcastParams::default());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use dpu_core::stack::ModuleCtx;
 use dpu_core::time::Dur;
 use dpu_core::wire::{Decode, Encode, WireError, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId, TimerId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Module kind name, for factory registration.
@@ -56,6 +56,11 @@ impl Encode for RingAbcastParams {
         self.service.encode(buf);
         self.hold.as_nanos().encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.namespace.encoded_len()
+            + self.service.encoded_len()
+            + self.hold.as_nanos().encoded_len()
+    }
 }
 
 impl Decode for RingAbcastParams {
@@ -75,21 +80,36 @@ enum Frame {
     Order { seq: u64, data: Bytes },
 }
 
-fn encode_frame(ns: u64, frame: &Frame) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
-    ns.encode(&mut buf);
-    match frame {
-        Frame::Token { next_seq } => {
-            0u32.encode(&mut buf);
-            next_seq.encode(&mut buf);
-        }
-        Frame::Order { seq, data } => {
-            1u32.encode(&mut buf);
-            seq.encode(&mut buf);
-            data.encode(&mut buf);
+/// A namespace-tagged frame, encoded in one forward pass.
+struct NsFrame<'a> {
+    ns: u64,
+    frame: &'a Frame,
+}
+
+impl Encode for NsFrame<'_> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
+        match self.frame {
+            Frame::Token { next_seq } => {
+                0u32.encode(buf);
+                next_seq.encode(buf);
+            }
+            Frame::Order { seq, data } => {
+                1u32.encode(buf);
+                seq.encode(buf);
+                data.encode(buf);
+            }
         }
     }
-    buf.freeze()
+    fn encoded_len(&self) -> usize {
+        self.ns.encoded_len()
+            + match self.frame {
+                Frame::Token { next_seq } => 0u32.encoded_len() + next_seq.encoded_len(),
+                Frame::Order { seq, data } => {
+                    1u32.encoded_len() + seq.encoded_len() + data.encoded_len()
+                }
+            }
+    }
 }
 
 fn decode_frame(buf: &Bytes) -> WireResult<(u64, Frame)> {
@@ -157,9 +177,12 @@ impl RingAbcastModule {
     }
 
     fn send(&self, ctx: &mut ModuleCtx<'_>, to: StackId, frame: &Frame) {
-        let data = encode_frame(self.params.namespace, frame);
-        let d = Dgram { peer: to, channel: channels::ABCAST_RING, data };
-        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+        // Namespace + frame encoded in place inside the Dgram, one
+        // scratch pass, no intermediate buffer.
+        let body = NsFrame { ns: self.params.namespace, frame };
+        let d = DgramRef { peer: to, channel: channels::ABCAST_RING, body: &body };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
     }
 
     fn successor(ctx: &ModuleCtx<'_>) -> StackId {
@@ -275,6 +298,25 @@ mod tests {
         Sim::new(SimConfig::lan(n, seed), |sc| {
             mk_stack(sc, || Box::new(RingAbcastModule::new(RingAbcastParams::default())))
         })
+    }
+
+    #[test]
+    fn frame_and_params_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        use dpu_core::wire::Encode;
+        let tok = Frame::Token { next_seq: 11 };
+        let ord = Frame::Order { seq: 8, data: Bytes::from_static(b"oo") };
+        for frame in [&tok, &ord] {
+            let nf = NsFrame { ns: 6, frame };
+            assert_eq!(nf.encoded_len(), nf.to_bytes().len());
+            let bytes = nf.to_bytes();
+            let (ns, _back) = decode_frame(&bytes).expect("roundtrip");
+            assert_eq!(ns, 6);
+            for cut in 0..bytes.len() {
+                assert!(decode_frame(&bytes.slice(..cut)).is_err());
+            }
+        }
+        assert_wire_contract(&RingAbcastParams::default());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
 use dpu_core::wire::{Decode, Encode, WireError, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use std::collections::BTreeMap;
 
 /// Module kind name, for factory registration.
@@ -43,6 +43,9 @@ impl Encode for SeqAbcastParams {
         self.namespace.encode(buf);
         self.service.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.namespace.encoded_len() + self.service.encoded_len()
+    }
 }
 
 impl Decode for SeqAbcastParams {
@@ -58,21 +61,41 @@ enum Frame {
     Order { seq: u64, data: Bytes },
 }
 
-fn encode_frame(ns: u64, frame: &Frame) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
-    ns.encode(&mut buf);
-    match frame {
-        Frame::Req { data } => {
-            0u32.encode(&mut buf);
-            data.encode(&mut buf);
-        }
-        Frame::Order { seq, data } => {
-            1u32.encode(&mut buf);
-            seq.encode(&mut buf);
-            data.encode(&mut buf);
+/// A namespace-tagged frame, encoded in one forward pass.
+struct NsFrame<'a> {
+    ns: u64,
+    frame: &'a Frame,
+}
+
+impl Encode for NsFrame<'_> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
+        match self.frame {
+            Frame::Req { data } => {
+                0u32.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Order { seq, data } => {
+                1u32.encode(buf);
+                seq.encode(buf);
+                data.encode(buf);
+            }
         }
     }
-    buf.freeze()
+    fn encoded_len(&self) -> usize {
+        self.ns.encoded_len()
+            + match self.frame {
+                Frame::Req { data } => 0u32.encoded_len() + data.encoded_len(),
+                Frame::Order { seq, data } => {
+                    1u32.encoded_len() + seq.encoded_len() + data.encoded_len()
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+fn encode_frame(ns: u64, frame: &Frame) -> Bytes {
+    NsFrame { ns, frame }.to_bytes()
 }
 
 fn decode_frame(buf: &Bytes) -> WireResult<(u64, Frame)> {
@@ -137,9 +160,12 @@ impl SeqAbcastModule {
     }
 
     fn send(&self, ctx: &mut ModuleCtx<'_>, to: StackId, frame: &Frame) {
-        let data = encode_frame(self.params.namespace, frame);
-        let d = Dgram { peer: to, channel: channels::ABCAST_SEQ, data };
-        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+        // Namespace + frame encoded in place inside the Dgram, one
+        // scratch pass, no intermediate buffer.
+        let body = NsFrame { ns: self.params.namespace, frame };
+        let d = DgramRef { peer: to, channel: channels::ABCAST_SEQ, body: &body };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
     }
 
     fn drain(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -220,6 +246,27 @@ mod tests {
         Sim::new(SimConfig::lan(n, seed), |sc| {
             mk_stack(sc, || Box::new(SeqAbcastModule::new(SeqAbcastParams::default())))
         })
+    }
+
+    #[test]
+    fn frame_and_params_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        let req = Frame::Req { data: Bytes::from_static(b"m") };
+        let ord = Frame::Order { seq: 8, data: Bytes::from_static(b"oo") };
+        // NsFrame has no Decode (the receive path decodes field-wise),
+        // so check the length/byte contract directly.
+        for frame in [&req, &ord] {
+            use dpu_core::wire::Encode;
+            let nf = NsFrame { ns: 6, frame };
+            assert_eq!(nf.encoded_len(), nf.to_bytes().len());
+            let bytes = nf.to_bytes();
+            let (ns, _back) = decode_frame(&bytes).expect("roundtrip");
+            assert_eq!(ns, 6);
+            for cut in 0..bytes.len() {
+                assert!(decode_frame(&bytes.slice(..cut)).is_err());
+            }
+        }
+        assert_wire_contract(&SeqAbcastParams::default());
     }
 
     #[test]

@@ -46,7 +46,7 @@ use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
 use dpu_core::wire::{Decode, Encode, WireError, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Module kind name of the rotating-coordinator variant.
@@ -98,6 +98,9 @@ impl Encode for ConsensusParams {
         self.service.encode(buf);
         self.incarnation.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.service.encoded_len() + self.incarnation.encoded_len()
+    }
 }
 
 impl Decode for ConsensusParams {
@@ -144,6 +147,19 @@ impl Encode for WireMsg {
                 4u32.encode(buf);
                 v.encode(buf);
             }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        let head = self.inc.encoded_len()
+            + self.ns.encoded_len()
+            + self.k.encoded_len()
+            + self.round.encoded_len();
+        head + match &self.body {
+            Body::Estimate { est, ts } => 0u32.encoded_len() + est.encoded_len() + ts.encoded_len(),
+            Body::Proposal { v } => 1u32.encoded_len() + v.encoded_len(),
+            Body::Ack => 2u32.encoded_len(),
+            Body::Nack => 3u32.encoded_len(),
+            Body::Decide { v } => 4u32.encoded_len() + v.encoded_len(),
         }
     }
 }
@@ -265,8 +281,11 @@ impl ConsensusModule {
     }
 
     fn send(&self, ctx: &mut ModuleCtx<'_>, to: StackId, msg: &WireMsg) {
-        let d = Dgram { peer: to, channel: channels::CONSENSUS, data: msg.to_bytes() };
-        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+        // One forward pass through the stack scratch: the WireMsg is
+        // encoded in place inside the Dgram frame.
+        let d = DgramRef { peer: to, channel: channels::CONSENSUS, body: msg };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
     }
 
     fn broadcast(&self, ctx: &mut ModuleCtx<'_>, msg: &WireMsg) {
@@ -296,7 +315,8 @@ impl ConsensusModule {
                 }
             }
         }
-        ctx.respond(&self.svc, ops::DECIDE, (ns, k, v).to_bytes());
+        let data = ctx.encode(&(ns, k, v));
+        ctx.respond(&self.svc, ops::DECIDE, data);
     }
 
     /// The idempotent progress engine: inspect the instance state and take
@@ -450,7 +470,8 @@ impl ConsensusModule {
         let inst = self.insts.get_mut(&(ns, k)).expect("entry exists");
         if inst.proposal.is_none() && !inst.need_sent {
             inst.need_sent = true;
-            ctx.respond(&self.svc, ops::NEED_PROPOSAL, (ns, k).to_bytes());
+            let data = ctx.encode(&(ns, k));
+            ctx.respond(&self.svc, ops::NEED_PROPOSAL, data);
         }
         self.advance(ctx, ns, k);
     }
@@ -481,7 +502,8 @@ impl Module for ConsensusModule {
         if let Some(d) = inst.decided.clone() {
             // Already decided (e.g. the decision arrived before the local
             // proposal): re-respond for the late proposer.
-            ctx.respond(&self.svc, ops::DECIDE, (ns, k, d).to_bytes());
+            let data = ctx.encode(&(ns, k, d));
+            ctx.respond(&self.svc, ops::DECIDE, data);
             return;
         }
         if inst.proposal.is_some() {
@@ -841,6 +863,22 @@ mod tests {
             d.starts_with(b"minority") || d.starts_with(b"majority") || d.starts_with(b"auto"),
             "decided value must be a proposal: {d:?}"
         );
+    }
+
+    #[test]
+    fn wire_msg_contract_for_every_body() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        let bodies = [
+            Body::Estimate { est: Bytes::from_static(b"est"), ts: 4 },
+            Body::Proposal { v: Bytes::from_static(b"prop") },
+            Body::Ack,
+            Body::Nack,
+            Body::Decide { v: Bytes::new() },
+        ];
+        for body in bodies {
+            assert_wire_contract(&WireMsg { inc: 7, ns: 1, k: 2, round: 3, body });
+        }
+        assert_wire_contract(&ConsensusParams { service: "c2".into(), incarnation: 9 });
     }
 
     #[test]

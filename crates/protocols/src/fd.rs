@@ -65,6 +65,11 @@ impl Encode for FdConfig {
         self.timeout.as_nanos().encode(buf);
         self.backoff.as_nanos().encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.heartbeat.as_nanos().encoded_len()
+            + self.timeout.as_nanos().encoded_len()
+            + self.backoff.as_nanos().encoded_len()
+    }
 }
 
 impl Decode for FdConfig {
@@ -129,7 +134,8 @@ impl FdModule {
 
     fn publish(&self, ctx: &mut ModuleCtx<'_>) {
         let list = self.suspected();
-        ctx.respond(&self.fd_svc, ops::SUSPECTS, list.to_bytes());
+        let data = ctx.encode(&list);
+        ctx.respond(&self.fd_svc, ops::SUSPECTS, data);
     }
 
     fn send_heartbeats(&self, ctx: &mut ModuleCtx<'_>) {
@@ -139,7 +145,8 @@ impl FdModule {
                 continue;
             }
             let d = Dgram { peer, channel: channels::FD, data: Bytes::new() };
-            ctx.call(&self.udp_svc, dgram::SEND, d.to_bytes());
+            let payload = ctx.encode(&d);
+            ctx.call(&self.udp_svc, dgram::SEND, payload);
         }
     }
 
@@ -283,6 +290,11 @@ mod tests {
         sim.with_stack(StackId(node), |s| {
             s.with_module::<FdModule, _>(FD, |m| m.suspected()).unwrap()
         })
+    }
+
+    #[test]
+    fn fd_config_wire_contract() {
+        dpu_core::wire::testing::assert_wire_contract(&FdConfig::default());
     }
 
     #[test]

@@ -63,6 +63,12 @@ impl Encode for GmOp {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            GmOp::Join(s) => 0u32.encoded_len() + s.encoded_len(),
+            GmOp::Leave(s) => 1u32.encoded_len() + s.encoded_len(),
+        }
+    }
 }
 
 impl Decode for GmOp {
@@ -88,6 +94,9 @@ impl Encode for View {
     fn encode(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
         self.members.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.members.encoded_len()
     }
 }
 
@@ -127,6 +136,9 @@ impl Encode for GmParams {
         self.service.encode(buf);
         self.abcast.encode(buf);
         self.auto_exclude.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.service.encoded_len() + self.abcast.encoded_len() + self.auto_exclude.encoded_len()
     }
 }
 
@@ -203,7 +215,8 @@ impl GmModule {
         };
         if changed {
             self.view.id += 1;
-            ctx.respond(&self.svc, ops::VIEW, self.view.to_bytes());
+            let data = ctx.encode(&self.view);
+            ctx.respond(&self.svc, ops::VIEW, data);
         }
     }
 }
@@ -227,7 +240,8 @@ impl Module for GmModule {
 
     fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
         self.view = View { id: 0, members: ctx.peers().to_vec() };
-        ctx.respond(&self.svc, ops::VIEW, self.view.to_bytes());
+        let data = ctx.encode(&self.view);
+        ctx.respond(&self.svc, ops::VIEW, data);
     }
 
     fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
@@ -237,7 +251,7 @@ impl Module for GmModule {
         let Ok(op) = call.decode::<GmOp>() else { return };
         // Order the change through atomic broadcast; it is applied when it
         // comes back Adelivered (identically ordered on all stacks).
-        let payload = (GM_MAGIC, op).to_bytes();
+        let payload = ctx.encode(&(GM_MAGIC, op));
         ctx.call(&self.abcast_svc, ab_ops::ABCAST, payload);
     }
 
@@ -246,7 +260,7 @@ impl Module for GmModule {
             let Ok(suspected) = resp.decode::<Vec<StackId>>() else { return };
             for s in suspected {
                 if self.view.members.contains(&s) && self.proposed_exclusions.insert(s) {
-                    let payload = (GM_MAGIC, GmOp::Leave(s)).to_bytes();
+                    let payload = ctx.encode(&(GM_MAGIC, GmOp::Leave(s)));
                     ctx.call(&self.abcast_svc, ab_ops::ABCAST, payload);
                 }
             }
@@ -299,6 +313,15 @@ mod tests {
         sim.with_stack(StackId(node), |s| {
             s.call_as(GM, &ServiceId::new(crate::GM_SVC), ops::REQUEST, wire::to_bytes(&op))
         });
+    }
+
+    #[test]
+    fn gm_types_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&GmOp::Join(StackId(4)));
+        assert_wire_contract(&GmOp::Leave(StackId(0)));
+        assert_wire_contract(&View { id: 3, members: vec![StackId(0), StackId(2)] });
+        assert_wire_contract(&GmParams::default());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use bytes::{Bytes, BytesMut};
 use dpu_core::stack::ModuleCtx;
 use dpu_core::wire::{Decode, Encode, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use std::collections::BTreeSet;
 
 /// Module kind name, for factory registration.
@@ -55,6 +55,9 @@ impl Encode for RbMsg {
         self.origin.encode(buf);
         self.seq.encode(buf);
         self.data.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.origin.encoded_len() + self.seq.encoded_len() + self.data.encoded_len()
     }
 }
 
@@ -110,8 +113,9 @@ impl RbModule {
             if peer == me || skip.contains(&peer) {
                 continue;
             }
-            let d = Dgram { peer, channel: RB_CHANNEL, data: msg.to_bytes() };
-            ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+            let d = DgramRef { peer, channel: RB_CHANNEL, body: msg };
+            let payload = ctx.encode(&d);
+            ctx.call(&self.rp2p_svc, dgram::SEND, payload);
         }
     }
 
@@ -119,7 +123,8 @@ impl RbModule {
         if !self.delivered.insert((msg.origin, msg.seq)) {
             return false;
         }
-        ctx.respond(&self.svc, ops::DELIVER, (msg.origin, msg.data.clone()).to_bytes());
+        let up = ctx.encode(&(msg.origin, &msg.data));
+        ctx.respond(&self.svc, ops::DELIVER, up);
         true
     }
 }
@@ -230,6 +235,15 @@ mod tests {
 
     fn got(sim: &mut Sim, node: u32) -> Vec<(StackId, Bytes)> {
         sim.with_stack(StackId(node), |s| s.with_module::<App, _>(APP, |a| a.got.clone()).unwrap())
+    }
+
+    #[test]
+    fn rb_msg_wire_contract() {
+        dpu_core::wire::testing::assert_wire_contract(&RbMsg {
+            origin: StackId(2),
+            seq: 5,
+            data: Bytes::from_static(b"payload"),
+        });
     }
 
     #[test]

@@ -74,6 +74,9 @@ impl Encode for ReplParams {
     fn encode(&self, buf: &mut BytesMut) {
         self.service.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.service.encoded_len()
+    }
 }
 
 impl Decode for ReplParams {
@@ -107,6 +110,20 @@ impl Encode for ReplPayload {
                 1u32.encode(buf);
                 sn.encode(buf);
                 spec.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            ReplPayload::Nil { sn, id, data } => {
+                0u32.encoded_len()
+                    + sn.encoded_len()
+                    + id.0.encoded_len()
+                    + id.1.encoded_len()
+                    + data.encoded_len()
+            }
+            ReplPayload::NewAbcast { sn, spec } => {
+                1u32.encoded_len() + sn.encoded_len() + spec.encoded_len()
             }
         }
     }
@@ -217,7 +234,8 @@ impl ReplAbcastModule {
     }
 
     fn abcast(&self, ctx: &mut ModuleCtx<'_>, payload: &ReplPayload) {
-        ctx.call(&self.required, ab_ops::ABCAST, payload.to_bytes());
+        let data = ctx.encode(payload);
+        ctx.call(&self.required, ab_ops::ABCAST, data);
     }
 }
 
@@ -305,6 +323,18 @@ impl Module for ReplAbcastModule {
 mod tests {
     use super::*;
     use dpu_core::wire;
+
+    #[test]
+    fn repl_payload_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&ReplParams::default());
+        assert_wire_contract(&ReplPayload::Nil {
+            sn: 1,
+            id: (StackId(0), 7),
+            data: Bytes::from_static(b"m"),
+        });
+        assert_wire_contract(&ReplPayload::NewAbcast { sn: 2, spec: ModuleSpec::new("abcast.ct") });
+    }
 
     #[test]
     fn params_roundtrip_and_naming() {

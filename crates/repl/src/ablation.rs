@@ -64,6 +64,20 @@ impl Encode for Payload {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Payload::Nil { sn, id, data } => {
+                0u32.encoded_len()
+                    + sn.encoded_len()
+                    + id.0.encoded_len()
+                    + id.1.encoded_len()
+                    + data.encoded_len()
+            }
+            Payload::NewAbcast { sn, spec } => {
+                1u32.encoded_len() + sn.encoded_len() + spec.encoded_len()
+            }
+        }
+    }
 }
 
 impl Decode for Payload {
@@ -110,7 +124,8 @@ impl BrokenRepl {
     }
 
     fn abcast(&self, ctx: &mut ModuleCtx<'_>, payload: &Payload) {
-        ctx.call(&self.required, ab_ops::ABCAST, payload.to_bytes());
+        let data = ctx.encode(payload);
+        ctx.call(&self.required, ab_ops::ABCAST, data);
     }
 }
 
@@ -242,6 +257,17 @@ mod tests {
         });
         sim.run_until(until + Dur::secs(10));
         check_run(&mut sim, &h).checker.check()
+    }
+
+    #[test]
+    fn ablation_payload_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&Payload::Nil {
+            sn: 1,
+            id: (StackId(0), 7),
+            data: Bytes::from_static(b"m"),
+        });
+        assert_wire_contract(&Payload::NewAbcast { sn: 2, spec: ModuleSpec::new("abcast.ct") });
     }
 
     #[test]

@@ -33,7 +33,7 @@ use dpu_core::stack::ModuleCtx;
 use dpu_core::time::{Dur, Time};
 use dpu_core::wire::{Decode, Encode, WireError, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use dpu_protocols::abcast::ops as ab_ops;
 use dpu_protocols::channels;
 use std::collections::{BTreeSet, VecDeque};
@@ -66,6 +66,9 @@ impl Encode for GracefulParams {
         self.service.encode(buf);
         self.alt.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.service.encoded_len() + self.alt.encoded_len()
+    }
 }
 
 impl Decode for GracefulParams {
@@ -91,6 +94,14 @@ impl Encode for Envelope {
                 1u32.encode(buf);
                 epoch.encode(buf);
                 from.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Envelope::Data { data } => 0u32.encoded_len() + data.encoded_len(),
+            Envelope::Marker { epoch, from } => {
+                1u32.encoded_len() + epoch.encoded_len() + from.encoded_len()
             }
         }
     }
@@ -142,6 +153,21 @@ impl Encode for Coord {
                 4u32.encode(buf);
                 epoch.encode(buf);
             }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Coord::Prepare { epoch, spec, coord } => {
+                0u32.encoded_len() + epoch.encoded_len() + spec.encoded_len() + coord.encoded_len()
+            }
+            Coord::Prepared { epoch, from } => {
+                1u32.encoded_len() + epoch.encoded_len() + from.encoded_len()
+            }
+            Coord::Deactivate { epoch } => 2u32.encoded_len() + epoch.encoded_len(),
+            Coord::Deactivated { epoch, from } => {
+                3u32.encoded_len() + epoch.encoded_len() + from.encoded_len()
+            }
+            Coord::Activate { epoch } => 4u32.encoded_len() + epoch.encoded_len(),
         }
     }
 }
@@ -277,8 +303,9 @@ impl GracefulSwitcher {
 
     fn send_coord(&mut self, ctx: &mut ModuleCtx<'_>, to: StackId, msg: &Coord) {
         self.coord_msgs += 1;
-        let d = Dgram { peer: to, channel: channels::GRACEFUL, data: msg.to_bytes() };
-        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+        let d = DgramRef { peer: to, channel: channels::GRACEFUL, body: msg };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
     }
 
     fn broadcast_coord(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Coord) {
@@ -321,7 +348,8 @@ impl GracefulSwitcher {
         self.switches += 1;
         while let Some(data) = self.queued.pop_front() {
             let active = self.active.clone();
-            ctx.call(&active, ab_ops::ABCAST, Envelope::Data { data }.to_bytes());
+            let payload = ctx.encode(&Envelope::Data { data });
+            ctx.call(&active, ab_ops::ABCAST, payload);
         }
     }
 }
@@ -348,11 +376,8 @@ impl Module for GracefulSwitcher {
                     self.queued.push_back(call.data);
                 } else {
                     let active = self.active.clone();
-                    ctx.call(
-                        &active,
-                        ab_ops::ABCAST,
-                        Envelope::Data { data: call.data }.to_bytes(),
-                    );
+                    let payload = ctx.encode(&Envelope::Data { data: call.data });
+                    ctx.call(&active, ab_ops::ABCAST, payload);
                 }
             }
             CHANGE_OP => {
@@ -442,11 +467,8 @@ impl Module for GracefulSwitcher {
                     self.future_markers.retain(|(e, _)| *e > epoch);
                     self.markers_seen.extend(buffered);
                     let active = self.active.clone();
-                    ctx.call(
-                        &active,
-                        ab_ops::ABCAST,
-                        Envelope::Marker { epoch, from: me }.to_bytes(),
-                    );
+                    let payload = ctx.encode(&Envelope::Marker { epoch, from: me });
+                    ctx.call(&active, ab_ops::ABCAST, payload);
                     self.maybe_deactivated(ctx);
                 }
                 Coord::Deactivated { epoch, from } => {
@@ -472,6 +494,23 @@ impl Module for GracefulSwitcher {
 mod tests {
     use super::*;
     use dpu_core::wire;
+
+    #[test]
+    fn graceful_types_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&GracefulParams::default());
+        assert_wire_contract(&Envelope::Data { data: Bytes::from_static(b"m") });
+        assert_wire_contract(&Envelope::Marker { epoch: 3, from: StackId(1) });
+        assert_wire_contract(&Coord::Prepare {
+            epoch: 1,
+            spec: ModuleSpec::new("abcast.ring"),
+            coord: StackId(0),
+        });
+        assert_wire_contract(&Coord::Prepared { epoch: 1, from: StackId(2) });
+        assert_wire_contract(&Coord::Deactivate { epoch: 2 });
+        assert_wire_contract(&Coord::Deactivated { epoch: 2, from: StackId(1) });
+        assert_wire_contract(&Coord::Activate { epoch: 2 });
+    }
 
     #[test]
     fn params_and_slots() {

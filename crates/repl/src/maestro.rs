@@ -34,7 +34,7 @@ use dpu_core::stack::ModuleCtx;
 use dpu_core::time::{Dur, Time};
 use dpu_core::wire::{Decode, Encode, WireError, WireResult};
 use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId};
-use dpu_net::dgram::{self, Dgram};
+use dpu_net::dgram::{self, Dgram, DgramRef};
 use dpu_protocols::abcast::ops as ab_ops;
 use dpu_protocols::channels;
 use std::collections::{BTreeSet, VecDeque};
@@ -59,6 +59,9 @@ impl Default for MaestroParams {
 impl Encode for MaestroParams {
     fn encode(&self, buf: &mut BytesMut) {
         self.service.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.service.encoded_len()
     }
 }
 
@@ -88,6 +91,14 @@ impl Encode for Envelope {
                 1u32.encode(buf);
                 epoch.encode(buf);
                 from.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Envelope::Data { data } => 0u32.encoded_len() + data.encoded_len(),
+            Envelope::Marker { epoch, from } => {
+                1u32.encoded_len() + epoch.encoded_len() + from.encoded_len()
             }
         }
     }
@@ -131,6 +142,17 @@ impl Encode for Coord {
                 2u32.encode(buf);
                 epoch.encode(buf);
             }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Coord::Flush { epoch, spec, coord } => {
+                0u32.encoded_len() + epoch.encoded_len() + spec.encoded_len() + coord.encoded_len()
+            }
+            Coord::Ready { epoch, from } => {
+                1u32.encoded_len() + epoch.encoded_len() + from.encoded_len()
+            }
+            Coord::Resume { epoch } => 2u32.encoded_len() + epoch.encoded_len(),
         }
     }
 }
@@ -255,12 +277,14 @@ impl MaestroSwitcher {
 
     fn send_coord(&mut self, ctx: &mut ModuleCtx<'_>, to: StackId, msg: &Coord) {
         self.coord_msgs += 1;
-        let d = Dgram { peer: to, channel: channels::MAESTRO, data: msg.to_bytes() };
-        ctx.call(&self.rp2p_svc, dgram::SEND, d.to_bytes());
+        let d = DgramRef { peer: to, channel: channels::MAESTRO, body: msg };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
     }
 
     fn abcast(&self, ctx: &mut ModuleCtx<'_>, env: &Envelope) {
-        ctx.call(&self.required, ab_ops::ABCAST, env.to_bytes());
+        let payload = ctx.encode(env);
+        ctx.call(&self.required, ab_ops::ABCAST, payload);
     }
 
     fn start_flush(
@@ -433,6 +457,21 @@ impl Module for MaestroSwitcher {
 mod tests {
     use super::*;
     use dpu_core::wire;
+
+    #[test]
+    fn maestro_types_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        assert_wire_contract(&MaestroParams::default());
+        assert_wire_contract(&Envelope::Data { data: Bytes::from_static(b"m") });
+        assert_wire_contract(&Envelope::Marker { epoch: 3, from: StackId(1) });
+        assert_wire_contract(&Coord::Flush {
+            epoch: 1,
+            spec: ModuleSpec::new("abcast.seq"),
+            coord: StackId(0),
+        });
+        assert_wire_contract(&Coord::Ready { epoch: 1, from: StackId(2) });
+        assert_wire_contract(&Coord::Resume { epoch: 1 });
+    }
 
     #[test]
     fn params_and_naming() {

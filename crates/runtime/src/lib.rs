@@ -452,6 +452,21 @@ impl Runtime {
         RuntimeStats { packets_sent, packets_dropped }
     }
 
+    /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
+    /// scratch pool (each shard's drivers are visited through their
+    /// owning shard, like any control request). The steady-state
+    /// allocation oracle of the live message path.
+    ///
+    /// Like [`Runtime::with_stack`], must be called from outside the
+    /// shard threads.
+    pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
+        let mut total = dpu_core::wire::ScratchStats::default();
+        for i in 0..self.n() {
+            total.absorb(self.with_stack(StackId(i), |s| s.wire_stats()));
+        }
+        total
+    }
+
     /// Run a closure against the stack of node `id` (on its owning
     /// shard) and return the result. Blocks until the shard services the
     /// request.

@@ -388,6 +388,17 @@ impl Sim {
         self.now
     }
 
+    /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
+    /// scratch pool: the steady-state-allocation oracle for the whole
+    /// simulation (see the `wire_codec` bench and `BENCH_wire.json`).
+    pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
+        let mut total = dpu_core::wire::ScratchStats::default();
+        for node in &self.nodes {
+            total.absorb(node.driver.stack().wire_stats());
+        }
+        total
+    }
+
     /// Merge and take the traces of all stacks.
     pub fn merged_trace(&mut self) -> TraceLog {
         let mut merged = TraceLog::new();

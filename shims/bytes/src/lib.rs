@@ -19,11 +19,12 @@ use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// Internally an `Arc<[u8]>` plus a `[start, end)` window, so `clone`,
-/// [`Bytes::slice`] and [`Bytes::split_to`] are O(1) and share storage.
+/// Internally an `Arc<Vec<u8>>` plus a `[start, end)` window, so `clone`,
+/// [`Bytes::slice`] and [`Bytes::split_to`] are O(1) and share storage,
+/// and [`BytesMut::freeze`] moves the buffer instead of copying it.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -45,17 +46,20 @@ impl Bytes {
         Bytes::from_vec(data.to_vec())
     }
 
+    #[inline]
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end }
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 
     /// Number of bytes in the view.
+    #[inline]
     pub fn len(&self) -> usize {
         self.end - self.start
     }
 
     /// True if the view is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
@@ -89,6 +93,7 @@ impl Bytes {
     ///
     /// # Panics
     /// Panics if `at > self.len()`.
+    #[inline]
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to({at}) out of bounds (len {})", self.len());
         let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
@@ -108,6 +113,16 @@ impl Bytes {
         tail
     }
 
+    /// True if this handle is the only one referencing the backing
+    /// buffer (mirrors the real crate's `is_unique`, bytes ≥ 1.8). A
+    /// unique `Bytes` can be recovered into a `BytesMut` without copying
+    /// via `TryFrom`.
+    #[inline]
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    #[inline]
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -115,12 +130,14 @@ impl Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
@@ -244,6 +261,13 @@ impl<'a> IntoIterator for &'a Bytes {
 
 /// A unique, growable byte buffer, convertible into [`Bytes`] with
 /// [`BytesMut::freeze`].
+///
+/// Backed by an exclusively owned `Vec<u8>`, so writes are plain vector
+/// appends with no uniqueness checks. `freeze` moves the vector behind
+/// the [`Bytes`] `Arc` — the payload is never copied, only the small
+/// reference-count header is allocated — and `TryFrom<Bytes>` moves it
+/// back out when the `Bytes` is uniquely owned, which is what the
+/// workspace's `WireScratch` steady-state buffer reuse relies on.
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
     vec: Vec<u8>,
@@ -251,46 +275,62 @@ pub struct BytesMut {
 
 impl BytesMut {
     /// Creates a new empty buffer.
+    #[inline]
     pub fn new() -> BytesMut {
         BytesMut { vec: Vec::new() }
     }
 
     /// Creates a new empty buffer with at least `cap` bytes of capacity.
+    #[inline]
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut { vec: Vec::with_capacity(cap) }
     }
 
     /// Number of bytes written so far.
+    #[inline]
     pub fn len(&self) -> usize {
         self.vec.len()
     }
 
+    /// Number of bytes the buffer can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
     /// True if nothing has been written.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.vec.is_empty()
     }
 
     /// Reserves capacity for at least `additional` more bytes.
+    #[inline]
     pub fn reserve(&mut self, additional: usize) {
         self.vec.reserve(additional)
     }
 
     /// Clears the buffer, keeping its capacity.
+    #[inline]
     pub fn clear(&mut self) {
         self.vec.clear()
     }
 
     /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    #[inline]
     pub fn truncate(&mut self, len: usize) {
         self.vec.truncate(len)
     }
 
     /// Appends a slice.
+    #[inline]
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.vec.extend_from_slice(extend)
     }
 
-    /// Converts the buffer into an immutable [`Bytes`].
+    /// Converts the buffer into an immutable [`Bytes`]. The payload is
+    /// moved, not copied; only the shared-ownership header is allocated.
+    #[inline]
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.vec)
     }
@@ -304,22 +344,55 @@ impl BytesMut {
         let tail = self.vec.split_off(at);
         BytesMut { vec: std::mem::replace(&mut self.vec, tail) }
     }
+
+    /// Splits off and returns all written bytes, leaving `self` empty
+    /// (the real crate leaves `self` with the spare capacity; this shim's
+    /// buffers are exclusive, so the capacity travels with the data).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { vec: std::mem::take(&mut self.vec) }
+    }
+}
+
+/// Recovers a `Bytes` into a mutable buffer **without copying the
+/// payload**, when the `Bytes` is the sole owner of its backing storage.
+/// Mirrors the real crate's `TryFrom<Bytes> for BytesMut` (bytes ≥ 1.4):
+/// fails — returning the input unchanged — if other `Bytes` handles
+/// still share the buffer.
+impl TryFrom<Bytes> for BytesMut {
+    type Error = Bytes;
+
+    fn try_from(bytes: Bytes) -> Result<BytesMut, Bytes> {
+        let Bytes { data, start, end } = bytes;
+        match Arc::try_unwrap(data) {
+            Ok(mut vec) => {
+                vec.truncate(end);
+                if start > 0 {
+                    vec.drain(..start);
+                }
+                Ok(BytesMut { vec })
+            }
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.vec
     }
 }
 
 impl DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         &mut self.vec
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         &self.vec
     }
@@ -332,6 +405,7 @@ impl fmt::Debug for BytesMut {
 }
 
 impl From<Vec<u8>> for BytesMut {
+    #[inline]
     fn from(v: Vec<u8>) -> BytesMut {
         BytesMut { vec: v }
     }
@@ -404,15 +478,24 @@ pub trait Buf {
 }
 
 impl Buf for Bytes {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self.as_slice()
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance({cnt}) out of bounds (len {})", self.len());
         self.start += cnt;
+    }
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.start];
+        self.advance(1);
+        b
     }
 }
 
@@ -469,8 +552,13 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.vec.extend_from_slice(src)
+    }
+    #[inline]
+    fn put_u8(&mut self, n: u8) {
+        self.vec.push(n);
     }
 }
 
@@ -517,5 +605,42 @@ mod tests {
         let b = Bytes::from_static(b"ping");
         assert_eq!(b, Bytes::copy_from_slice(b"ping"));
         assert!(b.as_ref() == b"ping");
+    }
+
+    #[test]
+    fn split_takes_written_bytes_and_leaves_empty() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"abc");
+        let head = m.split();
+        assert_eq!(head.as_ref(), b"abc");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn try_from_reclaims_unique_buffers_only() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let shared = b.clone();
+        // Shared: reclaim fails and hands the Bytes back intact.
+        let b = BytesMut::try_from(b).unwrap_err();
+        assert_eq!(b.as_ref(), &[1, 2, 3, 4]);
+        drop(shared);
+        // Unique: reclaim succeeds without copying.
+        let m = BytesMut::try_from(b).unwrap();
+        assert_eq!(m.as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_from_respects_the_window() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        drop(head); // b is now the unique owner, viewing 2..6
+        let m = BytesMut::try_from(b).unwrap();
+        assert_eq!(m.as_ref(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn capacity_is_observable() {
+        let m = BytesMut::with_capacity(64);
+        assert!(m.capacity() >= 64);
     }
 }

@@ -4,11 +4,16 @@
 //! full multi-stack simulation, so the case count is kept moderate; the
 //! schedules cover the space broadly (seeded shrinking works as usual).
 
+use bytes::Bytes;
+use dpu::net::dgram::Dgram;
+use dpu::protocols::gm::{GmOp, GmParams, View};
 use dpu::repl::builder::{
     check_run, drive_load, group_sim, request_change, specs, GroupStackOpts, SwitchLayer,
 };
 use dpu::sim::SimConfig;
+use dpu_core::probe::ProbeMsg;
 use dpu_core::time::{Dur, Time};
+use dpu_core::wire::testing::assert_wire_contract;
 use dpu_core::{ModuleSpec, StackId};
 use proptest::prelude::*;
 
@@ -31,6 +36,45 @@ impl Target {
 
 fn target_strategy() -> impl Strategy<Value = Target> {
     prop_oneof![Just(Target::Ct), Just(Target::Seq), Just(Target::Ring)]
+}
+
+proptest! {
+    /// Workspace-wide wire-codec contract: for every public message type,
+    /// `encoded_len() == encode(..).len()`, the scratch-pool encoding is
+    /// byte-identical to `to_bytes`, decoding any truncation fails with
+    /// an error, and decoding any single-byte corruption never panics.
+    /// (Private frame types — RP2P/consensus/abcast frames, replacement
+    /// envelopes — run the same `assert_wire_contract` from their own
+    /// crates' unit tests.)
+    #[test]
+    fn wire_contract_for_public_message_types(
+        origin: u32,
+        seq: u64,
+        t: u64,
+        channel: u16,
+        pad in proptest::collection::vec(any::<u8>(), 0..256),
+        kind in "[a-z.]{1,24}",
+        members in proptest::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let data = Bytes::from(pad);
+        assert_wire_contract(&ProbeMsg {
+            origin: StackId(origin),
+            seq,
+            sent_at: Time(t),
+            pad: data.clone(),
+        });
+        assert_wire_contract(&Dgram { peer: StackId(origin), channel, data: data.clone() });
+        assert_wire_contract(&ModuleSpec { kind, params: data.clone() });
+        assert_wire_contract(&GmOp::Join(StackId(origin)));
+        assert_wire_contract(&View {
+            id: seq,
+            members: members.into_iter().map(StackId).collect(),
+        });
+        assert_wire_contract(&GmParams::default());
+        // Composites, as carried by service payloads.
+        assert_wire_contract(&(StackId(origin), data.clone()));
+        assert_wire_contract(&(seq, t, data));
+    }
 }
 
 proptest! {
