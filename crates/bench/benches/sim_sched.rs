@@ -1,0 +1,37 @@
+//! Scheduler scaling: the single global `BinaryHeap` vs. the
+//! hierarchical timing-wheel calendar queue, at the event populations a
+//! 256-node simulation holds (see `bench_sim` and `BENCH_sim.json` for
+//! the full n = 16/256/1024 × profile matrix and committed baseline).
+//! One sample is a full pop+push turnover of the standing population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpu_bench::synth::{delta, populate, FakeEvent, PROFILES};
+use dpu_core::time::Time;
+use dpu_sim::sched::SchedKind;
+
+fn bench_sched(c: &mut Criterion) {
+    let n = 256u64;
+    let profile = &PROFILES[1]; // datacenter_burst
+    let population = (profile.packets_per_node + 3) * n;
+    let mut group = c.benchmark_group("sim_sched");
+    group.throughput(Throughput::Elements(population));
+    for (label, kind) in [("single_heap", SchedKind::SingleHeap), ("calendar", SchedKind::Calendar)]
+    {
+        let (mut s, mut rng, mut seq) = populate(kind, n, profile);
+        group.bench_function(BenchmarkId::new(label, format!("n{n}_pop{population}")), |b| {
+            b.iter(|| {
+                for _ in 0..population {
+                    let (at, (class, _)) =
+                        s.pop_before(Time(u64::MAX)).expect("stationary population");
+                    let dt = delta(&mut rng, class, profile);
+                    s.push(Time(at.as_nanos() + dt), seq, (class, FakeEvent([seq; 5])));
+                    seq += 1;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! **Thousand-node live switch** (experiment E7) — the `cross_switch`
+//! scenario at ROADMAP scale: ≥1024 full Figure-4 stacks on a clustered
+//! datacenter topology, open-loop Poisson (optionally bursty) load, a
+//! live sequencer→sequencer replacement in the middle, total order
+//! verified on every stack at the end.
+//!
+//! ```text
+//! cargo run --release -p dpu-bench --bin scale_switch \
+//!     [--n 1024] [--clusters 16] [--load 200] [--seed 42] [--bursty]
+//! ```
+//!
+//! Prints latency before/during/after the switch plus the unified
+//! [`dpu_sim::SimReport`] (per-shard and per-generator counters, wire
+//! scratch stats) — one summary per run.
+
+use dpu_bench::stats::{collect_latencies, Summary};
+use dpu_bench::Args;
+use dpu_core::abcast_check::AbcastChecker;
+use dpu_core::probe::Probe;
+use dpu_core::time::{Dur, Time};
+use dpu_core::StackId;
+use dpu_repl::abcast_repl::ReplAbcastModule;
+use dpu_repl::builder::{
+    drive_bursty, drive_poisson, group_sim, request_change, specs, GroupStackOpts, SwitchLayer,
+};
+use dpu_sim::{CpuConfig, NetConfig, SimConfig};
+
+fn main() {
+    let args = Args::parse();
+    let n: u32 = args.get("n", 1024);
+    let clusters: u32 = args.get("clusters", 16);
+    let load: f64 = args.get("load", 200.0);
+    let seed: u64 = args.get("seed", 42);
+
+    let mut cfg = SimConfig::clustered(
+        n,
+        seed,
+        (n / clusters).max(1),
+        NetConfig::datacenter(),
+        NetConfig::lan(),
+    );
+    cfg.trace = false;
+    cfg.cpu = CpuConfig::fast();
+    // A 1024-way fan-out takes single-digit milliseconds of modeled CPU
+    // on the sequencer; the default 20 ms retransmit timeout sits right
+    // on that queueing delay and self-amplifies. 100 ms is the scale
+    // setting (same reasoning as TCP's RTO floor vs. datacenter RTT).
+    let retransmit: u64 = args.get("retransmit-ms", 100);
+    let rp2p = dpu_core::ModuleSpec::with_params(
+        "rp2p",
+        &dpu_net::rp2p::Rp2pConfig {
+            retransmit: Dur::millis(retransmit),
+            lower: dpu_net::UDP_SVC.to_string(),
+        },
+    );
+    let opts = GroupStackOpts {
+        abcast: specs::seq(0),
+        layer: SwitchLayer::Repl,
+        probe_pad: Some(0),
+        with_gm: false,
+        extra_defaults: vec![(dpu_net::RP2P_SVC.to_string(), rp2p)],
+    };
+    let (mut sim, h) = group_sim(cfg, &opts);
+
+    sim.run_until(Time::ZERO + Dur::millis(200));
+    let load_end = Time::ZERO + Dur::millis(1500);
+    if args.has("bursty") {
+        drive_bursty(&mut sim, &h, load / 4.0, load, Dur::millis(400), 0.25, load_end);
+    } else {
+        drive_poisson(&mut sim, &h, load, load_end);
+    }
+    let trigger = Time::ZERO + Dur::millis(800);
+    sim.schedule(trigger, {
+        let h = h.clone();
+        move |sim| request_change(sim, StackId(7 % n), &h, &specs::seq(1))
+    });
+    sim.run_until(load_end + Dur::secs(3));
+
+    // Switch completion time: the last stack to apply it.
+    let layer = h.layer.expect("repl layer");
+    let mut complete = trigger;
+    let mut reissued = 0u64;
+    let mut switched = 0u32;
+    for id in sim.stack_ids() {
+        let (t, re, sn) = sim.with_stack(id, |s| {
+            s.with_module::<ReplAbcastModule, _>(layer, |m| {
+                (m.last_switch_at(), m.reissued_total(), m.seq_number())
+            })
+            .expect("repl module")
+        });
+        if let Some(t) = t {
+            complete = complete.max(t);
+        }
+        reissued += re;
+        switched += u32::from(sn == 1);
+    }
+
+    // Totals + total-order check on every stack.
+    let probe = h.probe.expect("probe");
+    let mut checker = AbcastChecker::new(sim.stack_ids());
+    for id in sim.stack_ids() {
+        let (sent, delivered) = sim.with_stack(id, |s| {
+            s.with_module::<Probe, _>(probe, |p| (p.sent().to_vec(), p.delivered().to_vec()))
+                .expect("probe present")
+        });
+        for (msg, t) in sent {
+            checker.record_broadcast(msg, id, t);
+        }
+        for rec in delivered {
+            checker.record_delivery(rec.msg, id, rec.delivered_at);
+        }
+    }
+    let violations = checker.check();
+    let sent = checker.broadcast_count();
+    let complete_stacks =
+        sim.stack_ids().iter().filter(|&&id| checker.delivery_count(id) == sent).count();
+
+    let latencies = collect_latencies(&mut sim, &h);
+    let before = Summary::of_window(&latencies, Time::ZERO, trigger);
+    let during = Summary::of_window(&latencies, trigger, complete);
+    let after = Summary::of_window(&latencies, complete + Dur::millis(50), load_end);
+
+    println!("# scale_switch: n = {n}, clusters = {clusters}, load = {load} msg/s, seed = {seed}");
+    println!(
+        "switch: requested t+800ms, completed everywhere at {complete} \
+         ({switched}/{n} stacks switched, {reissued} reissues)"
+    );
+    println!(
+        "latency ms (before/during/after): {:.3} / {:.3} / {:.3}",
+        before.mean_ms, during.mean_ms, after.mean_ms
+    );
+    println!(
+        "broadcasts: {sent}; stacks with complete delivery: {complete_stacks}/{n}; \
+         violations: {}",
+        violations.len()
+    );
+    for v in violations.iter().take(10) {
+        println!("  VIOLATION: {v:?}");
+    }
+    println!("{}", sim.report());
+    if !violations.is_empty() || complete_stacks != n as usize {
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod stats;
+pub mod synth;
 
 /// Tiny CLI helper: read `--key value` style options with defaults, plus
 /// a `--quick` switch that the binaries use to shrink sweeps.

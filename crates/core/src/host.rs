@@ -241,6 +241,32 @@ impl StackDriver {
         }
     }
 
+    /// Deliver one packet directly at time `now`: any queued injected
+    /// events are absorbed first (preserving injection order), then the
+    /// packet enters the stack — without a round-trip through the
+    /// pending queue. Equivalent to `inject(HostEvent::Packet{..})`
+    /// followed by [`StackDriver::absorb`], minus the queue churn; the
+    /// simulator's packet-arrival path (its hottest event) uses this.
+    #[inline]
+    pub fn deliver(&mut self, now: Time, src: StackId, payload: Bytes) {
+        if !self.pending.is_empty() {
+            self.absorb(now);
+        }
+        self.stack.packet_in(now, src, payload);
+    }
+
+    /// The fused wake hook: fire every timer due at or before `now` and
+    /// report the next armed deadline in the same pass — one call where
+    /// hosts used to pair [`StackDriver::fire_due`] with
+    /// [`StackDriver::next_deadline`] (two traversals of the timer
+    /// heap's top). Virtual-time hosts batch their per-node wake
+    /// handling through this.
+    #[inline]
+    pub fn wake(&mut self, now: Time) -> Option<Time> {
+        self.fire_due(now);
+        self.timers.next_deadline()
+    }
+
     /// Fire every armed timer due at or before `now`. Returns how many
     /// fired. (Cancelled entries are purged, not fired.)
     pub fn fire_due(&mut self, now: Time) -> usize {

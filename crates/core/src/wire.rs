@@ -182,19 +182,36 @@ pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read an unsigned LEB128 varint.
+///
+/// Parses over the buffer's contiguous slice and advances the cursor
+/// *once* — an offset-window decode, instead of a bounds-checked
+/// refcounted-cursor operation per byte. This is the hot inner loop of
+/// batch decoding (every tag, id, and length prefix passes through
+/// here), so the one-byte case is kept branch-minimal.
+#[inline]
 pub fn get_uvarint(buf: &mut Bytes) -> WireResult<u64> {
-    let mut v: u64 = 0;
-    let mut shift = 0u32;
+    let s: &[u8] = buf.chunk();
+    let Some(&first) = s.first() else {
+        return Err(WireError::Truncated);
+    };
+    if first < 0x80 {
+        buf.advance(1);
+        return Ok(u64::from(first));
+    }
+    let mut v: u64 = u64::from(first & 0x7f);
+    let mut shift = 7u32;
+    let mut n = 1usize;
     loop {
-        if !buf.has_remaining() {
+        let Some(&byte) = s.get(n) else {
             return Err(WireError::Truncated);
-        }
-        let byte = buf.get_u8();
+        };
+        n += 1;
         if shift == 63 && byte > 1 {
             return Err(WireError::VarintOverflow);
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
+            buf.advance(n);
             return Ok(v);
         }
         shift += 7;
@@ -297,13 +314,15 @@ impl Encode for String {
 impl Decode for String {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         let len = get_length_prefix(buf)?;
-        let raw = buf.split_to(len);
-        // Validate on the borrowed slice first, so the only allocation is
-        // the final owned copy of a known-valid string.
-        match std::str::from_utf8(&raw) {
-            Ok(s) => Ok(s.to_owned()),
-            Err(_) => Err(WireError::InvalidUtf8),
-        }
+        // Validate and copy from the borrowed window, then advance the
+        // cursor once — no intermediate `split_to` handle, so the only
+        // allocation is the final owned copy of a known-valid string.
+        let owned = match std::str::from_utf8(&buf.chunk()[..len]) {
+            Ok(s) => s.to_owned(),
+            Err(_) => return Err(WireError::InvalidUtf8),
+        };
+        buf.advance(len);
+        Ok(owned)
     }
 }
 
@@ -350,13 +369,11 @@ impl<T: Encode> Encode for Vec<T> {
 impl<T: Decode> Decode for Vec<T> {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         // Each element takes at least one byte on the wire, so the length
-        // check bounds the allocation below by the input size.
+        // check bounds the allocation below by the input size. Collecting
+        // from a sized range pre-allocates exactly and elides the
+        // per-push capacity checks of a push loop.
         let len = get_length_prefix(buf)?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(T::decode(buf)?);
-        }
-        Ok(out)
+        (0..len).map(|_| T::decode(buf)).collect()
     }
 }
 

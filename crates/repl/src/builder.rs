@@ -354,6 +354,96 @@ pub fn request_change(sim: &mut Sim, node: StackId, h: &Handles, new_spec: &Modu
     sim.with_stack(node, |s| s.call_as(probe, &top, crate::CHANGE_OP, data));
 }
 
+/// An [`dpu_sim::workload::InjectFn`] that broadcasts one probe message
+/// (the workload subsystem's bridge to the Figure-4 stack).
+pub fn probe_inject(h: &Handles) -> dpu_sim::workload::InjectFn {
+    let h = h.clone();
+    Box::new(move |sim, node| send_probe(sim, node, &h))
+}
+
+/// A [`dpu_sim::workload::CompletedFn`] reporting how many of a node's
+/// own probe messages it has delivered back — the closed-loop feedback
+/// signal. Counts incrementally (only records appended since the last
+/// poll), so a long run stays O(deliveries), not O(polls × deliveries);
+/// a shrunken record list (the stack was replaced by a churn restart)
+/// resets the count, which is what lets the closed loop reconcile.
+pub fn probe_completed(h: &Handles) -> dpu_sim::workload::CompletedFn {
+    let probe = h.probe.expect("closed-loop workload requires a probe");
+    let mut seen: std::collections::HashMap<StackId, (usize, u64)> =
+        std::collections::HashMap::new();
+    Box::new(move |sim, node| {
+        let (idx, count) = seen.get(&node).copied().unwrap_or((0, 0));
+        let (new_idx, new_count) = sim.with_stack(node, |s| {
+            s.with_module::<Probe, _>(probe, |p| {
+                let recs = p.delivered();
+                let own = |r: &&dpu_core::probe::DeliveryRecord| r.msg.0 == node;
+                if recs.len() < idx {
+                    // Fresh stack after a restart: recount from zero.
+                    (recs.len(), recs.iter().filter(own).count() as u64)
+                } else {
+                    (recs.len(), count + recs[idx..].iter().filter(own).count() as u64)
+                }
+            })
+            .expect("probe present")
+        });
+        seen.insert(node, (new_idx, new_count));
+        new_count
+    })
+}
+
+/// Open-loop Poisson probe load at `rate_per_sec` aggregate
+/// messages/second across all stacks, until `until`. Returns the
+/// workload's index into [`dpu_sim::SimStats::workloads`].
+pub fn drive_poisson(sim: &mut Sim, h: &Handles, rate_per_sec: f64, until: Time) -> usize {
+    let nodes = sim.stack_ids();
+    dpu_sim::workload::install(
+        sim,
+        "poisson",
+        nodes,
+        until,
+        dpu_sim::workload::Generator::Poisson { rate: rate_per_sec, inject: probe_inject(h) },
+    )
+}
+
+/// Bursty (inhomogeneous Poisson) probe load: `base`/`burst` aggregate
+/// rates alternating each `period` with the given burst `duty` fraction.
+pub fn drive_bursty(
+    sim: &mut Sim,
+    h: &Handles,
+    base: f64,
+    burst: f64,
+    period: Dur,
+    duty: f64,
+    until: Time,
+) -> usize {
+    let nodes = sim.stack_ids();
+    dpu_sim::workload::install(
+        sim,
+        "bursty",
+        nodes,
+        until,
+        dpu_sim::workload::Generator::Bursty { base, burst, period, duty, inject: probe_inject(h) },
+    )
+}
+
+/// Closed-loop probe load: each stack keeps up to `window` probes
+/// outstanding, polling every `poll`.
+pub fn drive_closed_loop(sim: &mut Sim, h: &Handles, window: u64, poll: Dur, until: Time) -> usize {
+    let nodes = sim.stack_ids();
+    dpu_sim::workload::install(
+        sim,
+        "closed-loop",
+        nodes,
+        until,
+        dpu_sim::workload::Generator::ClosedLoop {
+            window,
+            poll,
+            inject: probe_inject(h),
+            completed: probe_completed(h),
+        },
+    )
+}
+
 /// Generate a constant aggregate load of `rate_per_sec` messages/second,
 /// spread round-robin over all stacks, from `sim.now()` until `until`.
 pub fn drive_load(sim: &mut Sim, h: &Handles, rate_per_sec: f64, until: Time) {
@@ -656,6 +746,23 @@ mod tests {
         let total = report.checker.broadcast_count();
         // 90 msg/s for 2 s ≈ 180 messages (±1 per stack for edge ticks).
         assert!((174..=186).contains(&total), "sent {total} messages");
+    }
+
+    #[test]
+    fn drive_closed_loop_keeps_the_window_full() {
+        let opts = GroupStackOpts::default();
+        let (mut sim, h) = group_sim(SimConfig::lan(3, 19), &opts);
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        let until = sim.now() + Dur::secs(3);
+        drive_closed_loop(&mut sim, &h, 1, Dur::millis(100), until);
+        sim.run_until(until + Dur::secs(4));
+        let report = check_run(&mut sim, &h);
+        report.assert_ok();
+        let total = report.checker.broadcast_count();
+        // Window 1, poll 100 ms, delivery latency ≪ poll: each node
+        // injects roughly once per poll over the 3 s window (~30 each).
+        assert!((60..=93).contains(&total), "closed loop injected {total}");
+        assert_eq!(sim.stats().workloads[0].injected as usize, total);
     }
 
     #[test]

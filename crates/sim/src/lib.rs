@@ -1,22 +1,30 @@
 //! # dpu-sim — deterministic discrete-event host for DPU stacks
 //!
 //! Stands in for the paper's evaluation testbed (a cluster of 7 PCs on
-//! switched 100 Mb/s Ethernet, §6.1). A [`Sim`] hosts `n` [`Stack`]s under
+//! switched 100 Mb/s Ethernet, §6.1) — and scales far past it: the
+//! sharded [`sched`] scheduler and the [`topology`]/[`workload`]
+//! subsystems exist to run the same live-switch experiments on
+//! thousands of simulated nodes. A [`Sim`] hosts `n` [`Stack`]s under
 //! a single virtual clock and models:
 //!
-//! * **the network** ([`NetConfig`]): per-hop propagation delay + jitter,
-//!   transmission delay from a configurable bandwidth, probabilistic loss
-//!   and duplication, and dynamic partitions — datagram semantics, like
-//!   the UDP the paper's stack bottoms out in;
+//! * **the network** ([`NetConfig`] per link, composed by a
+//!   [`Topology`]): per-hop propagation delay + jitter, transmission
+//!   delay from a configurable bandwidth, probabilistic loss and
+//!   duplication, and dynamic partitions — datagram semantics, like the
+//!   UDP the paper's stack bottoms out in. Topologies range from the
+//!   paper's flat LAN to datacenter clusters joined by a WAN backbone;
 //! * **the CPU** ([`CpuConfig`]): each dispatched stack step occupies the
 //!   node's single CPU for a configurable service time, so load produces
 //!   queueing and the latency-vs-load curves of the paper's Figure 6 get
 //!   their characteristic knee;
-//! * **faults**: node crashes at arbitrary virtual times.
+//! * **faults**: node crashes (and restarts) at arbitrary virtual times;
+//! * **traffic**: pluggable [`workload`] generators — closed-loop,
+//!   open-loop Poisson, bursty Poisson, node churn.
 //!
 //! Everything is driven from one seeded RNG, so a run is a pure function
 //! of `(configuration, seed)` — every figure in `EXPERIMENTS.md` is
-//! exactly reproducible.
+//! exactly reproducible, whichever scheduler implementation is selected
+//! (see [`SchedConfig`]).
 //!
 //! ```
 //! use dpu_core::{Stack, StackConfig, FactoryRegistry};
@@ -32,53 +40,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sched;
+pub mod stats;
+pub mod topology;
+pub mod workload;
+
+pub use sched::{SchedConfig, SchedKind};
+pub use stats::{ShardStats, SimReport, SimStats, WorkloadStats};
+pub use topology::{NetConfig, Topology};
+
 use bytes::Bytes;
-use dpu_core::host::{ActionSink, HostEvent, StackDriver};
+use dpu_core::host::{ActionSink, StackDriver};
 use dpu_core::stack::StepCategory;
 use dpu_core::time::{Dur, Time};
 use dpu_core::trace::TraceLog;
 use dpu_core::{Stack, StackConfig, StackId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
-
-/// Network model parameters (the paper's 100BaseTX switched Ethernet).
-#[derive(Clone, Debug)]
-pub struct NetConfig {
-    /// Base one-way propagation + switching delay.
-    pub latency: Dur,
-    /// Uniform jitter added on top of `latency`: `[0, jitter)`.
-    pub jitter: Dur,
-    /// Link bandwidth in bits per second; transmission delay is
-    /// `8 * (size + header) / bandwidth`.
-    pub bandwidth_bps: u64,
-    /// Fixed per-datagram header bytes (UDP/IP/Ethernet framing).
-    pub header_bytes: usize,
-    /// Probability a datagram is dropped.
-    pub loss: f64,
-    /// Probability a datagram is duplicated (delivered twice).
-    pub duplicate: f64,
-}
-
-impl NetConfig {
-    /// A healthy switched 100 Mb/s LAN.
-    pub fn lan() -> NetConfig {
-        NetConfig {
-            latency: Dur::micros(60),
-            jitter: Dur::micros(30),
-            bandwidth_bps: 100_000_000,
-            header_bytes: 54,
-            loss: 0.0,
-            duplicate: 0.0,
-        }
-    }
-
-    /// A lossy LAN for fault-injection tests.
-    pub fn lossy(loss: f64) -> NetConfig {
-        NetConfig { loss, ..NetConfig::lan() }
-    }
-}
+use sched::Scheduler;
 
 /// CPU model: virtual service time charged per dispatched stack step, by
 /// step category. Calibrated very roughly to the paper's Pentium III
@@ -110,6 +89,23 @@ impl CpuConfig {
         }
     }
 
+    /// A modern-hardware calibration: ~1 µs per dispatch, i.e. a few
+    /// thousand cycles on a ~3 GHz core running the native stack rather
+    /// than the paper's Pentium III Java framework. The thousand-node
+    /// experiments use this together with [`crate::NetConfig::datacenter`];
+    /// with [`CpuConfig::default_cal`] a sequencer fanning one broadcast
+    /// out to 1024 peers would charge 2 × 1024 × 40 µs ≈ 82 ms of CPU
+    /// per message and saturate at ~12 msg/s.
+    pub fn fast() -> CpuConfig {
+        CpuConfig {
+            call: Dur::micros(1),
+            response: Dur::micros(1),
+            timer: Dur::nanos(500),
+            start: Dur::micros(2),
+            stop: Dur::micros(1),
+        }
+    }
+
     /// Cost for a step category.
     pub fn cost(&self, cat: StepCategory) -> Dur {
         match cat {
@@ -127,37 +123,59 @@ impl CpuConfig {
 pub struct SimConfig {
     /// Number of stacks (machines), ids `0..n`.
     pub n: u32,
-    /// Master seed; all randomness (jitter, loss, per-stack RNG streams)
-    /// derives from it.
+    /// Master seed; all randomness (jitter, loss, per-stack RNG streams,
+    /// workload generators) derives from it.
     pub seed: u64,
-    /// Network model.
+    /// Flat network model — the default link config. For non-flat shapes
+    /// set [`SimConfig::topology`] instead.
     pub net: NetConfig,
     /// CPU model.
     pub cpu: CpuConfig,
     /// Record traces in each stack (disable for long benchmark runs).
     pub trace: bool,
+    /// Event scheduler implementation and tuning.
+    pub sched: SchedConfig,
+    /// Non-flat topology (clusters, per-link overrides). When `None` the
+    /// simulation is flat: every link uses [`SimConfig::net`].
+    pub topology: Option<Topology>,
 }
 
 impl SimConfig {
     /// `n` machines on a healthy LAN.
     pub fn lan(n: u32, seed: u64) -> SimConfig {
-        SimConfig { n, seed, net: NetConfig::lan(), cpu: CpuConfig::default_cal(), trace: true }
+        SimConfig {
+            n,
+            seed,
+            net: NetConfig::lan(),
+            cpu: CpuConfig::default_cal(),
+            trace: true,
+            sched: SchedConfig::default(),
+            topology: None,
+        }
     }
-}
 
-/// Counters accumulated over a run (window them by snapshotting).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct SimStats {
-    /// Datagrams handed to the network.
-    pub packets_sent: u64,
-    /// Datagrams dropped by the loss model or partitions.
-    pub packets_dropped: u64,
-    /// Datagrams delivered (duplicates counted).
-    pub packets_delivered: u64,
-    /// Payload bytes handed to the network (headers excluded).
-    pub bytes_sent: u64,
-    /// Stack steps dispatched across all nodes.
-    pub steps: u64,
+    /// `n` machines in clusters of `cluster_size` on `intra` links,
+    /// joined by `backbone` — see [`Topology::clustered`].
+    pub fn clustered(
+        n: u32,
+        seed: u64,
+        cluster_size: u32,
+        intra: NetConfig,
+        backbone: NetConfig,
+    ) -> SimConfig {
+        SimConfig {
+            net: intra.clone(),
+            topology: Some(Topology::clustered(cluster_size, intra, backbone)),
+            ..SimConfig::lan(n, seed)
+        }
+    }
+
+    /// Select the reference single-heap scheduler (builder style, for
+    /// equivalence tests and benchmarks).
+    pub fn with_single_heap(mut self) -> SimConfig {
+        self.sched = SchedConfig::single_heap();
+        self
+    }
 }
 
 enum EventKind {
@@ -180,27 +198,6 @@ enum EventKind {
         node: StackId,
     },
     Action(Box<dyn FnOnce(&mut Sim) + Send>),
-}
-
-// BinaryHeap is a max-heap; order by Reverse((at, seq)) for a stable
-// min-heap with FIFO tie-breaking.
-struct HeapEntry(Reverse<(Time, u64)>, EventKind);
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0)
-    }
 }
 
 struct Node {
@@ -235,52 +232,52 @@ pub struct Sim {
     cfg: SimConfig,
     now: Time,
     seq: u64,
-    heap: BinaryHeap<HeapEntry>,
+    sched: Scheduler<EventKind>,
     nodes: Vec<Node>,
     rng: SmallRng,
-    /// Ordered pairs `(a, b)` such that packets a→b are blocked.
-    partitions: BTreeSet<(StackId, StackId)>,
+    topology: Topology,
     stats: SimStats,
 }
 
 impl Sim {
     /// Build a simulation; `mk_stack` constructs each stack from its
     /// [`StackConfig`] (attach factories, install modules, etc.).
-    pub fn new(cfg: SimConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Sim {
+    pub fn new(mut cfg: SimConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Sim {
+        let topology = cfg.topology.take().unwrap_or_else(|| Topology::flat(cfg.net.clone()));
         let nodes = (0..cfg.n)
-            .map(|i| {
-                let sc = StackConfig {
-                    id: StackId(i),
-                    peers: (0..cfg.n).map(StackId).collect(),
-                    seed: cfg.seed,
-                    trace: cfg.trace,
-                };
-                Node {
-                    driver: StackDriver::new(mk_stack(sc)),
-                    cpu_free: Time::ZERO,
-                    nic_free: Time::ZERO,
-                    step_scheduled: false,
-                    crashed: false,
-                    wake: None,
-                }
+            .map(|i| Node {
+                driver: StackDriver::new(mk_stack(Self::mk_stack_config(&cfg, StackId(i)))),
+                cpu_free: Time::ZERO,
+                nic_free: Time::ZERO,
+                step_scheduled: false,
+                crashed: false,
+                wake: None,
             })
             .collect();
         let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD1B54A32D192ED03);
-        let mut sim = Sim {
-            cfg,
-            now: Time::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
-            nodes,
-            rng,
-            partitions: BTreeSet::new(),
-            stats: SimStats::default(),
-        };
+        let sched = Scheduler::new(&cfg.sched, cfg.n as usize);
+        let stats = SimStats::with_shards(cfg.n);
+        let mut sim = Sim { cfg, now: Time::ZERO, seq: 0, sched, nodes, rng, topology, stats };
         // Stacks are born with pending Start deliveries.
         for i in 0..sim.nodes.len() {
             sim.ensure_step(StackId(i as u32));
         }
         sim
+    }
+
+    fn mk_stack_config(cfg: &SimConfig, id: StackId) -> StackConfig {
+        StackConfig {
+            id,
+            peers: (0..cfg.n).map(StackId).collect(),
+            seed: cfg.seed,
+            trace: cfg.trace,
+        }
+    }
+
+    /// The [`StackConfig`] node `id` was (and would again be) built from
+    /// — used by churn workloads to construct replacement stacks.
+    pub fn stack_config(&self, id: StackId) -> StackConfig {
+        Self::mk_stack_config(&self.cfg, id)
     }
 
     /// Current virtual time.
@@ -301,6 +298,30 @@ impl Sim {
     /// Run statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Number of events currently queued in the scheduler (in-flight
+    /// packets, pending steps, armed wakes, scheduled actions).
+    pub fn queued_events(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// One-stop end-of-run summary: run counters, per-shard and
+    /// per-generator breakdowns, and the aggregated wire scratch stats,
+    /// with a printable [`std::fmt::Display`].
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            n: self.cfg.n,
+            now: self.now,
+            stats: self.stats.clone(),
+            wire: self.wire_stats(),
+        }
+    }
+
+    /// The topology (for link inspection; mutate via the `Sim` methods
+    /// so partition changes stay on the simulation thread).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Immutable access to a stack.
@@ -344,33 +365,75 @@ impl Sim {
         self.push(at, EventKind::Crash { node: id });
     }
 
+    /// Replace node `id` with a freshly constructed stack, reviving it if
+    /// it was crashed. The new stack starts from scratch (it re-runs
+    /// `on_start`); in-flight packets addressed to the node are delivered
+    /// to the *new* incarnation. Used by [`workload::Generator::Churn`]-style
+    /// crash/restart schedules.
+    pub fn restart_node(&mut self, id: StackId, stack: Stack) {
+        let now = self.now;
+        let node = &mut self.nodes[id.idx()];
+        node.driver = StackDriver::new(stack);
+        node.crashed = false;
+        node.cpu_free = now;
+        node.nic_free = now;
+        node.step_scheduled = false;
+        node.wake = None;
+        self.after_stack_mutation(id);
+    }
+
     /// Block traffic in both directions between the two groups.
     pub fn partition(&mut self, a: &[StackId], b: &[StackId]) {
-        for &x in a {
-            for &y in b {
-                self.partitions.insert((x, y));
-                self.partitions.insert((y, x));
-            }
-        }
+        self.topology.partition(a, b);
+    }
+
+    /// Block all traffic between two clusters of the topology.
+    pub fn partition_clusters(&mut self, a: u32, b: u32) {
+        let n = self.cfg.n;
+        self.topology.partition_clusters(a, b, n);
     }
 
     /// Remove all partitions.
     pub fn heal_partitions(&mut self) {
-        self.partitions.clear();
+        self.topology.heal_partitions();
     }
 
-    /// Change the loss probability from now on.
+    /// Change the loss probability from now on (applied to the default
+    /// link config and, in clustered topologies, the backbone; per-link
+    /// overrides are left alone).
     pub fn set_loss(&mut self, loss: f64) {
         self.cfg.net.loss = loss;
+        self.topology.default_mut().loss = loss;
+        if let Some(backbone) = self.topology.backbone_mut() {
+            backbone.loss = loss;
+        }
+    }
+
+    /// An RNG stream derived from the master seed and `salt`, independent
+    /// of the simulator's own stream (drawing from it does not perturb
+    /// jitter/loss decisions). Workload generators take their randomness
+    /// from here so runs stay pure functions of `(config, seed)`.
+    pub fn derive_rng(&self, salt: u64) -> SmallRng {
+        // splitmix64-style finalizer over (seed, salt).
+        let mut z = self.cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        SmallRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    pub(crate) fn register_workload(&mut self, name: String) -> usize {
+        self.stats.workloads.push(WorkloadStats { name, ..WorkloadStats::default() });
+        self.stats.workloads.len() - 1
+    }
+
+    pub(crate) fn workload_mut(&mut self, id: usize) -> &mut WorkloadStats {
+        &mut self.stats.workloads[id]
     }
 
     /// Run until virtual time `t`, processing all events up to it.
     pub fn run_until(&mut self, t: Time) {
-        while let Some(HeapEntry(Reverse((at, _)), _)) = self.heap.peek() {
-            if *at > t {
-                break;
-            }
-            self.pop_and_dispatch();
+        while let Some((at, kind)) = self.sched.pop_before(t) {
+            self.dispatch(at, kind);
         }
         self.now = self.now.max(t);
     }
@@ -379,11 +442,8 @@ impl Sim {
     /// virtual time. Note: stacks with periodic timers never quiesce —
     /// use [`Sim::run_until`] for those.
     pub fn run_until_quiescent(&mut self, cap: Time) -> Time {
-        while let Some(HeapEntry(Reverse((at, _)), _)) = self.heap.peek() {
-            if *at > cap {
-                break;
-            }
-            self.pop_and_dispatch();
+        while let Some((at, kind)) = self.sched.pop_before(cap) {
+            self.dispatch(at, kind);
         }
         self.now
     }
@@ -391,6 +451,7 @@ impl Sim {
     /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
     /// scratch pool: the steady-state-allocation oracle for the whole
     /// simulation (see the `wire_codec` bench and `BENCH_wire.json`).
+    /// Also folded into [`Sim::report`].
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
         let mut total = dpu_core::wire::ScratchStats::default();
         for node in &self.nodes {
@@ -412,40 +473,44 @@ impl Sim {
     fn push(&mut self, at: Time, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(HeapEntry(Reverse((at, seq)), kind));
+        self.sched.push(at, seq, kind);
     }
 
-    fn pop_and_dispatch(&mut self) {
-        let HeapEntry(Reverse((at, _)), kind) = self.heap.pop().expect("peeked");
+    fn dispatch(&mut self, at: Time, kind: EventKind) {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.stats.events += 1;
         match kind {
             EventKind::PacketArrive { dst, src, payload } => {
+                self.stats.shard_mut(dst.0).events += 1;
                 let node = &mut self.nodes[dst.idx()];
                 if node.crashed {
                     return;
                 }
+                node.driver.deliver(at, src, payload);
                 self.stats.packets_delivered += 1;
-                node.driver.inject(HostEvent::Packet { src, payload });
-                node.driver.absorb(at);
+                self.stats.shard_mut(dst.0).packets_delivered += 1;
                 self.ensure_step(dst);
             }
             EventKind::NodeWake { node } => {
+                self.stats.shard_mut(node.0).events += 1;
                 let n = &mut self.nodes[node.idx()];
                 if n.crashed || n.wake != Some(at) {
                     // Stale wake: a nearer deadline superseded this entry.
                     return;
                 }
                 n.wake = None;
-                n.driver.fire_due(at);
+                let next = n.driver.wake(at);
                 self.ensure_step(node);
-                self.ensure_wake(node);
+                self.ensure_wake_at(node, next);
             }
             EventKind::NodeStep { node } => {
+                self.stats.shard_mut(node.0).events += 1;
                 self.nodes[node.idx()].step_scheduled = false;
                 self.node_step(node, at);
             }
             EventKind::Crash { node } => {
+                self.stats.shard_mut(node.0).events += 1;
                 let n = &mut self.nodes[node.idx()];
                 n.crashed = true;
                 n.driver.stack_mut().crash(at);
@@ -461,6 +526,8 @@ impl Sim {
         }
         let Some(info) = node.driver.step_raw(at) else { return };
         self.stats.steps += 1;
+        self.stats.shard_mut(id.0).steps += 1;
+        let node = &mut self.nodes[id.idx()];
         let cost = self.cfg.cpu.cost(info.category);
         node.cpu_free = at + cost;
         let done = node.cpu_free;
@@ -482,34 +549,31 @@ impl Sim {
     fn net_send(&mut self, src: StackId, dst: StackId, payload: Bytes, when: Time) {
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
-        if dst.idx() >= self.nodes.len() || self.partitions.contains(&(src, dst)) {
-            self.stats.packets_dropped += 1;
+        if dst.idx() >= self.nodes.len() || self.topology.blocked(src, dst) {
+            self.stats.dropped_partition += 1;
             return;
         }
-        if self.cfg.net.loss > 0.0 && self.rng.gen::<f64>() < self.cfg.net.loss {
-            self.stats.packets_dropped += 1;
+        let link = self.topology.link(src, dst).clone();
+        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+            self.stats.dropped_loss += 1;
             return;
         }
         // Serialise on the sender's outbound link: a burst of sends
         // queues behind the NIC, which is what bends the latency-vs-load
         // curves at high throughput.
-        let bits = 8 * (payload.len() + self.cfg.net.header_bytes) as u64;
-        let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / self.cfg.net.bandwidth_bps);
+        let bits = 8 * (payload.len() + link.header_bytes) as u64;
+        let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / link.bandwidth_bps);
         let depart = when.max(self.nodes[src.idx()].nic_free);
         self.nodes[src.idx()].nic_free = depart + tx;
         let copies =
-            if self.cfg.net.duplicate > 0.0 && self.rng.gen::<f64>() < self.cfg.net.duplicate {
-                2
-            } else {
-                1
-            };
+            if link.duplicate > 0.0 && self.rng.gen::<f64>() < link.duplicate { 2 } else { 1 };
         for _ in 0..copies {
-            let jitter = if self.cfg.net.jitter.as_nanos() > 0 {
-                Dur::nanos(self.rng.gen_range(0..self.cfg.net.jitter.as_nanos()))
+            let jitter = if link.jitter.as_nanos() > 0 {
+                Dur::nanos(self.rng.gen_range(0..link.jitter.as_nanos()))
             } else {
                 Dur::ZERO
             };
-            let arrive = depart + tx + self.cfg.net.latency + jitter;
+            let arrive = depart + tx + link.latency + jitter;
             self.push(arrive, EventKind::PacketArrive { dst, src, payload: payload.clone() });
         }
     }
@@ -528,11 +592,18 @@ impl Sim {
     /// earliest timer deadline. Scheduling a nearer wake strands the old
     /// heap entry; the stamp in [`Node::wake`] marks it stale.
     fn ensure_wake(&mut self, id: StackId) {
+        let deadline = self.nodes[id.idx()].driver.next_deadline();
+        self.ensure_wake_at(id, deadline);
+    }
+
+    /// [`Sim::ensure_wake`] with the deadline already in hand (the fused
+    /// [`StackDriver::wake`] hook reports it for free).
+    fn ensure_wake_at(&mut self, id: StackId, deadline: Option<Time>) {
         let node = &mut self.nodes[id.idx()];
         if node.crashed {
             return;
         }
-        let Some(deadline) = node.driver.next_deadline() else { return };
+        let Some(deadline) = deadline else { return };
         let at = deadline.max(self.now);
         if node.wake.is_some_and(|w| w <= at) {
             return;
@@ -609,7 +680,7 @@ mod tests {
         }
         assert_eq!(sim.stats().packets_sent, 12);
         assert_eq!(sim.stats().packets_delivered, 12);
-        assert_eq!(sim.stats().packets_dropped, 0);
+        assert_eq!(sim.stats().packets_dropped(), 0);
     }
 
     #[test]
@@ -638,7 +709,8 @@ mod tests {
         });
         sim.run_until(Time::ZERO + Dur::millis(5));
         assert_eq!(sim.stats().packets_sent, 2);
-        assert_eq!(sim.stats().packets_dropped, 2);
+        assert_eq!(sim.stats().dropped_loss, 2);
+        assert_eq!(sim.stats().dropped_partition, 0);
         assert_eq!(sim.stats().packets_delivered, 0);
     }
 
@@ -661,7 +733,8 @@ mod tests {
         sim.partition(&[StackId(0)], &[StackId(1)]);
         sim.run_until(Time::ZERO + Dur::millis(5));
         assert_eq!(sim.stats().packets_delivered, 0);
-        assert_eq!(sim.stats().packets_dropped, 2);
+        assert_eq!(sim.stats().dropped_partition, 2);
+        assert_eq!(sim.stats().dropped_loss, 0);
         sim.heal_partitions();
         let data = (StackId(1), Bytes::from_static(b"x")).to_bytes();
         sim.with_stack(StackId(0), |s| {
@@ -679,6 +752,31 @@ mod tests {
         // The crash event at t=0 was scheduled before any processing.
         assert_eq!(received(&mut sim, 2), 0);
         assert!(sim.stack(StackId(2)).is_crashed());
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_node() {
+        let mut sim = pinger_sim(3, 5);
+        sim.crash_at(Time::ZERO, StackId(2));
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        assert!(sim.stack(StackId(2)).is_crashed());
+        // Restart with a fresh stack: it re-pings on start and receives.
+        let sc = sim.stack_config(StackId(2));
+        let mut stack = Stack::new(sc, FactoryRegistry::new());
+        stack.add_module(Box::new(Pinger { received: vec![] }));
+        sim.restart_node(StackId(2), stack);
+        assert!(!sim.stack(StackId(2)).is_crashed());
+        sim.run_until(sim.now() + Dur::millis(10));
+        // Its startup pings reached the live peers (node 2 crashed at
+        // t=0, before its own initial ping could go out)...
+        assert_eq!(received(&mut sim, 0), 2, "peer 0: node 1's initial ping + restart ping");
+        // ...and a direct message to it is delivered again.
+        let data = (StackId(2), Bytes::from_static(b"hi")).to_bytes();
+        sim.with_stack(StackId(0), |s| {
+            s.call_as(PINGER, &ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data)
+        });
+        sim.run_until(sim.now() + Dur::millis(10));
+        assert_eq!(received(&mut sim, 2), 1);
     }
 
     #[test]
@@ -743,5 +841,60 @@ mod tests {
         let end = sim.run_until_quiescent(Time::ZERO + Dur::secs(10));
         assert!(end < Time::ZERO + Dur::secs(1), "pingers quiesce quickly, got {end}");
         assert_eq!(sim.stats().packets_delivered, 6);
+    }
+
+    #[test]
+    fn single_heap_and_sharded_agree_exactly() {
+        let run = |cfg: SimConfig| {
+            let mut sim = Sim::new(cfg, |sc| {
+                let mut s = Stack::new(sc, FactoryRegistry::new());
+                s.add_module(Box::new(Pinger { received: vec![] }));
+                s
+            });
+            sim.run_until(Time::ZERO + Dur::millis(20));
+            (sim.stats().clone(), sim.merged_trace().len())
+        };
+        let mut lossy = SimConfig::lan(5, 99);
+        lossy.net.loss = 0.2;
+        lossy.net.duplicate = 0.1;
+        let a = run(lossy.clone());
+        let b = run(lossy.with_single_heap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_topology_delays_cross_cluster_traffic() {
+        // 2 clusters of 2 on instant-ish LANs joined by a slow backbone:
+        // the intra-cluster ping lands long before the inter-cluster one.
+        let cfg = SimConfig::clustered(4, 7, 2, NetConfig::datacenter(), NetConfig::wan());
+        let mut sim = Sim::new(cfg, |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            s.add_module(Box::new(Pinger { received: vec![] }));
+            s
+        });
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        // Intra-cluster pings (1 per node) have arrived; WAN ones (15 ms
+        // one-way) have not.
+        for i in 0..4 {
+            assert_eq!(received(&mut sim, i), 1, "stack {i} at t=5ms");
+        }
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        for i in 0..4 {
+            assert_eq!(received(&mut sim, i), 3, "stack {i} after WAN delivery");
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_cover_all_nodes() {
+        let mut sim = pinger_sim(4, 21);
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let stats = sim.stats();
+        let shard_delivered: u64 = stats.per_shard.iter().map(|s| s.packets_delivered).sum();
+        let shard_steps: u64 = stats.per_shard.iter().map(|s| s.steps).sum();
+        assert_eq!(shard_delivered, stats.packets_delivered);
+        assert_eq!(shard_steps, stats.steps);
+        assert!(stats.events >= stats.steps + stats.packets_delivered);
+        let report = sim.report();
+        assert!(report.to_string().contains("sim report"), "{report}");
     }
 }

@@ -1,0 +1,598 @@
+//! The event scheduler behind [`crate::Sim`]: a hierarchical timing
+//! wheel (calendar queue) keyed by coarse time buckets, with the
+//! original single global `BinaryHeap` kept alongside as the reference
+//! implementation.
+//!
+//! # Why not one big heap
+//!
+//! The paper's evaluation stops at 7 machines; this workspace pushes the
+//! same live-switch experiments to thousands of simulated nodes. At that
+//! scale the global heap is the bottleneck: every pop pays an
+//! `O(log E)` sift over *all* in-flight events — tens of thousands of
+//! entries at n = 1024 — and every sift level moves a full-size event
+//! payload (packets carry `Bytes`, actions carry boxed closures) through
+//! cache-hostile strides. The per-node event queues (each
+//! `StackDriver`'s timer queue and pending-event buffer, with a single
+//! stamped wake/step entry per node, from PR 2) already bound how many
+//! entries a node contributes; what they feed deserves better than
+//! `O(log E)` per event.
+//!
+//! # The hierarchical timing wheel
+//!
+//! Three levels of `slots` buckets each (default 256), with level-0
+//! bucket width [`SchedConfig::bucket`] (default 128 ns): level 0 spans
+//! 32.8 µs, level 1 spans 8.4 ms, level 2 spans 2.15 s; the handful of
+//! events beyond that sit in a small overflow heap. Pushing is `O(1)`:
+//! compute the level whose current bucket range contains the deadline,
+//! append to that bucket's `Vec`. Popping serves the *current* level-0
+//! bucket from a sorted `serving` array; when it empties, an occupancy
+//! bitmap finds the next non-empty bucket, and crossing a level
+//! boundary *cascades* the next coarser bucket down one level — each
+//! event is moved at most twice before being served, so the amortized
+//! cost per event is `O(1)` with small constants (24-byte key compares,
+//! `sort_unstable` over a handful of same-bucket entries).
+//!
+//! The level-0 width is the knob: a bucket should hold only a few
+//! events (so the serving sort stays trivial) while `slots³ × width`
+//! still covers the protocol stack's timer range (rp2p retransmit
+//! 20–100 ms, fd heartbeat/timeout 20/100 ms all live in level 2). The
+//! 128 ns default keeps buckets near-singleton even with half a
+//! million datagrams in flight (the WAN-sustained profile of
+//! `BENCH_sim.json`) and measured best-or-equal across every profile
+//! swept; see `ARCHITECTURE.md` for the sensitivity data.
+//!
+//! # Determinism
+//!
+//! Events are totally ordered by `(time, seq)`, `seq` being the
+//! simulator's global push counter. Wheel levels are *exactly* aligned
+//! (one level-1 bucket is precisely 256 level-0 buckets), so a bucket
+//! never mixes events from different coarser ranges, and the serving
+//! array always holds the global minimum of the wheel; the overflow
+//! head is compared by full key on every pop. The pop sequence is
+//! therefore identical to the single heap's — and so is every
+//! downstream decision (RNG draws, trace contents, the golden
+//! fingerprint in `tests/host_equivalence.rs`).
+//! `crates/sim/tests/sched_equiv.rs` property-tests the equivalence;
+//! [`crate::SimConfig`] selects the implementation via [`SchedConfig`].
+
+use dpu_core::time::{Dur, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which scheduler implementation a [`crate::Sim`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// One global `BinaryHeap` over all events — the pre-wheel
+    /// reference implementation, kept for equivalence tests and the
+    /// `bench_sim` comparison.
+    SingleHeap,
+    /// Hierarchical timing-wheel calendar queue (default).
+    Calendar,
+}
+
+/// Scheduler configuration, part of [`crate::SimConfig`].
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Implementation to use.
+    pub kind: SchedKind,
+    /// Level-0 bucket width (calendar only); rounded up to a power of
+    /// two of nanoseconds. See the module docs for the trade-off; the
+    /// default is 128 ns.
+    pub bucket: Dur,
+    /// Buckets per wheel level (calendar only); rounded up to a power
+    /// of two, minimum 64. Three levels cover `bucket × slots³`.
+    /// Default 256.
+    pub buckets: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig { kind: SchedKind::Calendar, bucket: Dur::nanos(128), buckets: 256 }
+    }
+}
+
+impl SchedConfig {
+    /// The reference single-heap configuration.
+    pub fn single_heap() -> SchedConfig {
+        SchedConfig { kind: SchedKind::SingleHeap, ..SchedConfig::default() }
+    }
+}
+
+/// The deterministic total order: `(time, global push sequence)`.
+pub type Key = (Time, u64);
+
+/// A queued event: key plus payload.
+struct Entry<E> {
+    key: Key,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min key on top.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// Payload storage for the wheel: keys circulate through buckets and
+/// heaps as 24-byte `(Time, seq, slot)` tuples, while the (much larger)
+/// event payloads sit still in this slab until served. Heap sifts,
+/// bucket drains and sorts therefore move a third of the bytes the
+/// reference single heap moves per level.
+struct Slab<E> {
+    items: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> Slab<E> {
+    fn new() -> Slab<E> {
+        Slab { items: Vec::new(), free: Vec::new() }
+    }
+
+    #[inline]
+    fn insert(&mut self, ev: E) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.items[i as usize] = Some(ev);
+                i
+            }
+            None => {
+                self.items.push(Some(ev));
+                (self.items.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, i: u32) -> E {
+        self.free.push(i);
+        self.items[i as usize].take().expect("live slab entry")
+    }
+}
+
+/// A wheel key: the deterministic order pair plus the payload's slab
+/// index. `seq` is unique, so the index never participates in ordering
+/// decisions.
+type WheelKey = (Time, u64, u32);
+
+/// One wheel level: `slots` unsorted key buckets plus an occupancy
+/// bitmap.
+struct Level {
+    slots: Vec<Vec<WheelKey>>,
+    occ: Vec<u64>,
+}
+
+impl Level {
+    fn new(slots: usize) -> Level {
+        Level { slots: (0..slots).map(|_| Vec::new()).collect(), occ: vec![0u64; slots / 64] }
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.occ[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.occ[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// First occupied slot ≥ `from`, if any (scans never wrap: pushes
+    /// always land strictly ahead of the cursor within a level).
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= self.slots.len() {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut bits = self.occ[w] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == self.occ.len() {
+                return None;
+            }
+            bits = self.occ[w];
+        }
+    }
+}
+
+/// Three-level hierarchical timing wheel + overflow heap. See the
+/// module docs for structure and invariants.
+struct Wheel<E> {
+    slab: Slab<E>,
+    levels: Vec<Level>,
+    /// Current level-0 bucket's keys, sorted *descending* and served
+    /// from the back. Only ever filled by draining a bucket — never
+    /// inserted into.
+    serving: Vec<WheelKey>,
+    /// Keys pushed *at or before* the serving bucket (immediate
+    /// reschedules — the post-dispatch `NodeStep` pattern). A small
+    /// min-heap: its keys all precede everything in the wheel levels,
+    /// and it drains as fast as it fills.
+    late: BinaryHeap<Reverse<WheelKey>>,
+    /// Absolute level-0 bucket index of the serving bucket.
+    cursor: u64,
+    /// log2 of the level-0 bucket width in nanoseconds (the width is
+    /// rounded to a power of two so bucket mapping is a shift, not a
+    /// division — `place` maps every key up to four times).
+    w_shift: u32,
+    /// log2(slots per level).
+    shift: u32,
+    /// Slots per level minus one (mask).
+    mask: u64,
+    /// Keys in the three levels (excluding serving/late/overflow).
+    in_levels: usize,
+    /// Keys beyond the level-2 horizon.
+    overflow: BinaryHeap<Reverse<WheelKey>>,
+    /// Cached `overflow` head, so the per-pop comparison against the
+    /// far future is a register compare, not a heap peek.
+    overflow_min: Option<WheelKey>,
+}
+
+impl<E> Wheel<E> {
+    fn new(cfg: &SchedConfig) -> Wheel<E> {
+        let slots = cfg.buckets.next_power_of_two().max(64);
+        Wheel {
+            slab: Slab::new(),
+            levels: (0..3).map(|_| Level::new(slots)).collect(),
+            serving: Vec::new(),
+            late: BinaryHeap::new(),
+            cursor: 0,
+            w_shift: cfg.bucket.as_nanos().max(1).next_power_of_two().trailing_zeros(),
+            shift: slots.trailing_zeros(),
+            mask: (slots - 1) as u64,
+            in_levels: 0,
+            overflow: BinaryHeap::new(),
+            overflow_min: None,
+        }
+    }
+
+    /// Absolute level-0 bucket index of `t`.
+    #[inline]
+    fn bucket0(&self, t: Time) -> u64 {
+        t.as_nanos() >> self.w_shift
+    }
+
+    #[inline]
+    fn push(&mut self, at: Time, seq: u64, ev: E) {
+        let idx = self.slab.insert(ev);
+        self.place((at, seq, idx));
+    }
+
+    fn place(&mut self, key: WheelKey) {
+        let b0 = self.bucket0(key.0);
+        if b0 <= self.cursor {
+            self.late.push(Reverse(key));
+            return;
+        }
+        // Exact level alignment: the key belongs to the finest level
+        // whose current coarse bucket contains it.
+        for l in 0..3u32 {
+            if b0 >> (self.shift * (l + 1)) == self.cursor >> (self.shift * (l + 1)) {
+                let slot = ((b0 >> (self.shift * l)) & self.mask) as usize;
+                self.levels[l as usize].slots[slot].push(key);
+                self.levels[l as usize].mark(slot);
+                self.in_levels += 1;
+                return;
+            }
+        }
+        if self.overflow_min.is_none_or(|m| key < m) {
+            self.overflow_min = Some(key);
+        }
+        self.overflow.push(Reverse(key));
+    }
+
+    /// Refill `serving`/`late` from the wheel: advance to the next
+    /// occupied level-0 bucket, cascading coarser levels across
+    /// boundaries. On return, `serving ∪ late` (if non-empty) holds the
+    /// earliest wheel keys; only the overflow heap can hold an earlier
+    /// key.
+    fn refill(&mut self) {
+        debug_assert!(self.serving.is_empty() && self.late.is_empty());
+        if self.in_levels == 0 {
+            // Wheel empty: jump the cursor to the overflow's first
+            // bucket and migrate its near span back into the levels.
+            let Some(&Reverse(head)) = self.overflow.peek() else { return };
+            self.cursor = self.bucket0(head.0);
+            let horizon = self.cursor >> (3 * self.shift);
+            while let Some(&Reverse(head)) = self.overflow.peek() {
+                if self.bucket0(head.0) >> (3 * self.shift) != horizon {
+                    break;
+                }
+                self.overflow.pop();
+                self.place(head); // lands in `late` or a level
+            }
+            self.overflow_min = self.overflow.peek().map(|&Reverse(k)| k);
+            // The cursor was set to the head's own bucket, so the head
+            // necessarily landed in `late` — serveable immediately.
+            debug_assert!(!self.late.is_empty());
+            return;
+        }
+        loop {
+            // A cascade (or the jump above) may have landed keys in
+            // `late` already, in which case they are serveable now.
+            if !self.late.is_empty() {
+                return;
+            }
+            // Next occupied level-0 slot strictly after the cursor,
+            // within the current level-1 bucket.
+            let from = ((self.cursor & self.mask) + 1) as usize;
+            if let Some(slot) = self.levels[0].next_occupied(from) {
+                self.cursor = (self.cursor & !self.mask) | slot as u64;
+                let bucket = &mut self.levels[0].slots[slot];
+                std::mem::swap(bucket, &mut self.serving);
+                self.levels[0].clear(slot);
+                self.in_levels -= self.serving.len();
+                self.serving.sort_unstable_by(|a, b| b.cmp(a));
+                return;
+            }
+            // Level 0 exhausted: cascade the next occupied coarser
+            // bucket down and retry.
+            if !self.cascade() {
+                return; // wheel truly empty (only overflow remains)
+            }
+        }
+    }
+
+    /// Advance across the next level-1 (or level-2) boundary, draining
+    /// one coarse bucket down a level. Returns false when no coarser
+    /// bucket holds anything.
+    fn cascade(&mut self) -> bool {
+        for l in 1..3u32 {
+            let cur = (self.cursor >> (self.shift * l)) & self.mask;
+            let Some(slot) = self.levels[l as usize].next_occupied(cur as usize + 1) else {
+                continue;
+            };
+            // Jump the cursor to the start of that coarse bucket…
+            let coarse = ((self.cursor >> (self.shift * l)) & !self.mask) | slot as u64;
+            self.cursor = coarse << (self.shift * l);
+            // …and re-place its keys: they land one level finer (or in
+            // `late`, for the bucket the cursor now points at).
+            let drained = std::mem::take(&mut self.levels[l as usize].slots[slot]);
+            self.levels[l as usize].clear(slot);
+            self.in_levels -= drained.len();
+            for key in drained {
+                self.place(key);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn pop_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        if self.serving.is_empty() && self.late.is_empty() {
+            self.refill();
+        }
+        // Fast path — the dominant state: nothing late, nothing beyond
+        // the wheel horizon, so the sorted serving array *is* the queue.
+        if self.late.is_empty() && self.overflow_min.is_none() {
+            let key = *self.serving.last()?;
+            if key.0 > horizon {
+                return None;
+            }
+            self.serving.pop();
+            return Some((key.0, self.slab.remove(key.2)));
+        }
+        let sk = self.serving.last().copied();
+        let lk = self.late.peek().map(|&Reverse(k)| k);
+        // Three-way min: serving (current drained bucket), late
+        // (immediate reschedules), overflow (cached far-future head).
+        let min = [sk, lk, self.overflow_min].into_iter().flatten().min()?;
+        if min.0 > horizon {
+            return None;
+        }
+        if sk == Some(min) {
+            self.serving.pop();
+        } else if lk == Some(min) {
+            self.late.pop();
+        } else {
+            self.overflow.pop();
+            self.overflow_min = self.overflow.peek().map(|&Reverse(k)| k);
+        }
+        Some((min.0, self.slab.remove(min.2)))
+    }
+}
+
+/// A deterministic event scheduler: single-heap or hierarchical-wheel
+/// per [`SchedConfig`]. Generic over the event payload so the
+/// `bench_sim` binary can drive it with synthetic events.
+pub struct Scheduler<E> {
+    imp: Imp<E>,
+    len: usize,
+}
+
+enum Imp<E> {
+    Single(BinaryHeap<Entry<E>>),
+    Wheel(Box<Wheel<E>>),
+}
+
+impl<E> Scheduler<E> {
+    /// Build a scheduler. (`_homes` reserves the node count; the wheel
+    /// itself is node-agnostic — per-node queues live in each node's
+    /// `StackDriver`.)
+    pub fn new(cfg: &SchedConfig, _homes: usize) -> Scheduler<E> {
+        let imp = match cfg.kind {
+            SchedKind::SingleHeap => Imp::Single(BinaryHeap::new()),
+            SchedKind::Calendar => Imp::Wheel(Box::new(Wheel::new(cfg))),
+        };
+        Scheduler { imp, len: 0 }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue event `ev` at `(at, seq)`. The caller owns the `seq`
+    /// counter — keys must be unique.
+    #[inline]
+    pub fn push(&mut self, at: Time, seq: u64, ev: E) {
+        self.len += 1;
+        match &mut self.imp {
+            Imp::Single(heap) => heap.push(Entry { key: (at, seq), ev }),
+            Imp::Wheel(w) => w.push(at, seq, ev),
+        }
+    }
+
+    /// Pop the earliest event if it is due at or before `horizon`.
+    /// Events come out in strict `(time, seq)` order regardless of the
+    /// implementation.
+    pub fn pop_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        let popped = match &mut self.imp {
+            Imp::Single(heap) => {
+                if heap.peek()?.key.0 > horizon {
+                    return None;
+                }
+                let e = heap.pop().expect("peeked");
+                (e.key.0, e.ev)
+            }
+            Imp::Wheel(w) => w.pop_before(horizon)?,
+        };
+        self.len -= 1;
+        Some(popped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAR: Time = Time(u64::MAX);
+
+    fn drain<E>(s: &mut Scheduler<E>) -> Vec<(Time, E)> {
+        let mut out = Vec::new();
+        while let Some(e) = s.pop_before(FAR) {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn both_kinds_agree_on_interleaved_pushes_and_pops() {
+        let mk = |kind| {
+            let cfg = SchedConfig { kind, bucket: Dur::micros(1), buckets: 64 };
+            Scheduler::<u64>::new(&cfg, 4)
+        };
+        let mut a = mk(SchedKind::SingleHeap);
+        let mut b = mk(SchedKind::Calendar);
+        // A deterministic pseudo-random schedule with ties, far timers,
+        // zero-delay events and interleaved pops.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut popped = Vec::new();
+        for round in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t = Time((x >> 33) % 2_000_000_000); // 0..2s: spans all levels
+            a.push(t, round, round);
+            b.push(t, round, round);
+            if round % 3 == 0 {
+                let pa = a.pop_before(Time(1_000_000_000));
+                let pb = b.pop_before(Time(1_000_000_000));
+                assert_eq!(pa, pb, "divergence at round {round}");
+                popped.push(pa);
+            }
+        }
+        assert_eq!(drain(&mut a), drain(&mut b));
+        assert!(popped.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn pop_order_is_time_then_seq() {
+        let mut s = Scheduler::new(&SchedConfig::default(), 2);
+        s.push(Time(100), 0, "a");
+        s.push(Time(50), 1, "b");
+        s.push(Time(100), 2, "c");
+        s.push(Time(50), 3, "d");
+        let order: Vec<&str> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b", "d", "a", "c"]);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon_and_resumes() {
+        let mut s = Scheduler::new(&SchedConfig::default(), 1);
+        s.push(Time(10), 0, 1);
+        s.push(Time(20), 1, 2);
+        assert_eq!(s.pop_before(Time(15)), Some((Time(10), 1)));
+        assert_eq!(s.pop_before(Time(15)), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_before(Time(25)), Some((Time(20), 2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_survive_idle_jumps() {
+        // Events beyond the wheel horizon (overflow), popped after long
+        // idle gaps, interleaved with new near-term pushes.
+        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::micros(1), buckets: 64 };
+        let mut s = Scheduler::new(&cfg, 2);
+        s.push(Time::ZERO + Dur::secs(3600), 0, "hour");
+        s.push(Time(5), 1, "now");
+        assert_eq!(s.pop_before(FAR).unwrap().1, "now");
+        assert_eq!(s.pop_before(FAR).unwrap().1, "hour");
+        // Push something relative to the far-future region after the jump.
+        s.push(Time::ZERO + Dur::secs(3600) + Dur::micros(1), 2, "later");
+        assert_eq!(s.pop_before(FAR).unwrap().1, "later");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn same_bucket_late_pushes_keep_order() {
+        // Events pushed into the *serving* bucket while it is being
+        // drained must interleave by (time, seq).
+        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::millis(1), buckets: 64 };
+        let mut s = Scheduler::new(&cfg, 1);
+        s.push(Time(500), 0, "a");
+        s.push(Time(900), 1, "c");
+        assert_eq!(s.pop_before(FAR).unwrap().1, "a");
+        // Now inside bucket 0's serving phase: push an earlier-time and
+        // a same-time entry.
+        s.push(Time(700), 2, "b");
+        s.push(Time(900), 3, "d");
+        let order: Vec<&str> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn cascades_across_all_levels_preserve_order() {
+        // Entries at every level of a tiny wheel (64 slots: L0 64µs,
+        // L1 4.1ms, L2 262ms, overflow beyond ~16.8s at 1µs buckets).
+        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::micros(1), buckets: 64 };
+        let mut s = Scheduler::new(&cfg, 1);
+        let times = [
+            3u64,
+            63,                 // L0 edge
+            64,                 // first slot beyond L0
+            4_000,              // L1
+            4_095,              // L1 edge
+            260_000,            // L2
+            300_000,            // next L2 bucket
+            20_000_000,         // deep L2
+            600_000_000_000u64, // overflow (600s)
+        ];
+        // Push out of order.
+        for (i, &t) in times.iter().rev().enumerate() {
+            s.push(Time(t * 1_000), i as u64, t);
+        }
+        let got: Vec<u64> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

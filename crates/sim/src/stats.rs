@@ -1,0 +1,184 @@
+//! Run statistics: the counters a simulation accumulates, sharded and
+//! per-workload-generator breakdowns, and the one-stop [`SimReport`]
+//! scenarios print.
+
+use dpu_core::wire::ScratchStats;
+use std::fmt;
+
+/// How many shards the per-shard counters are grouped into. Nodes map to
+/// shards round-robin (`node % SHARDS`), mirroring how the sharded
+/// scheduler homes per-node queues; a power of two keeps the mapping a
+/// mask.
+pub const STAT_SHARDS: u32 = 8;
+
+/// Counters for one shard (a `node % STAT_SHARDS` group of nodes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Scheduler events dispatched to this shard's nodes.
+    pub events: u64,
+    /// Datagrams delivered to this shard's nodes.
+    pub packets_delivered: u64,
+    /// Stack steps dispatched on this shard's nodes.
+    pub steps: u64,
+}
+
+/// Counters for one installed workload generator (see
+/// [`crate::workload`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Generator name (unique per installation).
+    pub name: String,
+    /// Messages injected.
+    pub injected: u64,
+    /// Burst windows entered (bursty generators only).
+    pub bursts: u64,
+    /// Crashes induced (churn generators only).
+    pub crashes: u64,
+    /// Restarts performed (churn generators only).
+    pub restarts: u64,
+}
+
+/// Counters accumulated over a run (window them by snapshotting).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Datagrams handed to the network.
+    pub packets_sent: u64,
+    /// Datagrams dropped by the probabilistic loss model.
+    pub dropped_loss: u64,
+    /// Datagrams dropped by a partition (or an unreachable destination).
+    pub dropped_partition: u64,
+    /// Datagrams delivered (duplicates counted).
+    pub packets_delivered: u64,
+    /// Payload bytes handed to the network (headers excluded).
+    pub bytes_sent: u64,
+    /// Stack steps dispatched across all nodes.
+    pub steps: u64,
+    /// Scheduler events dispatched (packets, steps, wakes, crashes,
+    /// actions) — the numerator of the `bench_sim` events/sec metric.
+    pub events: u64,
+    /// Per-shard breakdown ([`STAT_SHARDS`] groups, `node % STAT_SHARDS`).
+    pub per_shard: Vec<ShardStats>,
+    /// Per-generator breakdown, in installation order.
+    pub workloads: Vec<WorkloadStats>,
+}
+
+impl SimStats {
+    pub(crate) fn with_shards(n: u32) -> SimStats {
+        let shards = n.min(STAT_SHARDS) as usize;
+        SimStats { per_shard: vec![ShardStats::default(); shards], ..SimStats::default() }
+    }
+
+    /// Total datagrams dropped, regardless of cause.
+    pub fn packets_dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition
+    }
+
+    #[inline]
+    pub(crate) fn shard_mut(&mut self, node: u32) -> &mut ShardStats {
+        let idx = node as usize % self.per_shard.len().max(1);
+        &mut self.per_shard[idx]
+    }
+}
+
+/// Everything a scenario wants to print at the end of a run, in one
+/// value with a one-summary [`fmt::Display`]: the run counters, the
+/// per-shard and per-generator breakdowns, and the aggregated wire
+/// scratch counters (`Sim::wire_stats`, folded in here so callers no
+/// longer stitch two reports together).
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Number of stacks.
+    pub n: u32,
+    /// Final virtual time.
+    pub now: dpu_core::time::Time,
+    /// Run counters.
+    pub stats: SimStats,
+    /// Aggregated wire scratch counters over every stack.
+    pub wire: ScratchStats,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        writeln!(f, "# sim report: n = {}, t = {}", self.n, self.now)?;
+        writeln!(
+            f,
+            "packets: sent {} delivered {} dropped {} (loss {} / partition {}), {} payload bytes",
+            s.packets_sent,
+            s.packets_delivered,
+            s.packets_dropped(),
+            s.dropped_loss,
+            s.dropped_partition,
+            s.bytes_sent,
+        )?;
+        writeln!(f, "dispatch: {} events, {} stack steps", s.events, s.steps)?;
+        if !s.per_shard.is_empty() {
+            write!(f, "shards (events/delivered/steps):")?;
+            for (i, sh) in s.per_shard.iter().enumerate() {
+                write!(f, " [{i}] {}/{}/{}", sh.events, sh.packets_delivered, sh.steps)?;
+            }
+            writeln!(f)?;
+        }
+        for w in &s.workloads {
+            write!(f, "workload {:12} injected {}", w.name, w.injected)?;
+            if w.bursts > 0 {
+                write!(f, ", bursts {}", w.bursts)?;
+            }
+            if w.crashes + w.restarts > 0 {
+                write!(f, ", crashes {} restarts {}", w.crashes, w.restarts)?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "wire: {} emitted, {} reclaimed, {} allocations",
+            self.wire.emitted, self.wire.reclaimed, self.wire.allocations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_dropped_sums_both_causes() {
+        let s = SimStats { dropped_loss: 3, dropped_partition: 4, ..SimStats::default() };
+        assert_eq!(s.packets_dropped(), 7);
+    }
+
+    #[test]
+    fn shard_mapping_is_round_robin() {
+        let mut s = SimStats::with_shards(16);
+        assert_eq!(s.per_shard.len(), STAT_SHARDS as usize);
+        s.shard_mut(9).steps += 1;
+        assert_eq!(s.per_shard[1].steps, 1);
+        let mut small = SimStats::with_shards(3);
+        assert_eq!(small.per_shard.len(), 3);
+        small.shard_mut(5).events += 1;
+        assert_eq!(small.per_shard[2].events, 1);
+    }
+
+    #[test]
+    fn report_renders_one_summary() {
+        let mut stats = SimStats::with_shards(2);
+        stats.packets_sent = 10;
+        stats.packets_delivered = 8;
+        stats.dropped_loss = 2;
+        stats.workloads.push(WorkloadStats {
+            name: "poisson".into(),
+            injected: 50,
+            ..WorkloadStats::default()
+        });
+        let report = SimReport {
+            n: 2,
+            now: dpu_core::time::Time(5_000_000),
+            stats,
+            wire: ScratchStats::default(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("dropped 2 (loss 2 / partition 0)"), "{text}");
+        assert!(text.contains("workload poisson"), "{text}");
+        assert!(text.contains("wire:"), "{text}");
+    }
+}

@@ -115,9 +115,9 @@ proptest! {
         let (stats, _) = run(n, seed, loss, 0.0, millis);
         // Without duplication: delivered + dropped ≤ sent (some may be
         // in flight at the horizon).
-        prop_assert!(stats.packets_delivered + stats.packets_dropped <= stats.packets_sent);
+        prop_assert!(stats.packets_delivered + stats.packets_dropped() <= stats.packets_sent);
         if loss == 0.0 {
-            prop_assert_eq!(stats.packets_dropped, 0);
+            prop_assert_eq!(stats.packets_dropped(), 0);
         }
     }
 }

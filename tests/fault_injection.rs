@@ -41,7 +41,7 @@ fn switch_survives_heavy_message_loss() {
     for id in sim.stack_ids() {
         assert_eq!(report.checker.delivery_count(id), sent, "stack {id}");
     }
-    assert!(sim.stats().packets_dropped > 0, "loss model must have fired");
+    assert!(sim.stats().packets_dropped() > 0, "loss model must have fired");
 }
 
 #[test]

@@ -96,7 +96,7 @@ fn full_architecture_soak() {
     assert_eq!(views[0].members.len(), 6);
 
     // 4. Network faults actually happened (the run was adversarial).
-    assert!(sim.stats().packets_dropped > 100, "loss model must have fired heavily");
+    assert!(sim.stats().packets_dropped() > 100, "loss model must have fired heavily");
 
     // 5. The final protocol is the second switch target everywhere.
     for id in (0..6).map(StackId) {
