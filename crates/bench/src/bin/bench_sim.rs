@@ -36,13 +36,35 @@
 //! (default output path `BENCH_sim.json` in the current directory).
 //! Absolute rates vary with the host; the committed baseline records
 //! the machine-independent speedup ratios alongside them.
+//!
+//! # Parallel-engine mode
+//!
+//! `bench_sim --workers N [--quick] [out.json]` benchmarks the
+//! conservative parallel engine instead and writes `BENCH_par.json`:
+//! serial (1-worker) vs N-worker wall clock and events/sec on two
+//! 16-cluster scenarios at n ∈ {256, 1024} —
+//!
+//! * `datagram_soak` — timer-driven symmetric datagram load
+//!   ([`dpu_bench::synth::LoadGen`]) over a WAN backbone (15 ms
+//!   lookahead): balanced shards, the engine's headline case;
+//! * `abcast_switch_soak` — the `sim_scale_soak` scenario (sequencer
+//!   ABcast under Poisson load): the sequencer's cluster is the hot
+//!   shard, so the *available* parallelism (sum of per-shard events
+//!   over the max) caps the speedup well below the worker count.
+//!
+//! Every pair of runs is asserted to produce identical `SimStats` — the
+//! CI short profile (`--workers 4 --quick`) exists for that assertion.
+//! Wall-clock speedups are only meaningful with ≥ N physical cores; the
+//! JSON records `host_cores` so single-core regenerations are
+//! recognizable, alongside the core-count-independent
+//! `available_parallelism` load-balance metric.
 
-use dpu_bench::synth::{delta, populate, FakeEvent, Profile, PROFILES};
+use dpu_bench::synth::{datagram_soak_sim, delta, populate, FakeEvent, Profile, PROFILES};
 use dpu_core::time::{Dur, Time};
 use dpu_core::ModuleSpec;
 use dpu_repl::builder::{drive_poisson, group_sim, GroupStackOpts, SwitchLayer};
 use dpu_sim::sched::SchedKind;
-use dpu_sim::{CpuConfig, NetConfig, SimConfig};
+use dpu_sim::{CpuConfig, NetConfig, SimConfig, SimStats};
 use std::time::Instant;
 
 /// Ops/sec through one scheduler at the profile's standing population:
@@ -77,11 +99,19 @@ fn sim_throughput(kind: SchedKind, n: u32, load: f64) -> (f64, u64) {
 }
 
 fn sim_throughput_once(kind: SchedKind, n: u32, load: f64) -> (f64, u64) {
+    let (wall, stats) = abcast_soak_run(kind, n, load, 1);
+    (stats.events as f64 / wall, stats.events)
+}
+
+/// One full Figure-4 sequencer-abcast run (the `sim_scale_soak`
+/// scenario shape): returns wall seconds and the final stats.
+fn abcast_soak_run(kind: SchedKind, n: u32, load: f64, workers: usize) -> (f64, SimStats) {
     let mut cfg =
         SimConfig::clustered(n, 42, (n / 16).max(1), NetConfig::datacenter(), NetConfig::lan());
     cfg.trace = false;
     cfg.cpu = CpuConfig::fast();
     cfg.sched.kind = kind;
+    cfg.workers = workers;
     let rp2p = ModuleSpec::with_params(
         "rp2p",
         &dpu_net::rp2p::Rp2pConfig {
@@ -97,19 +127,138 @@ fn sim_throughput_once(kind: SchedKind, n: u32, load: f64) -> (f64, u64) {
         extra_defaults: vec![(dpu_net::RP2P_SVC.to_string(), rp2p)],
     };
     // Time only the dispatch loop: constructing n full stacks is
-    // scheduler-independent and would dilute the ratio.
+    // scheduler/worker-independent and would dilute the ratio.
     let (mut sim, h) = group_sim(cfg, &opts);
     let t0 = Instant::now();
     sim.run_until(Time::ZERO + Dur::millis(200));
     drive_poisson(&mut sim, &h, load, Time::ZERO + Dur::millis(1200));
     sim.run_until(Time::ZERO + Dur::millis(2500));
-    let wall = t0.elapsed().as_secs_f64();
-    let events = sim.stats().events;
-    (events as f64 / wall, events)
+    (t0.elapsed().as_secs_f64(), sim.stats())
+}
+
+/// The timer-driven symmetric datagram soak (see module docs): returns
+/// wall seconds and the final stats.
+fn datagram_soak_run(n: u32, workers: usize) -> (f64, SimStats) {
+    let mut sim = datagram_soak_sim(n, 42, workers);
+    let t0 = Instant::now();
+    sim.run_until(Time::ZERO + Dur::millis(400));
+    (t0.elapsed().as_secs_f64(), sim.stats())
+}
+
+/// Best-of-two wall clock for one scenario runner at a worker count;
+/// asserts both runs computed the same stats (determinism) and returns
+/// `(best wall, stats)`.
+fn best_of_two(run: impl Fn(usize) -> (f64, SimStats), workers: usize) -> (f64, SimStats) {
+    let (w1, s1) = run(workers);
+    let (w2, s2) = run(workers);
+    assert_eq!(s1, s2, "same config must produce the same run");
+    (w1.min(w2), s1)
+}
+
+/// Sum-over-max of the per-shard event counts: the load-balance upper
+/// bound on any speedup (independent of the host's core count).
+fn available_parallelism(stats: &SimStats) -> f64 {
+    let max = stats.per_shard.iter().map(|s| s.events).max().unwrap_or(1).max(1);
+    let sum: u64 = stats.per_shard.iter().map(|s| s.events).sum();
+    sum as f64 / max as f64
+}
+
+/// `--workers N` mode: generate the parallel-engine baseline
+/// (`BENCH_par.json`), asserting serial/parallel stats equality on
+/// every scenario.
+fn run_par_mode(workers: usize, quick: bool, out: &str) {
+    let sizes: &[u32] = if quick { &[256] } else { &[256, 1024] };
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut rows = String::new();
+    let mut headline = 0.0f64;
+    let mut headline_n = 0u32;
+    for (kind, runner) in [
+        ("datagram_soak", &datagram_soak_run as &dyn Fn(u32, usize) -> (f64, SimStats)),
+        ("abcast_switch_soak", &|n, w| {
+            abcast_soak_run(SchedKind::Calendar, n, 60.0 * (f64::from(n) / 16.0).sqrt(), w)
+        }),
+    ] {
+        for &n in sizes {
+            let (wall_1, stats_1) = best_of_two(|w| runner(n, w), 1);
+            let (wall_n, stats_n) = best_of_two(|w| runner(n, w), workers);
+            assert_eq!(stats_1, stats_n, "{kind} n={n}: parallel run diverged from serial");
+            let speedup = wall_1 / wall_n;
+            let avail = available_parallelism(&stats_n);
+            if kind == "datagram_soak" {
+                // Host-independent check (event spreads are deterministic):
+                // the balanced soak must expose enough load parallelism
+                // for the worker pool, or the engine cannot scale on any
+                // machine. The ceiling is the cluster count (16), so the
+                // bound caps below it for large pools. Wall clocks are
+                // asserted nowhere — they are meaningless on fewer cores
+                // than workers.
+                let need = (workers as f64).min(12.0);
+                assert!(avail >= need, "{kind} n={n}: only {avail:.1}x available parallelism");
+                if n == *sizes.last().unwrap() {
+                    headline = speedup;
+                    headline_n = n;
+                }
+            }
+            eprintln!(
+                "{kind:<20} n={n:<5} serial {wall_1:>6.2}s parallel({workers}) {wall_n:>6.2}s \
+                 ({speedup:.2}x wall, {avail:.1}x available, {} events)",
+                stats_n.events
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "      {{ \"scenario\": \"{kind}\", \"n\": {n}, \"events\": {}, \"serial_secs\": {wall_1:.3}, \"parallel_secs\": {wall_n:.3}, \"serial_ev_per_sec\": {:.0}, \"parallel_ev_per_sec\": {:.0}, \"wall_speedup\": {speedup:.2}, \"available_parallelism\": {avail:.2} }}",
+                stats_n.events,
+                stats_n.events as f64 / wall_1,
+                stats_n.events as f64 / wall_n,
+            ));
+        }
+    }
+    let json = format!(
+        r#"{{
+  "bench": "conservative parallel simulation engine (see crates/bench/src/bin/bench_sim.rs, --workers mode)",
+  "workers": {workers},
+  "host_cores": {host_cores},
+  "note": "wall_speedup needs >= workers physical cores to be meaningful; available_parallelism (per-shard event sum over max) is the host-independent load-balance ceiling; every serial/parallel pair asserted bit-identical",
+  "rows": [
+{rows}
+  ],
+  "headline": {{
+    "metric": "wall-clock speedup, {workers}-worker vs serial, {headline_n}-stack datagram soak on 16 datacenter clusters + WAN backbone",
+    "wall_speedup": {headline:.2}
+  }}
+}}
+"#
+    );
+    std::fs::write(out, &json).expect("write parallel baseline json");
+    print!("{json}");
+    eprintln!("wrote {out}");
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = args.iter().position(|a| a == "--workers").map(|i| {
+        args.get(i + 1).and_then(|v| v.parse::<usize>().ok()).expect("--workers needs a count")
+    });
+    let quick = args.iter().any(|a| a == "--quick");
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--workers")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if let Some(workers) = workers {
+        // The 1-worker run is the baseline of every row (serial_secs),
+        // so the comparison needs a genuine pool on the other side.
+        assert!(workers >= 2, "--workers needs >= 2; the serial baseline is measured in every row");
+        let out = positional.first().map_or("BENCH_par.json", |s| s.as_str());
+        run_par_mode(workers, quick, out);
+        return;
+    }
+    let out = positional.first().map_or("BENCH_sim.json", |s| s.as_str()).to_string();
     let sizes = [16u64, 256, 1024];
     let ops = 4_000_000u64;
 

@@ -1,10 +1,16 @@
 //! Synthetic event streams for the scheduler benchmarks: the `bench_sim`
 //! baseline generator and the `sim_sched` criterion bench must draw from
 //! the *same* per-class delta tables, or their numbers stop being
-//! comparable — so the tables live here, once.
+//! comparable — so the tables live here, once. Also home to
+//! [`LoadGen`], the timer-driven datagram soak module of the parallel
+//! (`BENCH_par.json`) baseline.
 
-use dpu_core::time::Time;
+use bytes::Bytes;
+use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
+use dpu_core::time::{Dur, Time};
+use dpu_core::{Call, Module, Response, ServiceId, Stack, StackConfig, StackId, TimerId};
 use dpu_sim::sched::{SchedConfig, SchedKind, Scheduler};
+use dpu_sim::{CpuConfig, NetConfig, Sim, SimConfig};
 
 /// Payload sized like the simulator's `EventKind` (discriminant + ids +
 /// a `Bytes`-sized body), so heap sifts move realistic bytes.
@@ -63,6 +69,100 @@ pub fn delta(rng: &mut u64, class: u8, p: &Profile) -> u64 {
         2 => 1_000_000 + r % 9_000_000,                     // 1–10 ms
         _ => 20_000_000 + r % 80_000_000,                   // 20–100 ms
     }
+}
+
+/// A timer-driven datagram load module for the parallel-engine soak:
+/// every `period`, each node fires `burst` datagrams at deterministic
+/// pseudo-random peers — mostly within its own cluster, occasionally
+/// across the backbone — and counts receipts. Being timer-driven, the
+/// load needs no barrier actions at all, so it measures the parallel
+/// engine's epoch machinery and nothing else; and being uniform over
+/// nodes, the per-cluster work is balanced (the achievable-speedup
+/// ceiling is the worker count, not a hot sequencer).
+pub struct LoadGen {
+    period: Dur,
+    burst: u32,
+    cluster_size: u32,
+    rng: u64,
+    received: u64,
+}
+
+impl LoadGen {
+    /// One node's generator; `seed` should mix the stack seed and id so
+    /// streams differ per node.
+    pub fn new(period: Dur, burst: u32, cluster_size: u32, seed: u64) -> LoadGen {
+        LoadGen { period, burst, cluster_size, rng: seed, received: 0 }
+    }
+
+    /// Datagrams this node received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+impl Module for LoadGen {
+    fn kind(&self) -> &str {
+        "loadgen"
+    }
+    fn provides(&self) -> Vec<ServiceId> {
+        Vec::new()
+    }
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![ServiceId::new(dpu_core::svc::NET)]
+    }
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Stagger the first tick per node so the load is phase-spread.
+        let stagger = Dur::nanos(splitmix(&mut self.rng) % self.period.as_nanos().max(1));
+        ctx.set_timer(stagger, 1);
+    }
+    fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+    fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.op == net_ops::RECV {
+            self.received += 1;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _: TimerId, _: u64) {
+        let n = ctx.peers().len() as u64;
+        let me = ctx.stack_id();
+        for _ in 0..self.burst {
+            let r = splitmix(&mut self.rng);
+            // 7/8 of the traffic stays on the local fabric, 1/8 crosses
+            // the backbone — a cache-friendly datacenter mix.
+            let dst = if r % 8 < 7 && self.cluster_size > 1 {
+                let cluster = me.0 / self.cluster_size;
+                let base = u64::from(cluster) * u64::from(self.cluster_size);
+                let span = u64::from(self.cluster_size).min(n - base);
+                StackId((base + (r >> 3) % span) as u32)
+            } else {
+                StackId(((r >> 3) % n) as u32)
+            };
+            if dst != me {
+                // Scratch-pool encode (PR 3): the soak must charge the
+                // epoch machinery, not one fresh allocation per datagram.
+                let data = ctx.encode(&(dst, Bytes::from_static(&[0x5A; 32])));
+                ctx.call(&ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data);
+            }
+        }
+        ctx.set_timer(self.period, 1);
+    }
+}
+
+/// The datagram-soak simulation of `BENCH_par.json`: `n` [`LoadGen`]
+/// stacks in 16 datacenter clusters joined by a WAN backbone (15 ms of
+/// lookahead), `workers` worker threads.
+pub fn datagram_soak_sim(n: u32, seed: u64, workers: usize) -> Sim {
+    let cluster_size = (n / 16).max(1);
+    let mut cfg =
+        SimConfig::clustered(n, seed, cluster_size, NetConfig::datacenter(), NetConfig::wan());
+    cfg.trace = false;
+    cfg.cpu = CpuConfig::fast();
+    cfg.workers = workers;
+    Sim::new(cfg, move |sc: StackConfig| {
+        let node_seed = sc.seed ^ (u64::from(sc.id.0) << 20) ^ 0xA076_1D64_78BD_642F;
+        let mut s = Stack::new(sc, FactoryRegistry::new());
+        s.add_module(Box::new(LoadGen::new(Dur::millis(5), 8, cluster_size, node_seed)));
+        s
+    })
 }
 
 /// Build a scheduler pre-loaded with the profile's stationary

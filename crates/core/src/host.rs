@@ -14,12 +14,16 @@
 //! * [`ActionSink`] — implemented by the host; receives the
 //!   [`HostAction::NetSend`]s the loop executes.
 //!
-//! Both hosts of the workspace are built on this API: `dpu-sim` drives
+//! Every host of the workspace is built on this API: `dpu-sim` drives
 //! one `StackDriver` per simulated machine under a virtual clock (using
 //! the split-phase [`StackDriver::step_raw`]/[`StackDriver::settle`] so
-//! it can charge modeled CPU time per step), and `dpu-runtime` multiplexes
-//! many drivers per shard thread under the wall clock via [`poll`]. The
-//! planned epoll/UDP hosts hang off the same three calls.
+//! it can charge modeled CPU time per step), its conservative parallel
+//! engine (`dpu_sim::par`) moves whole shards of drivers between worker
+//! threads across epoch barriers (drivers own all per-stack mutable
+//! state, so shard ownership transfers are plain `Send` moves — no
+//! shared-state protocol beyond the barrier itself), and `dpu-runtime`
+//! multiplexes many drivers per shard thread under the wall clock via
+//! [`poll`]. The planned epoll/UDP hosts hang off the same three calls.
 //!
 //! # Timer ownership
 //!

@@ -186,6 +186,23 @@ impl TraceLog {
         self.events.sort_by_key(|(t, _)| *t);
     }
 
+    /// FNV-1a over the debug rendering of every `(time, event)` pair —
+    /// the construction every equivalence suite pins runs with
+    /// (`tests/host_equivalence.rs` golden fingerprint,
+    /// `crates/sim/tests/{sched,par}_equiv.rs`). Stable across
+    /// platforms: no pointers and no nondeterministically ordered maps
+    /// feed the rendering.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for (t, e) in &self.events {
+            for b in format!("{}|{:?}\n", t.as_nanos(), e).bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
     /// Iterate over events of a single stack.
     pub fn for_stack(&self, stack: StackId) -> impl Iterator<Item = &(Time, TraceEvent)> {
         self.events.iter().filter(move |(_, e)| e.stack() == stack)

@@ -2,10 +2,10 @@
 //!
 //! Stands in for the paper's evaluation testbed (a cluster of 7 PCs on
 //! switched 100 Mb/s Ethernet, §6.1) — and scales far past it: the
-//! sharded [`sched`] scheduler and the [`topology`]/[`workload`]
-//! subsystems exist to run the same live-switch experiments on
-//! thousands of simulated nodes. A [`Sim`] hosts `n` [`Stack`]s under
-//! a single virtual clock and models:
+//! cluster-sharded engine ([`par`]), the [`sched`] timing-wheel
+//! scheduler and the [`topology`]/[`workload`] subsystems exist to run
+//! the same live-switch experiments on thousands of simulated nodes. A
+//! [`Sim`] hosts `n` [`Stack`]s under a single virtual clock and models:
 //!
 //! * **the network** ([`NetConfig`] per link, composed by a
 //!   [`Topology`]): per-hop propagation delay + jitter, transmission
@@ -21,10 +21,29 @@
 //! * **traffic**: pluggable [`workload`] generators — closed-loop,
 //!   open-loop Poisson, bursty Poisson, node churn.
 //!
-//! Everything is driven from one seeded RNG, so a run is a pure function
-//! of `(configuration, seed)` — every figure in `EXPERIMENTS.md` is
-//! exactly reproducible, whichever scheduler implementation is selected
-//! (see [`SchedConfig`]).
+//! Everything is driven from one seeded RNG family, so a run is a pure
+//! function of `(configuration, seed)` — every figure in
+//! `EXPERIMENTS.md` is exactly reproducible, whichever scheduler
+//! implementation (see [`SchedConfig`]) or worker count (see
+//! [`SimConfig::workers`] and [`par`]) executes it.
+//!
+//! # Execution engines
+//!
+//! Nodes are partitioned into *shards*, one per [`Topology`] cluster.
+//! Each shard owns its nodes, its own [`sched`] event queue, its own
+//! RNG stream for link randomness, and its own [`stats`] partial:
+//!
+//! * a **flat topology** has a single shard, processed by the classic
+//!   serial loop in strict `(time, seq)` order — byte-identical to the
+//!   pre-sharding simulator (the golden trace of
+//!   `tests/host_equivalence.rs` pins this);
+//! * a **clustered topology** advances shards in *epochs* bounded by
+//!   the topology-derived lookahead (see [`Topology::lookahead`] and
+//!   the [`par`] module docs), exchanging cross-cluster packets at
+//!   deterministic barriers. The epoch schedule is a pure function of
+//!   the configuration, so the run is bit-identical whether the shards
+//!   are processed by one thread ([`SimConfig::workers`]` = 1`, the
+//!   default) or by a worker pool.
 //!
 //! ```
 //! use dpu_core::{Stack, StackConfig, FactoryRegistry};
@@ -40,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod par;
 pub mod sched;
 pub mod stats;
 pub mod topology;
@@ -58,6 +78,7 @@ use dpu_core::{Stack, StackConfig, StackId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sched::Scheduler;
+use std::collections::BinaryHeap;
 
 /// CPU model: virtual service time charged per dispatched stack step, by
 /// step category. Calibrated very roughly to the paper's Pentium III
@@ -138,6 +159,12 @@ pub struct SimConfig {
     /// Non-flat topology (clusters, per-link overrides). When `None` the
     /// simulation is flat: every link uses [`SimConfig::net`].
     pub topology: Option<Topology>,
+    /// Worker threads for the conservative parallel engine (default 1 =
+    /// process every shard on the calling thread). The worker count
+    /// never changes the result of a run — only its wall-clock time —
+    /// and only clustered topologies have exploitable parallelism; see
+    /// the [`par`] module docs.
+    pub workers: usize,
 }
 
 impl SimConfig {
@@ -151,6 +178,7 @@ impl SimConfig {
             trace: true,
             sched: SchedConfig::default(),
             topology: None,
+            workers: 1,
         }
     }
 
@@ -176,9 +204,15 @@ impl SimConfig {
         self.sched = SchedConfig::single_heap();
         self
     }
+
+    /// Set the worker-thread count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> SimConfig {
+        self.workers = workers;
+        self
+    }
 }
 
-enum EventKind {
+pub(crate) enum EventKind {
     PacketArrive {
         dst: StackId,
         src: StackId,
@@ -197,6 +231,9 @@ enum EventKind {
     Crash {
         node: StackId,
     },
+    /// A control closure against the whole simulation. Only ever queued
+    /// in single-shard runs — clustered runs keep actions in the
+    /// simulation-level barrier queue (see [`Sim::schedule`]).
     Action(Box<dyn FnOnce(&mut Sim) + Send>),
 }
 
@@ -227,16 +264,298 @@ impl ActionSink for SendBuf {
     }
 }
 
+/// A cross-cluster packet in transit between shards: arrival time,
+/// destination, source, payload. Buffered in the source shard's
+/// [`Shard::outbox`] and merged at the next epoch barrier.
+pub(crate) type Inflight = (Time, StackId, StackId, Bytes);
+
+/// Read-only simulation state shared with shard processing (and, in the
+/// parallel engine, across worker threads).
+pub(crate) struct SimShared<'a> {
+    topology: &'a Topology,
+    cpu: &'a CpuConfig,
+    n: u32,
+}
+
+/// Everything one topology cluster owns: its nodes, its event queue,
+/// its link-randomness RNG stream, its `seq` counter (the tie-break of
+/// the deterministic `(time, seq)` order is *per shard*), its stats
+/// partial, and outboxes for cross-cluster packets. A shard never
+/// touches another shard's state — that independence is what lets the
+/// parallel engine process shards on worker threads and still produce
+/// the serial result bit for bit.
+pub(crate) struct Shard {
+    /// First global node id owned by this shard (clusters are
+    /// contiguous id ranges).
+    base: u32,
+    nodes: Vec<Node>,
+    sched: Scheduler<EventKind>,
+    seq: u64,
+    rng: SmallRng,
+    stats: SimStats,
+    /// Shard-local clock: the time of the last dispatched event.
+    now: Time,
+    /// Cross-cluster packets emitted this epoch, per destination shard.
+    outbox: Vec<Vec<Inflight>>,
+}
+
+impl Shard {
+    #[inline]
+    fn node_mut(&mut self, id: StackId) -> &mut Node {
+        &mut self.nodes[(id.0 - self.base) as usize]
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.sched.push(at, seq, kind);
+    }
+
+    /// The earliest queued event's time (the epoch-floor probe).
+    pub(crate) fn next_time(&mut self) -> Option<Time> {
+        self.sched.next_time()
+    }
+
+    /// Pop and dispatch every queued event strictly before `horizon` —
+    /// one epoch of this shard. Events this produces inside the window
+    /// are processed in the same pass; cross-cluster packets land in
+    /// [`Shard::outbox`] (the lookahead guarantees their arrival times
+    /// are at or beyond `horizon`).
+    pub(crate) fn run_epoch(&mut self, shared: &SimShared<'_>, horizon: Time) {
+        let last = Time(horizon.0 - 1);
+        while let Some((at, kind)) = self.sched.pop_before(last) {
+            self.dispatch(shared, at, kind);
+        }
+    }
+
+    /// Push an exchanged cross-cluster arrival (barrier context).
+    pub(crate) fn push_arrival(&mut self, (at, dst, src, payload): Inflight) {
+        self.push(at, EventKind::PacketArrive { dst, src, payload });
+    }
+
+    /// Take the outbox destined for shard `dst`.
+    pub(crate) fn take_outbox(&mut self, dst: usize) -> Vec<Inflight> {
+        std::mem::take(&mut self.outbox[dst])
+    }
+
+    fn dispatch(&mut self, shared: &SimShared<'_>, at: Time, kind: EventKind) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.stats.events += 1;
+        match kind {
+            EventKind::PacketArrive { dst, src, payload } => {
+                let node = self.node_mut(dst);
+                if node.crashed {
+                    return;
+                }
+                node.driver.deliver(at, src, payload);
+                self.stats.packets_delivered += 1;
+                self.ensure_step(dst);
+            }
+            EventKind::NodeWake { node } => {
+                let n = self.node_mut(node);
+                if n.crashed || n.wake != Some(at) {
+                    // Stale wake: a nearer deadline superseded this entry.
+                    return;
+                }
+                n.wake = None;
+                let next = n.driver.wake(at);
+                self.ensure_step(node);
+                self.ensure_wake_at(node, next);
+            }
+            EventKind::NodeStep { node } => {
+                self.node_mut(node).step_scheduled = false;
+                self.node_step(shared, node, at);
+            }
+            EventKind::Crash { node } => {
+                let n = self.node_mut(node);
+                n.crashed = true;
+                n.driver.stack_mut().crash(at);
+            }
+            EventKind::Action(_) => unreachable!("actions are dispatched by the Sim, not a shard"),
+        }
+    }
+
+    fn node_step(&mut self, shared: &SimShared<'_>, id: StackId, at: Time) {
+        let node = self.node_mut(id);
+        if node.crashed {
+            return;
+        }
+        let Some(info) = node.driver.step_raw(at) else { return };
+        self.stats.steps += 1;
+        let node = self.node_mut(id);
+        let cost = shared.cpu.cost(info.category);
+        node.cpu_free = at + cost;
+        let done = node.cpu_free;
+        let mut buf = SendBuf::default();
+        node.driver.settle(done, &mut buf);
+        self.flush_sends(shared, buf);
+        self.ensure_step(id);
+        self.ensure_wake(id);
+    }
+
+    /// Replay sends buffered by a [`StackDriver`] call through the
+    /// network model, in action order.
+    fn flush_sends(&mut self, shared: &SimShared<'_>, buf: SendBuf) {
+        for (at, src, dst, payload) in buf.sends {
+            self.net_send(shared, src, dst, payload, at);
+        }
+    }
+
+    fn net_send(
+        &mut self,
+        shared: &SimShared<'_>,
+        src: StackId,
+        dst: StackId,
+        payload: Bytes,
+        when: Time,
+    ) {
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        if dst.0 >= shared.n || shared.topology.blocked(src, dst) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        let link = shared.topology.link(src, dst).clone();
+        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        // Serialise on the sender's outbound link: a burst of sends
+        // queues behind the NIC, which is what bends the latency-vs-load
+        // curves at high throughput.
+        let bits = 8 * (payload.len() + link.header_bytes) as u64;
+        let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / link.bandwidth_bps);
+        let depart = when.max(self.node_mut(src).nic_free);
+        self.node_mut(src).nic_free = depart + tx;
+        let copies =
+            if link.duplicate > 0.0 && self.rng.gen::<f64>() < link.duplicate { 2 } else { 1 };
+        let dst_shard = shared.topology.cluster_of(dst) as usize;
+        let local = dst_shard == shared.topology.cluster_of(src) as usize;
+        for _ in 0..copies {
+            let jitter = if link.jitter.as_nanos() > 0 {
+                Dur::nanos(self.rng.gen_range(0..link.jitter.as_nanos()))
+            } else {
+                Dur::ZERO
+            };
+            let arrive = depart + tx + link.latency + jitter;
+            if local {
+                self.push(arrive, EventKind::PacketArrive { dst, src, payload: payload.clone() });
+            } else {
+                self.outbox[dst_shard].push((arrive, dst, src, payload.clone()));
+            }
+        }
+    }
+
+    fn ensure_step(&mut self, id: StackId) {
+        let now = self.now;
+        let node = self.node_mut(id);
+        if node.crashed || node.step_scheduled || !node.driver.stack().has_work() {
+            return;
+        }
+        node.step_scheduled = true;
+        let at = now.max(node.cpu_free);
+        self.push(at, EventKind::NodeStep { node: id });
+    }
+
+    /// Keep one [`EventKind::NodeWake`] scheduled at the driver's
+    /// earliest timer deadline. Scheduling a nearer wake strands the old
+    /// queue entry; the stamp in [`Node::wake`] marks it stale.
+    fn ensure_wake(&mut self, id: StackId) {
+        let deadline = self.node_mut(id).driver.next_deadline();
+        self.ensure_wake_at(id, deadline);
+    }
+
+    /// [`Shard::ensure_wake`] with the deadline already in hand (the
+    /// fused [`StackDriver::wake`] hook reports it for free).
+    fn ensure_wake_at(&mut self, id: StackId, deadline: Option<Time>) {
+        let now = self.now;
+        let node = self.node_mut(id);
+        if node.crashed {
+            return;
+        }
+        let Some(deadline) = deadline else { return };
+        let at = deadline.max(now);
+        if node.wake.is_some_and(|w| w <= at) {
+            return;
+        }
+        node.wake = Some(at);
+        self.push(at, EventKind::NodeWake { node: id });
+    }
+}
+
+/// A barrier-time control closure: `(time, seq)`-ordered entries of the
+/// clustered engine's action queue. Actions at time `t` run after every
+/// shard event before `t` and before any shard event at or after `t`.
+struct ActionEntry {
+    at: Time,
+    seq: u64,
+    f: Box<dyn FnOnce(&mut Sim) + Send>,
+}
+
+impl PartialEq for ActionEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for ActionEntry {}
+impl PartialOrd for ActionEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ActionEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min key on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Builds the [`SimShared`] view without borrowing all of `self`, so
+/// shard borrows stay disjoint from the read-only fields.
+macro_rules! shared_view {
+    ($sim:expr) => {
+        SimShared { topology: &$sim.topology, cpu: &$sim.cfg.cpu, n: $sim.cfg.n }
+    };
+}
+
 /// The deterministic discrete-event host. See module docs.
 pub struct Sim {
     cfg: SimConfig,
     now: Time,
-    seq: u64,
-    sched: Scheduler<EventKind>,
-    nodes: Vec<Node>,
-    rng: SmallRng,
+    shards: Vec<Shard>,
+    /// Barrier-time actions (clustered engine only; single-shard runs
+    /// keep actions inline in the shard's event queue).
+    actions: BinaryHeap<ActionEntry>,
+    action_seq: u64,
+    /// Actions dispatched from the barrier queue (counted into
+    /// [`SimStats::events`]; they belong to no shard).
+    actions_dispatched: u64,
+    workloads: Vec<WorkloadStats>,
     topology: Topology,
-    stats: SimStats,
+    /// Conservative epoch width for the clustered engine (`ZERO` when
+    /// there is a single shard and epochs are unbounded).
+    lookahead: Dur,
+}
+
+/// The splitmix64 finalizer behind every derived RNG stream of the
+/// simulator ([`shard_seed`], [`Sim::derive_rng`]).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The link-randomness RNG stream of shard `idx`: shard 0 keeps the
+/// exact pre-sharding global stream (flat runs are byte-identical to
+/// the serial simulator of old); further shards get independent streams
+/// derived from the master seed.
+fn shard_seed(seed: u64, idx: u32) -> u64 {
+    let base = seed ^ 0xD1B54A32D192ED03;
+    if idx == 0 {
+        return base;
+    }
+    mix64(base.wrapping_add(u64::from(idx).wrapping_mul(0x9E3779B97F4A7C15)))
 }
 
 impl Sim {
@@ -244,23 +563,48 @@ impl Sim {
     /// [`StackConfig`] (attach factories, install modules, etc.).
     pub fn new(mut cfg: SimConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Sim {
         let topology = cfg.topology.take().unwrap_or_else(|| Topology::flat(cfg.net.clone()));
-        let nodes = (0..cfg.n)
-            .map(|i| Node {
-                driver: StackDriver::new(mk_stack(Self::mk_stack_config(&cfg, StackId(i)))),
-                cpu_free: Time::ZERO,
-                nic_free: Time::ZERO,
-                step_scheduled: false,
-                crashed: false,
-                wake: None,
-            })
-            .collect();
-        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD1B54A32D192ED03);
-        let sched = Scheduler::new(&cfg.sched, cfg.n as usize);
-        let stats = SimStats::with_shards(cfg.n);
-        let mut sim = Sim { cfg, now: Time::ZERO, seq: 0, sched, nodes, rng, topology, stats };
+        let nshards = topology.cluster_count(cfg.n) as usize;
+        let lookahead = topology.lookahead(cfg.n).unwrap_or(Dur::ZERO);
+        let cluster_size = topology.cluster_size().unwrap_or(cfg.n.max(1));
+        let mut shards = Vec::with_capacity(nshards);
+        for k in 0..nshards as u32 {
+            let base = k * cluster_size;
+            let count = cluster_size.min(cfg.n - base);
+            let nodes = (base..base + count)
+                .map(|i| Node {
+                    driver: StackDriver::new(mk_stack(Self::mk_stack_config(&cfg, StackId(i)))),
+                    cpu_free: Time::ZERO,
+                    nic_free: Time::ZERO,
+                    step_scheduled: false,
+                    crashed: false,
+                    wake: None,
+                })
+                .collect();
+            shards.push(Shard {
+                base,
+                nodes,
+                sched: Scheduler::new(&cfg.sched, count as usize),
+                seq: 0,
+                rng: SmallRng::seed_from_u64(shard_seed(cfg.seed, k)),
+                stats: SimStats::default(),
+                now: Time::ZERO,
+                outbox: vec![Vec::new(); nshards],
+            });
+        }
+        let mut sim = Sim {
+            cfg,
+            now: Time::ZERO,
+            shards,
+            actions: BinaryHeap::new(),
+            action_seq: 0,
+            actions_dispatched: 0,
+            workloads: Vec::new(),
+            topology,
+            lookahead,
+        };
         // Stacks are born with pending Start deliveries.
-        for i in 0..sim.nodes.len() {
-            sim.ensure_step(StackId(i as u32));
+        for i in 0..sim.cfg.n {
+            sim.shard_of(StackId(i)).ensure_step(StackId(i));
         }
         sim
     }
@@ -272,6 +616,12 @@ impl Sim {
             seed: cfg.seed,
             trace: cfg.trace,
         }
+    }
+
+    #[inline]
+    fn shard_of(&mut self, id: StackId) -> &mut Shard {
+        let k = self.topology.cluster_of(id) as usize;
+        &mut self.shards[k]
     }
 
     /// The [`StackConfig`] node `id` was (and would again be) built from
@@ -295,27 +645,31 @@ impl Sim {
         (0..self.cfg.n).map(StackId).collect()
     }
 
-    /// Run statistics so far.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// Run statistics so far: the per-shard partials folded into totals
+    /// plus one [`ShardStats`] row per cluster (see [`stats`]).
+    pub fn stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.stats);
+            total.per_shard.push(shard.stats.shard_row());
+        }
+        total.events += self.actions_dispatched;
+        total.workloads = self.workloads.clone();
+        total
     }
 
-    /// Number of events currently queued in the scheduler (in-flight
-    /// packets, pending steps, armed wakes, scheduled actions).
+    /// Number of events currently queued (in-flight packets, pending
+    /// steps, armed wakes, scheduled actions) across all shards and the
+    /// barrier action queue.
     pub fn queued_events(&self) -> usize {
-        self.sched.len()
+        self.shards.iter().map(|s| s.sched.len()).sum::<usize>() + self.actions.len()
     }
 
     /// One-stop end-of-run summary: run counters, per-shard and
     /// per-generator breakdowns, and the aggregated wire scratch stats,
     /// with a printable [`std::fmt::Display`].
     pub fn report(&self) -> SimReport {
-        SimReport {
-            n: self.cfg.n,
-            now: self.now,
-            stats: self.stats.clone(),
-            wire: self.wire_stats(),
-        }
+        SimReport { n: self.cfg.n, now: self.now, stats: self.stats(), wire: self.wire_stats() }
     }
 
     /// The topology (for link inspection; mutate via the `Sim` methods
@@ -326,13 +680,15 @@ impl Sim {
 
     /// Immutable access to a stack.
     pub fn stack(&self, id: StackId) -> &Stack {
-        self.nodes[id.idx()].driver.stack()
+        let k = self.topology.cluster_of(id) as usize;
+        let shard = &self.shards[k];
+        shard.nodes[(id.0 - shard.base) as usize].driver.stack()
     }
 
     /// Mutate a stack, then reschedule its CPU if the mutation produced
     /// work. Use this (not direct field access) so injected calls run.
     pub fn with_stack<R>(&mut self, id: StackId, f: impl FnOnce(&mut Stack) -> R) -> R {
-        let r = f(self.nodes[id.idx()].driver.stack_mut());
+        let r = f(self.shard_of(id).node_mut(id).driver.stack_mut());
         self.after_stack_mutation(id);
         r
     }
@@ -340,18 +696,51 @@ impl Sim {
     fn after_stack_mutation(&mut self, id: StackId) {
         // A direct mutation (e.g. install()) may have produced host
         // actions; execute them and schedule the CPU.
+        let now = self.now;
+        let shared = shared_view!(self);
+        let k = shared.topology.cluster_of(id) as usize;
+        let shard = &mut self.shards[k];
+        shard.now = shard.now.max(now);
         let mut buf = SendBuf::default();
-        self.nodes[id.idx()].driver.settle(self.now, &mut buf);
-        self.flush_sends(buf);
-        self.ensure_step(id);
-        self.ensure_wake(id);
+        shard.node_mut(id).driver.settle(now, &mut buf);
+        shard.flush_sends(&shared, buf);
+        shard.ensure_step(id);
+        shard.ensure_wake(id);
+        self.flush_outboxes_from(k);
     }
 
-    /// Schedule a closure to run at absolute virtual time `at` (clamped to
-    /// now).
+    /// Move the cross-cluster packets a barrier-context mutation
+    /// buffered in shard `src`'s outboxes into their destination
+    /// shards. Only `src` can hold anything here — every other outbox
+    /// was drained at the preceding epoch barrier — so this is O(shard
+    /// count), not a full exchange. Destination order matches
+    /// [`par::exchange`], so the assigned `(time, seq)` keys are the
+    /// same ones a full exchange would produce.
+    fn flush_outboxes_from(&mut self, src: usize) {
+        for dst in 0..self.shards.len() {
+            if dst == src {
+                continue; // a shard's own slot is never used
+            }
+            let batch = self.shards[src].take_outbox(dst);
+            for packet in batch {
+                self.shards[dst].push_arrival(packet);
+            }
+        }
+    }
+
+    /// Schedule a closure to run at absolute virtual time `at` (clamped
+    /// to now). In clustered runs the closure runs at a deterministic
+    /// epoch barrier: after every event before `at`, before any event at
+    /// or after `at`.
     pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut Sim) + Send + 'static) {
         let at = at.max(self.now);
-        self.push(at, EventKind::Action(Box::new(f)));
+        if self.shards.len() == 1 {
+            self.shards[0].push(at, EventKind::Action(Box::new(f)));
+        } else {
+            let seq = self.action_seq;
+            self.action_seq += 1;
+            self.actions.push(ActionEntry { at, seq, f: Box::new(f) });
+        }
     }
 
     /// Schedule a closure `delay` from now.
@@ -362,7 +751,7 @@ impl Sim {
     /// Crash node `id` at time `at`.
     pub fn crash_at(&mut self, at: Time, id: StackId) {
         let at = at.max(self.now);
-        self.push(at, EventKind::Crash { node: id });
+        self.shard_of(id).push(at, EventKind::Crash { node: id });
     }
 
     /// Replace node `id` with a freshly constructed stack, reviving it if
@@ -372,7 +761,7 @@ impl Sim {
     /// crash/restart schedules.
     pub fn restart_node(&mut self, id: StackId, stack: Stack) {
         let now = self.now;
-        let node = &mut self.nodes[id.idx()];
+        let node = self.shard_of(id).node_mut(id);
         node.driver = StackDriver::new(stack);
         node.crashed = false;
         node.cpu_free = now;
@@ -410,31 +799,26 @@ impl Sim {
     }
 
     /// An RNG stream derived from the master seed and `salt`, independent
-    /// of the simulator's own stream (drawing from it does not perturb
+    /// of the simulator's own streams (drawing from it does not perturb
     /// jitter/loss decisions). Workload generators take their randomness
     /// from here so runs stay pure functions of `(config, seed)`.
     pub fn derive_rng(&self, salt: u64) -> SmallRng {
         // splitmix64-style finalizer over (seed, salt).
-        let mut z = self.cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        SmallRng::seed_from_u64(z ^ (z >> 31))
+        SmallRng::seed_from_u64(mix64(self.cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15)))
     }
 
     pub(crate) fn register_workload(&mut self, name: String) -> usize {
-        self.stats.workloads.push(WorkloadStats { name, ..WorkloadStats::default() });
-        self.stats.workloads.len() - 1
+        self.workloads.push(WorkloadStats { name, ..WorkloadStats::default() });
+        self.workloads.len() - 1
     }
 
     pub(crate) fn workload_mut(&mut self, id: usize) -> &mut WorkloadStats {
-        &mut self.stats.workloads[id]
+        &mut self.workloads[id]
     }
 
     /// Run until virtual time `t`, processing all events up to it.
     pub fn run_until(&mut self, t: Time) {
-        while let Some((at, kind)) = self.sched.pop_before(t) {
-            self.dispatch(at, kind);
-        }
+        self.run_events(t);
         self.now = self.now.max(t);
     }
 
@@ -442,10 +826,103 @@ impl Sim {
     /// virtual time. Note: stacks with periodic timers never quiesce —
     /// use [`Sim::run_until`] for those.
     pub fn run_until_quiescent(&mut self, cap: Time) -> Time {
-        while let Some((at, kind)) = self.sched.pop_before(cap) {
-            self.dispatch(at, kind);
-        }
+        self.run_events(cap);
         self.now
+    }
+
+    /// Process every event (and barrier action) with time ≤ `t`.
+    fn run_events(&mut self, t: Time) {
+        if self.shards.len() == 1 {
+            self.run_serial(t);
+        } else {
+            self.run_clustered(t);
+        }
+    }
+
+    /// The classic serial loop: one shard, strict `(time, seq)` order,
+    /// actions inline in the event queue. Byte-identical to the
+    /// pre-sharding simulator.
+    fn run_serial(&mut self, t: Time) {
+        loop {
+            let Some((at, kind)) = self.shards[0].sched.pop_before(t) else { return };
+            match kind {
+                EventKind::Action(f) => {
+                    debug_assert!(at >= self.now, "time went backwards");
+                    self.now = at;
+                    self.shards[0].now = at;
+                    self.shards[0].stats.events += 1;
+                    f(self);
+                }
+                kind => {
+                    let shared = shared_view!(self);
+                    self.shards[0].dispatch(&shared, at, kind);
+                    self.now = at;
+                }
+            }
+        }
+    }
+
+    /// The conservative clustered engine: epochs of lookahead width,
+    /// cross-cluster exchange and barrier actions between them. The
+    /// epoch schedule — and therefore the entire run — is independent
+    /// of [`SimConfig::workers`]; see the [`par`] module docs for the
+    /// determinism argument.
+    fn run_clustered(&mut self, t: Time) {
+        let cap = Time(t.0.saturating_add(1)); // exclusive event bound
+        loop {
+            let next_act = self.actions.peek().map(|a| a.at);
+            let next_ev = self.shards.iter_mut().filter_map(|s| s.next_time()).min();
+            let floor = match (next_act, next_ev) {
+                (None, None) => return,
+                (a, e) => a.into_iter().chain(e).min().expect("one side is Some"),
+            };
+            if floor > t {
+                return;
+            }
+            if next_act == Some(floor) {
+                // Actions at `floor` run before shard events at `floor`.
+                self.now = floor;
+                while self.actions.peek().is_some_and(|a| a.at <= floor) {
+                    let entry = self.actions.pop().expect("peeked");
+                    self.actions_dispatched += 1;
+                    (entry.f)(self);
+                }
+                continue;
+            }
+            // A stretch of pure shard events: epochs up to the next
+            // action time (actions need `&mut Sim`, so they bound it).
+            let bound = Time(next_act.map_or(cap.0, |a| a.0.min(cap.0)));
+            self.run_stretch(bound);
+            let reached = self.shards.iter().map(|s| s.now).max().unwrap_or(self.now);
+            self.now = self.now.max(reached);
+        }
+    }
+
+    /// Run lookahead-wide epochs until every shard's next event is at or
+    /// beyond `bound` (exclusive). With `workers > 1` the shards are
+    /// processed by the [`par`] worker pool; the results are identical.
+    fn run_stretch(&mut self, bound: Time) {
+        let workers = self.cfg.workers.clamp(1, self.shards.len());
+        let la = self.lookahead.as_nanos().max(1);
+        if workers == 1 {
+            let shared = shared_view!(self);
+            let mut views: Vec<&mut Shard> = self.shards.iter_mut().collect();
+            loop {
+                let Some(floor) = par::min_next_time(&mut views) else { return };
+                if floor >= bound {
+                    return;
+                }
+                let horizon = Time(floor.0.saturating_add(la).min(bound.0));
+                for shard in views.iter_mut() {
+                    shard.run_epoch(&shared, horizon);
+                }
+                par::exchange(&mut views);
+            }
+        } else {
+            let shared = shared_view!(self);
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = par::run_stretch_threaded(shards, &shared, la, bound, workers);
+        }
     }
 
     /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
@@ -454,8 +931,10 @@ impl Sim {
     /// Also folded into [`Sim::report`].
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
         let mut total = dpu_core::wire::ScratchStats::default();
-        for node in &self.nodes {
-            total.absorb(node.driver.stack().wire_stats());
+        for shard in &self.shards {
+            for node in &shard.nodes {
+                total.absorb(node.driver.stack().wire_stats());
+            }
         }
         total
     }
@@ -463,153 +942,13 @@ impl Sim {
     /// Merge and take the traces of all stacks.
     pub fn merged_trace(&mut self) -> TraceLog {
         let mut merged = TraceLog::new();
-        for node in &mut self.nodes {
-            let t = node.driver.stack_mut().take_trace();
-            merged.merge(&t);
+        for shard in &mut self.shards {
+            for node in &mut shard.nodes {
+                let t = node.driver.stack_mut().take_trace();
+                merged.merge(&t);
+            }
         }
         merged
-    }
-
-    fn push(&mut self, at: Time, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.sched.push(at, seq, kind);
-    }
-
-    fn dispatch(&mut self, at: Time, kind: EventKind) {
-        debug_assert!(at >= self.now, "time went backwards");
-        self.now = at;
-        self.stats.events += 1;
-        match kind {
-            EventKind::PacketArrive { dst, src, payload } => {
-                self.stats.shard_mut(dst.0).events += 1;
-                let node = &mut self.nodes[dst.idx()];
-                if node.crashed {
-                    return;
-                }
-                node.driver.deliver(at, src, payload);
-                self.stats.packets_delivered += 1;
-                self.stats.shard_mut(dst.0).packets_delivered += 1;
-                self.ensure_step(dst);
-            }
-            EventKind::NodeWake { node } => {
-                self.stats.shard_mut(node.0).events += 1;
-                let n = &mut self.nodes[node.idx()];
-                if n.crashed || n.wake != Some(at) {
-                    // Stale wake: a nearer deadline superseded this entry.
-                    return;
-                }
-                n.wake = None;
-                let next = n.driver.wake(at);
-                self.ensure_step(node);
-                self.ensure_wake_at(node, next);
-            }
-            EventKind::NodeStep { node } => {
-                self.stats.shard_mut(node.0).events += 1;
-                self.nodes[node.idx()].step_scheduled = false;
-                self.node_step(node, at);
-            }
-            EventKind::Crash { node } => {
-                self.stats.shard_mut(node.0).events += 1;
-                let n = &mut self.nodes[node.idx()];
-                n.crashed = true;
-                n.driver.stack_mut().crash(at);
-            }
-            EventKind::Action(f) => f(self),
-        }
-    }
-
-    fn node_step(&mut self, id: StackId, at: Time) {
-        let node = &mut self.nodes[id.idx()];
-        if node.crashed {
-            return;
-        }
-        let Some(info) = node.driver.step_raw(at) else { return };
-        self.stats.steps += 1;
-        self.stats.shard_mut(id.0).steps += 1;
-        let node = &mut self.nodes[id.idx()];
-        let cost = self.cfg.cpu.cost(info.category);
-        node.cpu_free = at + cost;
-        let done = node.cpu_free;
-        let mut buf = SendBuf::default();
-        node.driver.settle(done, &mut buf);
-        self.flush_sends(buf);
-        self.ensure_step(id);
-        self.ensure_wake(id);
-    }
-
-    /// Replay sends buffered by a [`StackDriver`] call through the
-    /// network model, in action order.
-    fn flush_sends(&mut self, buf: SendBuf) {
-        for (at, src, dst, payload) in buf.sends {
-            self.net_send(src, dst, payload, at);
-        }
-    }
-
-    fn net_send(&mut self, src: StackId, dst: StackId, payload: Bytes, when: Time) {
-        self.stats.packets_sent += 1;
-        self.stats.bytes_sent += payload.len() as u64;
-        if dst.idx() >= self.nodes.len() || self.topology.blocked(src, dst) {
-            self.stats.dropped_partition += 1;
-            return;
-        }
-        let link = self.topology.link(src, dst).clone();
-        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
-            self.stats.dropped_loss += 1;
-            return;
-        }
-        // Serialise on the sender's outbound link: a burst of sends
-        // queues behind the NIC, which is what bends the latency-vs-load
-        // curves at high throughput.
-        let bits = 8 * (payload.len() + link.header_bytes) as u64;
-        let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / link.bandwidth_bps);
-        let depart = when.max(self.nodes[src.idx()].nic_free);
-        self.nodes[src.idx()].nic_free = depart + tx;
-        let copies =
-            if link.duplicate > 0.0 && self.rng.gen::<f64>() < link.duplicate { 2 } else { 1 };
-        for _ in 0..copies {
-            let jitter = if link.jitter.as_nanos() > 0 {
-                Dur::nanos(self.rng.gen_range(0..link.jitter.as_nanos()))
-            } else {
-                Dur::ZERO
-            };
-            let arrive = depart + tx + link.latency + jitter;
-            self.push(arrive, EventKind::PacketArrive { dst, src, payload: payload.clone() });
-        }
-    }
-
-    fn ensure_step(&mut self, id: StackId) {
-        let node = &mut self.nodes[id.idx()];
-        if node.crashed || node.step_scheduled || !node.driver.stack().has_work() {
-            return;
-        }
-        node.step_scheduled = true;
-        let at = self.now.max(node.cpu_free);
-        self.push(at, EventKind::NodeStep { node: id });
-    }
-
-    /// Keep one [`EventKind::NodeWake`] scheduled at the driver's
-    /// earliest timer deadline. Scheduling a nearer wake strands the old
-    /// heap entry; the stamp in [`Node::wake`] marks it stale.
-    fn ensure_wake(&mut self, id: StackId) {
-        let deadline = self.nodes[id.idx()].driver.next_deadline();
-        self.ensure_wake_at(id, deadline);
-    }
-
-    /// [`Sim::ensure_wake`] with the deadline already in hand (the fused
-    /// [`StackDriver::wake`] hook reports it for free).
-    fn ensure_wake_at(&mut self, id: StackId, deadline: Option<Time>) {
-        let node = &mut self.nodes[id.idx()];
-        if node.crashed {
-            return;
-        }
-        let Some(deadline) = deadline else { return };
-        let at = deadline.max(self.now);
-        if node.wake.is_some_and(|w| w <= at) {
-            return;
-        }
-        node.wake = Some(at);
-        self.push(at, EventKind::NodeWake { node: id });
     }
 }
 
@@ -657,12 +996,14 @@ mod tests {
     /// In every pinger stack: net bridge is m1, pinger is m2.
     const PINGER: dpu_core::ModuleId = dpu_core::ModuleId(2);
 
+    fn pinger_stack(sc: StackConfig) -> Stack {
+        let mut s = Stack::new(sc, FactoryRegistry::new());
+        s.add_module(Box::new(Pinger { received: vec![] }));
+        s
+    }
+
     fn pinger_sim(n: u32, seed: u64) -> Sim {
-        Sim::new(SimConfig::lan(n, seed), |sc| {
-            let mut s = Stack::new(sc, FactoryRegistry::new());
-            s.add_module(Box::new(Pinger { received: vec![] }));
-            s
-        })
+        Sim::new(SimConfig::lan(n, seed), pinger_stack)
     }
 
     fn received(sim: &mut Sim, id: u32) -> usize {
@@ -688,7 +1029,7 @@ mod tests {
         let run = |seed| {
             let mut sim = pinger_sim(5, seed);
             sim.run_until(Time::ZERO + Dur::millis(5));
-            let stats = sim.stats().clone();
+            let stats = sim.stats();
             let trace_len = sim.merged_trace().len();
             (stats, trace_len)
         };
@@ -702,11 +1043,7 @@ mod tests {
     fn loss_drops_packets() {
         let mut cfg = SimConfig::lan(2, 3);
         cfg.net.loss = 1.0;
-        let mut sim = Sim::new(cfg, |sc| {
-            let mut s = Stack::new(sc, FactoryRegistry::new());
-            s.add_module(Box::new(Pinger { received: vec![] }));
-            s
-        });
+        let mut sim = Sim::new(cfg, pinger_stack);
         sim.run_until(Time::ZERO + Dur::millis(5));
         assert_eq!(sim.stats().packets_sent, 2);
         assert_eq!(sim.stats().dropped_loss, 2);
@@ -718,11 +1055,7 @@ mod tests {
     fn duplication_delivers_twice() {
         let mut cfg = SimConfig::lan(2, 3);
         cfg.net.duplicate = 1.0;
-        let mut sim = Sim::new(cfg, |sc| {
-            let mut s = Stack::new(sc, FactoryRegistry::new());
-            s.add_module(Box::new(Pinger { received: vec![] }));
-            s
-        });
+        let mut sim = Sim::new(cfg, pinger_stack);
         sim.run_until(Time::ZERO + Dur::millis(5));
         assert_eq!(sim.stats().packets_delivered, 4);
     }
@@ -762,9 +1095,7 @@ mod tests {
         assert!(sim.stack(StackId(2)).is_crashed());
         // Restart with a fresh stack: it re-pings on start and receives.
         let sc = sim.stack_config(StackId(2));
-        let mut stack = Stack::new(sc, FactoryRegistry::new());
-        stack.add_module(Box::new(Pinger { received: vec![] }));
-        sim.restart_node(StackId(2), stack);
+        sim.restart_node(StackId(2), pinger_stack(sc));
         assert!(!sim.stack(StackId(2)).is_crashed());
         sim.run_until(sim.now() + Dur::millis(10));
         // Its startup pings reached the live peers (node 2 crashed at
@@ -806,11 +1137,7 @@ mod tests {
         // service times to process on the receiving node.
         let mut cfg = SimConfig::lan(2, 11);
         cfg.cpu.response = Dur::millis(10);
-        let mut sim = Sim::new(cfg, |sc| {
-            let mut s = Stack::new(sc, FactoryRegistry::new());
-            s.add_module(Box::new(Pinger { received: vec![] }));
-            s
-        });
+        let mut sim = Sim::new(cfg, pinger_stack);
         for _ in 0..5 {
             let data = (StackId(1), Bytes::from_static(b"x")).to_bytes();
             sim.with_stack(StackId(0), |s| {
@@ -846,13 +1173,9 @@ mod tests {
     #[test]
     fn single_heap_and_sharded_agree_exactly() {
         let run = |cfg: SimConfig| {
-            let mut sim = Sim::new(cfg, |sc| {
-                let mut s = Stack::new(sc, FactoryRegistry::new());
-                s.add_module(Box::new(Pinger { received: vec![] }));
-                s
-            });
+            let mut sim = Sim::new(cfg, pinger_stack);
             sim.run_until(Time::ZERO + Dur::millis(20));
-            (sim.stats().clone(), sim.merged_trace().len())
+            (sim.stats(), sim.merged_trace().len())
         };
         let mut lossy = SimConfig::lan(5, 99);
         lossy.net.loss = 0.2;
@@ -867,11 +1190,7 @@ mod tests {
         // 2 clusters of 2 on instant-ish LANs joined by a slow backbone:
         // the intra-cluster ping lands long before the inter-cluster one.
         let cfg = SimConfig::clustered(4, 7, 2, NetConfig::datacenter(), NetConfig::wan());
-        let mut sim = Sim::new(cfg, |sc| {
-            let mut s = Stack::new(sc, FactoryRegistry::new());
-            s.add_module(Box::new(Pinger { received: vec![] }));
-            s
-        });
+        let mut sim = Sim::new(cfg, pinger_stack);
         sim.run_until(Time::ZERO + Dur::millis(5));
         // Intra-cluster pings (1 per node) have arrived; WAN ones (15 ms
         // one-way) have not.
@@ -885,16 +1204,68 @@ mod tests {
     }
 
     #[test]
-    fn per_shard_counters_cover_all_nodes() {
+    fn per_shard_counters_are_per_cluster_and_cover_all_nodes() {
+        // Flat: one shard row holding every counter.
         let mut sim = pinger_sim(4, 21);
         sim.run_until(Time::ZERO + Dur::millis(10));
         let stats = sim.stats();
+        assert_eq!(stats.per_shard.len(), 1);
+        assert_eq!(stats.per_shard[0].packets_delivered, stats.packets_delivered);
+        assert_eq!(stats.per_shard[0].steps, stats.steps);
+        // Clustered: one row per cluster, folding back to the totals.
+        let cfg = SimConfig::clustered(6, 21, 2, NetConfig::lan(), NetConfig::wan());
+        let mut sim = Sim::new(cfg, pinger_stack);
+        sim.run_until(Time::ZERO + Dur::millis(100));
+        let stats = sim.stats();
+        assert_eq!(stats.per_shard.len(), 3);
         let shard_delivered: u64 = stats.per_shard.iter().map(|s| s.packets_delivered).sum();
         let shard_steps: u64 = stats.per_shard.iter().map(|s| s.steps).sum();
         assert_eq!(shard_delivered, stats.packets_delivered);
         assert_eq!(shard_steps, stats.steps);
         assert!(stats.events >= stats.steps + stats.packets_delivered);
+        assert!(stats.per_shard.iter().all(|s| s.packets_delivered > 0), "{stats:?}");
         let report = sim.report();
         assert!(report.to_string().contains("sim report"), "{report}");
+    }
+
+    #[test]
+    fn flat_runs_ignore_the_worker_knob() {
+        // One cluster has no lookahead, so `workers` cannot change
+        // anything — not even the code path taken.
+        let run = |workers| {
+            let mut sim = Sim::new(SimConfig::lan(4, 33).with_workers(workers), pinger_stack);
+            sim.run_until(Time::ZERO + Dur::millis(10));
+            (sim.stats(), sim.merged_trace().len())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn clustered_engine_matches_across_worker_counts() {
+        // The quick in-crate version of crates/sim/tests/par_equiv.rs:
+        // same clustered config, workers 1 vs 3, identical stats.
+        let run = |workers| {
+            let cfg = SimConfig::clustered(6, 77, 2, NetConfig::lan(), NetConfig::wan())
+                .with_workers(workers);
+            let mut sim = Sim::new(cfg, pinger_stack);
+            sim.run_until(Time::ZERO + Dur::millis(120));
+            (sim.stats(), sim.merged_trace().len())
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn clustered_actions_run_between_epochs_in_time_order() {
+        let cfg = SimConfig::clustered(4, 5, 2, NetConfig::lan(), NetConfig::wan());
+        let mut sim = Sim::new(cfg, pinger_stack);
+        sim.schedule(Time::ZERO + Dur::millis(2), |sim| {
+            assert_eq!(sim.now(), Time::ZERO + Dur::millis(2));
+            sim.crash_at(sim.now(), StackId(1));
+        });
+        sim.schedule_in(Dur::millis(1), |sim| {
+            assert!(!sim.stack(StackId(1)).is_crashed());
+        });
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert!(sim.stack(StackId(1)).is_crashed());
     }
 }

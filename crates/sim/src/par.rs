@@ -1,0 +1,291 @@
+//! The conservative parallel execution engine: cluster shards on a
+//! worker-thread pool, synchronized by lookahead-wide epochs.
+//!
+//! # Why conservative, and where the lookahead comes from
+//!
+//! PR 4 made the *scheduler* ~6× faster, but every stack step, wire
+//! decode and timer fire still ran on one core. Classic conservative
+//! parallel discrete-event simulation (bounded-window / YAWNS-style
+//! synchronization) recovers the idle cores: partition the nodes so
+//! that interactions *within* a partition are frequent and interactions
+//! *across* partitions are slow, then let each partition advance
+//! independently through a time window no wider than the fastest
+//! cross-partition interaction. The [`crate::Topology`] hands us
+//! exactly that partition — LAN clusters joined by a WAN backbone — and
+//! the window width (*lookahead*) is the minimum cross-cluster link
+//! latency ([`crate::Topology::lookahead`]): a packet sent at time `t`
+//! across a cluster boundary cannot arrive before `t + lookahead`,
+//! because jitter, transmission delay and NIC queueing only ever add to
+//! the propagation delay.
+//!
+//! # The epoch protocol
+//!
+//! Let `T` be the earliest pending event over all shards and `W` the
+//! lookahead. One epoch:
+//!
+//! 1. **parallel phase** — every shard processes its own events with
+//!    time `< T + W`, in its local deterministic `(time, seq)` order.
+//!    Sends to nodes of the same cluster are pushed straight back into
+//!    the shard's queue (they may arrive inside the epoch); sends that
+//!    cross a cluster boundary are buffered in the source shard's
+//!    per-destination outbox — their arrival times are necessarily
+//!    `≥ T + W`, so the destination cannot need them this epoch;
+//! 2. **barrier** — workers rendezvous on a spin barrier;
+//! 3. **exchange** — outboxes are merged into the destination shards'
+//!    queues in a fixed order (destination-major, then source shard,
+//!    then emission order), each arrival taking the next local `seq`.
+//!
+//! Barrier-time *actions* (scheduled closures, workload injections —
+//! anything needing `&mut Sim`) bound the stretch of epochs: an action
+//! at time `t` runs after every shard event before `t` and before any
+//! shard event at or after `t` (`crate::Sim::schedule`).
+//!
+//! # Determinism
+//!
+//! The run is bit-identical for every worker count because nothing a
+//! worker computes depends on *when* or *where* it runs:
+//!
+//! * shard state (nodes, event queue, `seq` counter, link-randomness
+//!   RNG stream, stats partial) is touched only by the shard's owner —
+//!   one worker per epoch, exclusive;
+//! * the epoch schedule (`T`, `T + W`, action barriers) is derived from
+//!   shard queue minima and the action queue — pure functions of the
+//!   configuration and seed;
+//! * the exchange merges outboxes in a fixed order, so cross-cluster
+//!   arrivals get identical `(time, seq)` keys no matter which thread
+//!   produced them; ties in arrival time are broken by (source shard,
+//!   emission order), both deterministic;
+//! * per-worker counters are per-*shard* counters; folding them
+//!   ([`crate::Sim::stats`]) is commutative addition.
+//!
+//! A flat topology is a single cluster: the lookahead is undefined (no
+//! cross-cluster link exists), no safe window exists, and the engine
+//! falls back to the classic serial loop — which is why the golden
+//! trace of `tests/host_equivalence.rs` is unchanged even with
+//! `workers > 1`. `crates/sim/tests/par_equiv.rs` property-tests the
+//! serial-vs-parallel equivalence across random clustered topologies,
+//! seeds and worker counts, the same way `sched_equiv.rs` pins the
+//! scheduler implementations to each other.
+
+use crate::{Shard, SimShared};
+use dpu_core::time::Time;
+use parking_lot::Mutex;
+use std::ops::DerefMut;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A reusable sense-reversing barrier. Spins briefly (the common case:
+/// workers finish their epochs within microseconds of each other), then
+/// yields, so it degrades gracefully on machines with fewer cores than
+/// workers.
+pub(crate) struct SpinBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(parties: usize) -> SpinBarrier {
+        SpinBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the barrier dead: every current and future [`wait`] returns
+    /// `false` instead of blocking. Called from a panicking party's
+    /// unwind path, so its peers disband instead of spinning forever on
+    /// a cohort that can no longer complete.
+    ///
+    /// [`wait`]: SpinBarrier::wait
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Rendezvous; `true` on a completed phase, `false` if the barrier
+    /// was poisoned (the caller must stop using it).
+    #[must_use]
+    pub(crate) fn wait(&self) -> bool {
+        if self.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arrival: reset the count, then release the cohort.
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return false;
+                }
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Poisons the barrier if dropped mid-panic, so a panicking worker (or
+/// control thread) disbands the cohort; the panic then propagates
+/// through the scoped join instead of deadlocking the run.
+struct PoisonOnPanic<'a>(&'a SpinBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// The earliest pending event time over all shards (the epoch floor).
+pub(crate) fn min_next_time<S: DerefMut<Target = Shard>>(shards: &mut [S]) -> Option<Time> {
+    shards.iter_mut().filter_map(|s| s.next_time()).min()
+}
+
+/// Merge every shard's cross-cluster outboxes into the destination
+/// shards, in the fixed deterministic order: destination-major, then
+/// source shard, then emission order. Also used by the serial engine
+/// (single worker) and for barrier-context sends, so all three paths
+/// assign identical `(time, seq)` keys.
+pub(crate) fn exchange<S: DerefMut<Target = Shard>>(shards: &mut [S]) {
+    for dst in 0..shards.len() {
+        for src in 0..shards.len() {
+            let batch = shards[src].take_outbox(dst);
+            for packet in batch {
+                shards[dst].push_arrival(packet);
+            }
+        }
+    }
+}
+
+/// Run epochs on a worker pool until every shard's next event is at or
+/// beyond `bound` (exclusive), then hand the shards back. The control
+/// thread computes each epoch's horizon and performs the exchange; the
+/// workers process `worker-index + k·workers`-strided shards between two
+/// barrier waits. Shards travel through `Mutex`es, but every lock is
+/// uncontended by construction — the barrier phases alternate exclusive
+/// access between the workers and the control thread.
+///
+/// The pool is scoped to one *stretch* (the span between two barrier
+/// actions): each call spawns and joins its workers. That costs a few
+/// tens of microseconds per action timestamp — noise for timer-driven
+/// load, and ~1% of an action-dense run like the Poisson abcast soak
+/// (hundreds of stretches over seconds of wall time). A pool that
+/// persists across stretches would need the shards (and the topology
+/// they read) lifted out of `Sim` behind `Arc`s so actions can still
+/// take `&mut Sim` between epochs; tracked as a ROADMAP follow-up.
+pub(crate) fn run_stretch_threaded(
+    shards: Vec<Shard>,
+    shared: &SimShared<'_>,
+    lookahead_ns: u64,
+    bound: Time,
+    workers: usize,
+) -> Vec<Shard> {
+    let nshards = shards.len();
+    let cells: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
+    let barrier = SpinBarrier::new(workers + 1);
+    let horizon = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        for wi in 0..workers {
+            let (cells, barrier, horizon, stop) = (&cells, &barrier, &horizon, &stop);
+            scope.spawn(move |_| {
+                // A panic in module code (run_epoch executes arbitrary
+                // stack handlers) poisons the barrier on unwind so the
+                // cohort disbands; the panic itself propagates through
+                // the scoped join below.
+                let _poison = PoisonOnPanic(barrier);
+                loop {
+                    if !barrier.wait() {
+                        return; // a peer panicked
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let h = Time(horizon.load(Ordering::Acquire));
+                    let mut i = wi;
+                    while i < nshards {
+                        cells[i].lock().run_epoch(shared, h);
+                        i += workers;
+                    }
+                    if !barrier.wait() {
+                        return; // a peer panicked
+                    }
+                }
+            });
+        }
+        // Control loop. Between the end-of-epoch barrier and the next
+        // start-of-epoch barrier the workers hold no locks, so the
+        // control thread has exclusive access for exchange + floor.
+        // Returning on a poisoned wait (never blocking on it) lets the
+        // scope join the panicked worker and re-raise its panic.
+        let _poison = PoisonOnPanic(&barrier);
+        let mut floor = {
+            let mut guards: Vec<_> = cells.iter().map(|c| c.lock()).collect();
+            min_next_time(&mut guards)
+        };
+        loop {
+            let Some(f) = floor.filter(|f| *f < bound) else {
+                stop.store(true, Ordering::Release);
+                let _ = barrier.wait();
+                return;
+            };
+            horizon.store(f.0.saturating_add(lookahead_ns).min(bound.0), Ordering::Release);
+            if !barrier.wait() {
+                return; // workers start the epoch (or a worker panicked)
+            }
+            if !barrier.wait() {
+                return; // workers finished the epoch (or one panicked)
+            }
+            let mut guards: Vec<_> = cells.iter().map(|c| c.lock()).collect();
+            exchange(&mut guards);
+            floor = min_next_time(&mut guards);
+        }
+    })
+    .expect("parallel simulation worker panicked");
+    cells.into_iter().map(Mutex::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SpinBarrier;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spin_barrier_synchronizes_repeated_phases() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = SpinBarrier::new(THREADS);
+        let arrived = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|_| {
+                    for round in 0..ROUNDS {
+                        arrived.fetch_add(1, Ordering::AcqRel);
+                        assert!(barrier.wait());
+                        // Between two waits every thread observes the
+                        // full cohort of the current round.
+                        let seen = arrived.load(Ordering::Acquire);
+                        assert!(
+                            seen >= (round + 1) * THREADS,
+                            "round {round}: saw only {seen} arrivals"
+                        );
+                        assert!(barrier.wait());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(arrived.load(Ordering::Acquire), THREADS * ROUNDS);
+    }
+}

@@ -77,17 +77,31 @@ pub struct SchedConfig {
     pub kind: SchedKind,
     /// Level-0 bucket width (calendar only); rounded up to a power of
     /// two of nanoseconds. See the module docs for the trade-off; the
-    /// default is 128 ns.
+    /// default is 128 ns. With [`SchedConfig::adaptive`] set this is
+    /// only the starting width.
     pub bucket: Dur,
     /// Buckets per wheel level (calendar only); rounded up to a power
     /// of two, minimum 64. Three levels cover `bucket × slots³`.
     /// Default 256.
     pub buckets: usize,
+    /// Brown-style adaptive bucket width (calendar only, default on):
+    /// the wheel tracks the average number of events per traversed
+    /// level-0 bucket and, when it drifts outside `[0.5, 2]`, halves or
+    /// doubles the bucket width and rebuilds. Resizing never changes
+    /// the pop order — the wheel is order-exact for *any* width — so
+    /// this is purely a constant-factor adaptation for event densities
+    /// the fixed default width does not fit.
+    pub adaptive: bool,
 }
 
 impl Default for SchedConfig {
     fn default() -> SchedConfig {
-        SchedConfig { kind: SchedKind::Calendar, bucket: Dur::nanos(128), buckets: 256 }
+        SchedConfig {
+            kind: SchedKind::Calendar,
+            bucket: Dur::nanos(128),
+            buckets: 256,
+            adaptive: true,
+        }
     }
 }
 
@@ -240,7 +254,28 @@ struct Wheel<E> {
     /// Cached `overflow` head, so the per-pop comparison against the
     /// far future is a register compare, not a heap peek.
     overflow_min: Option<WheelKey>,
+    /// Adaptive-width state (see [`SchedConfig::adaptive`]): events
+    /// served, serving refills, and level-0 buckets traversed since the
+    /// last resize decision.
+    adaptive: bool,
+    served_events: u64,
+    served_refills: u64,
+    l0_advanced: u64,
+    resizes: u64,
 }
+
+/// Resize decision cadence: evaluate the occupancy once this many
+/// samples accumulate, counting both served events and serving-bucket
+/// refills — so crowded wheels (few huge buckets) and sparse wheels
+/// (many near-empty buckets) both reach a decision after a few thousand
+/// operations.
+const RESIZE_PERIOD: u64 = 4096;
+
+/// Bounds on the adaptive level-0 bucket width: 2⁴ ns = 16 ns up to
+/// 2²⁶ ns ≈ 67 ms (beyond that, three 256-slot levels span > 4000 years
+/// of virtual time — no workload needs coarser buckets).
+const MIN_W_SHIFT: u32 = 4;
+const MAX_W_SHIFT: u32 = 26;
 
 impl<E> Wheel<E> {
     fn new(cfg: &SchedConfig) -> Wheel<E> {
@@ -257,6 +292,11 @@ impl<E> Wheel<E> {
             in_levels: 0,
             overflow: BinaryHeap::new(),
             overflow_min: None,
+            adaptive: cfg.adaptive,
+            served_events: 0,
+            served_refills: 0,
+            l0_advanced: 0,
+            resizes: 0,
         }
     }
 
@@ -331,12 +371,20 @@ impl<E> Wheel<E> {
             // within the current level-1 bucket.
             let from = ((self.cursor & self.mask) + 1) as usize;
             if let Some(slot) = self.levels[0].next_occupied(from) {
+                let prev = self.cursor;
                 self.cursor = (self.cursor & !self.mask) | slot as u64;
                 let bucket = &mut self.levels[0].slots[slot];
                 std::mem::swap(bucket, &mut self.serving);
                 self.levels[0].clear(slot);
                 self.in_levels -= self.serving.len();
                 self.serving.sort_unstable_by(|a, b| b.cmp(a));
+                // Occupancy sample for the adaptive width: events per
+                // level-0 bucket traversed (cursor teleports across idle
+                // gaps are clamped to one wheel span, so long-idle
+                // queues read as sparse, not as division by a huge gap).
+                self.served_events += self.serving.len() as u64;
+                self.served_refills += 1;
+                self.l0_advanced += (self.cursor - prev).min(self.mask + 1);
                 return;
             }
             // Level 0 exhausted: cascade the next occupied coarser
@@ -372,7 +420,72 @@ impl<E> Wheel<E> {
         false
     }
 
+    /// Evaluate the occupancy window and, when the average number of
+    /// events per traversed level-0 bucket left `[0.5, 2]`, halve or
+    /// double the bucket width (Brown's calendar-queue resize rule,
+    /// applied to the wheel's hierarchical layout) and re-place every
+    /// parked key — including `serving` and `late`, so the resize is
+    /// legal at any point and order-exactness is preserved by the
+    /// re-placement itself. Pops served from `late` count as events
+    /// with zero cursor advance: a wheel degenerated into its `late`
+    /// heap (every event mapping to one huge bucket) reads as maximally
+    /// crowded and shrinks its way back to real wheel operation.
+    fn maybe_resize(&mut self) {
+        let occupancy = self.served_events as f64 / self.l0_advanced.max(1) as f64;
+        self.served_events = 0;
+        self.served_refills = 0;
+        self.l0_advanced = 0;
+        let new_shift = if occupancy > 2.0 && self.w_shift > MIN_W_SHIFT {
+            self.w_shift - 1 // crowded buckets: narrow them
+        } else if occupancy < 0.5 && self.w_shift < MAX_W_SHIFT {
+            self.w_shift + 1 // mostly-empty span: widen them
+        } else {
+            return;
+        };
+        // Re-anchor the cursor at the start of its current bucket and
+        // re-place every key under the new width. Keys at or before the
+        // new cursor land in `late`, which the pop path already merges.
+        let floor_ns = self.cursor << self.w_shift;
+        self.w_shift = new_shift;
+        self.cursor = floor_ns >> new_shift;
+        let mut keys: Vec<WheelKey> =
+            Vec::with_capacity(self.in_levels + self.overflow.len() + self.late.len());
+        for level in &mut self.levels {
+            for slot in &mut level.slots {
+                keys.append(slot);
+            }
+            level.occ.fill(0);
+        }
+        while let Some(Reverse(k)) = self.overflow.pop() {
+            keys.push(k);
+        }
+        keys.append(&mut self.serving);
+        while let Some(Reverse(k)) = self.late.pop() {
+            keys.push(k);
+        }
+        self.overflow_min = None;
+        self.in_levels = 0;
+        for key in keys {
+            self.place(key);
+        }
+        self.resizes += 1;
+    }
+
+    /// The earliest queued key's time without popping it (refills the
+    /// serving window if necessary, which does not change pop order).
+    fn next_time(&mut self) -> Option<Time> {
+        if self.serving.is_empty() && self.late.is_empty() {
+            self.refill();
+        }
+        let sk = self.serving.last().copied();
+        let lk = self.late.peek().map(|&Reverse(k)| k);
+        [sk, lk, self.overflow_min].into_iter().flatten().min().map(|k| k.0)
+    }
+
     fn pop_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        if self.adaptive && self.served_events + self.served_refills >= RESIZE_PERIOD {
+            self.maybe_resize();
+        }
         if self.serving.is_empty() && self.late.is_empty() {
             self.refill();
         }
@@ -398,6 +511,9 @@ impl<E> Wheel<E> {
             self.serving.pop();
         } else if lk == Some(min) {
             self.late.pop();
+            // Late-heap service is the degenerate regime the adaptive
+            // width exists to escape: events, no bucket advance.
+            self.served_events += 1;
         } else {
             self.overflow.pop();
             self.overflow_min = self.overflow.peek().map(|&Reverse(k)| k);
@@ -452,6 +568,27 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// The earliest queued event's time without popping it — the
+    /// parallel engine's epoch-floor probe.
+    pub fn next_time(&mut self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        match &mut self.imp {
+            Imp::Single(heap) => heap.peek().map(|e| e.key.0),
+            Imp::Wheel(w) => w.next_time(),
+        }
+    }
+
+    /// How many adaptive bucket-width resizes the wheel has performed
+    /// (always 0 for the single heap and with `adaptive` off).
+    pub fn resizes(&self) -> u64 {
+        match &self.imp {
+            Imp::Single(_) => 0,
+            Imp::Wheel(w) => w.resizes,
+        }
+    }
+
     /// Pop the earliest event if it is due at or before `horizon`.
     /// Events come out in strict `(time, seq)` order regardless of the
     /// implementation.
@@ -488,7 +625,7 @@ mod tests {
     #[test]
     fn both_kinds_agree_on_interleaved_pushes_and_pops() {
         let mk = |kind| {
-            let cfg = SchedConfig { kind, bucket: Dur::micros(1), buckets: 64 };
+            let cfg = SchedConfig { kind, bucket: Dur::micros(1), buckets: 64, adaptive: true };
             Scheduler::<u64>::new(&cfg, 4)
         };
         let mut a = mk(SchedKind::SingleHeap);
@@ -540,7 +677,12 @@ mod tests {
     fn far_future_events_survive_idle_jumps() {
         // Events beyond the wheel horizon (overflow), popped after long
         // idle gaps, interleaved with new near-term pushes.
-        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::micros(1), buckets: 64 };
+        let cfg = SchedConfig {
+            kind: SchedKind::Calendar,
+            bucket: Dur::micros(1),
+            buckets: 64,
+            adaptive: true,
+        };
         let mut s = Scheduler::new(&cfg, 2);
         s.push(Time::ZERO + Dur::secs(3600), 0, "hour");
         s.push(Time(5), 1, "now");
@@ -556,7 +698,12 @@ mod tests {
     fn same_bucket_late_pushes_keep_order() {
         // Events pushed into the *serving* bucket while it is being
         // drained must interleave by (time, seq).
-        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::millis(1), buckets: 64 };
+        let cfg = SchedConfig {
+            kind: SchedKind::Calendar,
+            bucket: Dur::millis(1),
+            buckets: 64,
+            adaptive: true,
+        };
         let mut s = Scheduler::new(&cfg, 1);
         s.push(Time(500), 0, "a");
         s.push(Time(900), 1, "c");
@@ -569,11 +716,92 @@ mod tests {
         assert_eq!(order, vec!["b", "c", "d"]);
     }
 
+    /// Drive a pathological density through an adaptive wheel and the
+    /// single heap in lockstep; the pop streams must match exactly and
+    /// the wheel must actually have resized in the given direction.
+    fn adaptive_agrees_with_heap(start_bucket: Dur, spacing_ns: u64) -> u64 {
+        let mk = |kind, adaptive| {
+            let cfg = SchedConfig { kind, bucket: start_bucket, buckets: 64, adaptive };
+            Scheduler::<u64>::new(&cfg, 1)
+        };
+        let mut heap = mk(SchedKind::SingleHeap, false);
+        let mut wheel = mk(SchedKind::Calendar, true);
+        // Steady-state pop/push at a fixed event spacing: enough
+        // traffic to cross several resize evaluation windows.
+        let mut seq = 0u64;
+        for i in 0..64u64 {
+            heap.push(Time(i * spacing_ns), seq, i);
+            wheel.push(Time(i * spacing_ns), seq, i);
+            seq += 1;
+        }
+        for _ in 0..60_000u64 {
+            let a = heap.pop_before(FAR).expect("heap nonempty");
+            let b = wheel.pop_before(FAR).expect("wheel nonempty");
+            assert_eq!(a, b, "adaptive wheel diverged from the single heap");
+            let t = Time(a.0.as_nanos() + 64 * spacing_ns);
+            heap.push(t, seq, a.1);
+            wheel.push(t, seq, a.1);
+            seq += 1;
+        }
+        assert_eq!(drain(&mut heap), drain(&mut wheel));
+        wheel.resizes()
+    }
+
+    #[test]
+    fn adaptive_wheel_narrows_crowded_buckets_without_reordering() {
+        // 1 ms buckets, events every 50 ns: ~20k events per bucket.
+        let resizes = adaptive_agrees_with_heap(Dur::millis(1), 50);
+        assert!(resizes >= 3, "crowded buckets must shrink, got {resizes} resizes");
+    }
+
+    #[test]
+    fn adaptive_wheel_widens_sparse_buckets_without_reordering() {
+        // 16 ns buckets, events every 40 µs: occupancy ~0.0004.
+        let resizes = adaptive_agrees_with_heap(Dur::nanos(16), 40_000);
+        assert!(resizes >= 3, "sparse buckets must widen, got {resizes} resizes");
+    }
+
+    #[test]
+    fn non_adaptive_wheel_never_resizes() {
+        let cfg = SchedConfig { adaptive: false, bucket: Dur::millis(1), ..SchedConfig::default() };
+        let mut s = Scheduler::new(&cfg, 1);
+        for seq in 0..30_000u64 {
+            s.push(Time(seq * 10), seq, seq);
+        }
+        while s.pop_before(FAR).is_some() {}
+        assert_eq!(s.resizes(), 0);
+    }
+
+    #[test]
+    fn next_time_peeks_without_consuming() {
+        for kind in [SchedKind::SingleHeap, SchedKind::Calendar] {
+            let cfg = SchedConfig { kind, ..SchedConfig::default() };
+            let mut s = Scheduler::new(&cfg, 1);
+            assert_eq!(s.next_time(), None);
+            s.push(Time(70), 0, "a");
+            s.push(Time(30), 1, "b");
+            s.push(Time::ZERO + Dur::secs(3600), 2, "far");
+            assert_eq!(s.next_time(), Some(Time(30)), "{kind:?}");
+            assert_eq!(s.next_time(), Some(Time(30)), "{kind:?}: peek must not consume");
+            assert_eq!(s.pop_before(FAR), Some((Time(30), "b")));
+            assert_eq!(s.next_time(), Some(Time(70)), "{kind:?}");
+            s.pop_before(FAR);
+            assert_eq!(s.next_time(), Some(Time::ZERO + Dur::secs(3600)), "{kind:?}: overflow");
+            s.pop_before(FAR);
+            assert_eq!(s.next_time(), None, "{kind:?}");
+        }
+    }
+
     #[test]
     fn cascades_across_all_levels_preserve_order() {
         // Entries at every level of a tiny wheel (64 slots: L0 64µs,
         // L1 4.1ms, L2 262ms, overflow beyond ~16.8s at 1µs buckets).
-        let cfg = SchedConfig { kind: SchedKind::Calendar, bucket: Dur::micros(1), buckets: 64 };
+        let cfg = SchedConfig {
+            kind: SchedKind::Calendar,
+            bucket: Dur::micros(1),
+            buckets: 64,
+            adaptive: true,
+        };
         let mut s = Scheduler::new(&cfg, 1);
         let times = [
             3u64,

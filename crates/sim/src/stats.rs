@@ -1,20 +1,24 @@
-//! Run statistics: the counters a simulation accumulates, sharded and
-//! per-workload-generator breakdowns, and the one-stop [`SimReport`]
-//! scenarios print.
+//! Run statistics: the counters a simulation accumulates, per-cluster
+//! (shard) and per-workload-generator breakdowns, and the one-stop
+//! [`SimReport`] scenarios print.
+//!
+//! Since the cluster-sharded engine, counters are accumulated *per
+//! shard* — each topology cluster owns a private [`SimStats`] partial
+//! that its (possibly worker-thread-hosted) event loop increments
+//! without any synchronization — and [`crate::Sim::stats`] /
+//! [`crate::Sim::report`] fold the partials into the totals plus one
+//! [`ShardStats`] row per cluster. Folding is pure addition, so the
+//! totals are identical whichever worker count executed the run.
 
 use dpu_core::wire::ScratchStats;
 use std::fmt;
 
-/// How many shards the per-shard counters are grouped into. Nodes map to
-/// shards round-robin (`node % SHARDS`), mirroring how the sharded
-/// scheduler homes per-node queues; a power of two keeps the mapping a
-/// mask.
-pub const STAT_SHARDS: u32 = 8;
-
-/// Counters for one shard (a `node % STAT_SHARDS` group of nodes).
+/// Counters for one shard (one topology cluster, the unit the parallel
+/// engine schedules onto worker threads). Flat topologies have a single
+/// shard covering every node.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Scheduler events dispatched to this shard's nodes.
+    /// Scheduler events dispatched on this shard.
     pub events: u64,
     /// Datagrams delivered to this shard's nodes.
     pub packets_delivered: u64,
@@ -30,7 +34,8 @@ pub struct WorkloadStats {
     pub name: String,
     /// Messages injected.
     pub injected: u64,
-    /// Burst windows entered (bursty generators only).
+    /// Burst windows entered (bursty generators only; counted per
+    /// cluster sub-generator on clustered topologies).
     pub bursts: u64,
     /// Crashes induced (churn generators only).
     pub crashes: u64,
@@ -55,28 +60,43 @@ pub struct SimStats {
     pub steps: u64,
     /// Scheduler events dispatched (packets, steps, wakes, crashes,
     /// actions) — the numerator of the `bench_sim` events/sec metric.
+    /// Includes barrier-time actions, which belong to no shard, so this
+    /// can exceed the sum of the per-shard rows.
     pub events: u64,
-    /// Per-shard breakdown ([`STAT_SHARDS`] groups, `node % STAT_SHARDS`).
+    /// Per-shard breakdown, one row per topology cluster. The spread of
+    /// `events` across rows is the parallel engine's load-balance
+    /// signal: `sum / max` bounds the achievable speedup.
     pub per_shard: Vec<ShardStats>,
     /// Per-generator breakdown, in installation order.
     pub workloads: Vec<WorkloadStats>,
 }
 
 impl SimStats {
-    pub(crate) fn with_shards(n: u32) -> SimStats {
-        let shards = n.min(STAT_SHARDS) as usize;
-        SimStats { per_shard: vec![ShardStats::default(); shards], ..SimStats::default() }
-    }
-
     /// Total datagrams dropped, regardless of cause.
     pub fn packets_dropped(&self) -> u64 {
         self.dropped_loss + self.dropped_partition
     }
 
-    #[inline]
-    pub(crate) fn shard_mut(&mut self, node: u32) -> &mut ShardStats {
-        let idx = node as usize % self.per_shard.len().max(1);
-        &mut self.per_shard[idx]
+    /// Fold another partial into this one: plain addition on every
+    /// counter. Per-shard rows and workloads are *not* merged here —
+    /// the simulator assembles those itself (one row per cluster).
+    pub(crate) fn absorb(&mut self, other: &SimStats) {
+        self.packets_sent += other.packets_sent;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_partition += other.dropped_partition;
+        self.packets_delivered += other.packets_delivered;
+        self.bytes_sent += other.bytes_sent;
+        self.steps += other.steps;
+        self.events += other.events;
+    }
+
+    /// The [`ShardStats`] row of a shard-local partial.
+    pub(crate) fn shard_row(&self) -> ShardStats {
+        ShardStats {
+            events: self.events,
+            packets_delivered: self.packets_delivered,
+            steps: self.steps,
+        }
     }
 }
 
@@ -148,28 +168,55 @@ mod tests {
     }
 
     #[test]
-    fn shard_mapping_is_round_robin() {
-        let mut s = SimStats::with_shards(16);
-        assert_eq!(s.per_shard.len(), STAT_SHARDS as usize);
-        s.shard_mut(9).steps += 1;
-        assert_eq!(s.per_shard[1].steps, 1);
-        let mut small = SimStats::with_shards(3);
-        assert_eq!(small.per_shard.len(), 3);
-        small.shard_mut(5).events += 1;
-        assert_eq!(small.per_shard[2].events, 1);
+    fn absorb_adds_every_counter() {
+        let mut total = SimStats {
+            packets_sent: 1,
+            dropped_loss: 2,
+            dropped_partition: 3,
+            packets_delivered: 4,
+            bytes_sent: 5,
+            steps: 6,
+            events: 7,
+            ..SimStats::default()
+        };
+        let partial = SimStats {
+            packets_sent: 10,
+            dropped_loss: 20,
+            dropped_partition: 30,
+            packets_delivered: 40,
+            bytes_sent: 50,
+            steps: 60,
+            events: 70,
+            ..SimStats::default()
+        };
+        total.absorb(&partial);
+        assert_eq!(total.packets_sent, 11);
+        assert_eq!(total.dropped_loss, 22);
+        assert_eq!(total.dropped_partition, 33);
+        assert_eq!(total.packets_delivered, 44);
+        assert_eq!(total.bytes_sent, 55);
+        assert_eq!(total.steps, 66);
+        assert_eq!(total.events, 77);
+        assert_eq!(
+            partial.shard_row(),
+            ShardStats { events: 70, packets_delivered: 40, steps: 60 }
+        );
     }
 
     #[test]
     fn report_renders_one_summary() {
-        let mut stats = SimStats::with_shards(2);
-        stats.packets_sent = 10;
-        stats.packets_delivered = 8;
-        stats.dropped_loss = 2;
-        stats.workloads.push(WorkloadStats {
-            name: "poisson".into(),
-            injected: 50,
-            ..WorkloadStats::default()
-        });
+        let stats = SimStats {
+            per_shard: vec![ShardStats::default(); 2],
+            packets_sent: 10,
+            packets_delivered: 8,
+            dropped_loss: 2,
+            workloads: vec![WorkloadStats {
+                name: "poisson".into(),
+                injected: 50,
+                ..WorkloadStats::default()
+            }],
+            ..SimStats::default()
+        };
         let report = SimReport {
             n: 2,
             now: dpu_core::time::Time(5_000_000),

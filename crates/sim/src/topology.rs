@@ -209,6 +209,47 @@ impl Topology {
     pub fn blocked(&self, src: StackId, dst: StackId) -> bool {
         !self.partitions.is_empty() && self.partitions.contains(&(src, dst))
     }
+
+    /// Number of clusters an `n`-node simulation has under this
+    /// topology (1 for flat topologies).
+    pub fn cluster_count(&self, n: u32) -> u32 {
+        match self.cluster_size {
+            Some(sz) => n.div_ceil(sz).max(1),
+            None => 1,
+        }
+    }
+
+    /// Nodes per cluster (`None` for flat topologies).
+    pub fn cluster_size(&self) -> Option<u32> {
+        self.cluster_size
+    }
+
+    /// The conservative-parallel-simulation *lookahead*: a lower bound
+    /// on the delay of every packet that crosses a cluster boundary,
+    /// i.e. the minimum cross-cluster link latency (jitter, transmission
+    /// delay and NIC queueing only ever add to it). The parallel engine
+    /// ([`crate::par`]) may advance each cluster independently through a
+    /// window of this width, because no event inside the window can be
+    /// affected by another cluster's events in the same window.
+    ///
+    /// `None` when the topology has at most one cluster for `n` nodes
+    /// (no cross-cluster traffic exists, the window is unbounded).
+    /// Per-link overrides are part of the minimum; they must be
+    /// installed before the `Sim` is built, which the `Sim` API
+    /// enforces (partitions and loss changes do not lower latency).
+    pub fn lookahead(&self, n: u32) -> Option<Dur> {
+        if self.cluster_count(n) <= 1 {
+            return None;
+        }
+        let base = self.backbone.as_ref().unwrap_or(&self.default).latency;
+        let mut la = base;
+        for ((src, dst), cfg) in &self.links {
+            if self.cluster_of(*src) != self.cluster_of(*dst) {
+                la = la.min(cfg.latency);
+            }
+        }
+        Some(la)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +281,31 @@ mod tests {
         assert!(t.link(StackId(0), StackId(3)).loss > 0.4);
         // Only the overridden direction changes.
         assert_eq!(t.link(StackId(3), StackId(0)).loss, NetConfig::wan().loss);
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_cluster_latency() {
+        let flat = Topology::flat(NetConfig::lan());
+        assert_eq!(flat.lookahead(8), None, "flat topologies have no cross-cluster links");
+        let t = Topology::clustered(4, NetConfig::datacenter(), NetConfig::wan());
+        assert_eq!(t.cluster_count(8), 2);
+        assert_eq!(t.lookahead(8), Some(Dur::millis(15)), "backbone latency bounds the window");
+        assert_eq!(t.lookahead(4), None, "a single populated cluster has no cross traffic");
+        // A faster cross-cluster override lowers the bound; an
+        // intra-cluster override does not.
+        let mut t = Topology::clustered(4, NetConfig::datacenter(), NetConfig::wan());
+        t.set_link(
+            StackId(0),
+            StackId(1),
+            NetConfig { latency: Dur::nanos(5), ..NetConfig::lan() },
+        );
+        assert_eq!(t.lookahead(8), Some(Dur::millis(15)));
+        t.set_link(
+            StackId(0),
+            StackId(5),
+            NetConfig { latency: Dur::micros(2), ..NetConfig::lan() },
+        );
+        assert_eq!(t.lookahead(8), Some(Dur::micros(2)));
     }
 
     #[test]

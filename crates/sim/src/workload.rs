@@ -28,13 +28,33 @@
 //! completed. Each installed generator gets a
 //! [`crate::stats::WorkloadStats`] slot in [`crate::SimStats`],
 //! reported by [`crate::Sim::report`].
+//!
+//! # Cluster pinning
+//!
+//! On a clustered [`crate::Topology`] each traffic generator is split
+//! at [`install`] time into one *sub-generator per cluster*, each with
+//! its own RNG stream derived from the master seed and the cluster id,
+//! driving only that cluster's nodes (rates are split proportionally,
+//! so the aggregate is preserved — for Poisson arrivals the
+//! superposition of the per-cluster streams *is* the requested
+//! process). A cluster's arrival times therefore never depend on
+//! another cluster's draws, matching how the parallel engine
+//! ([`crate::par`]) isolates cluster state; all sub-generators share
+//! the installed [`InjectFn`]/[`CompletedFn`] and the single
+//! [`crate::stats::WorkloadStats`] slot. Churn is the exception: it
+//! crashes a random
+//! subset of the *whole* node set, so it stays a single global
+//! schedule. Generator injections run as barrier actions
+//! ([`crate::Sim::schedule`]), between epochs of the parallel engine.
 
 use crate::Sim;
 use dpu_core::time::{Dur, Time};
 use dpu_core::{Stack, StackConfig, StackId};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -103,9 +123,34 @@ pub enum Generator {
     },
 }
 
+/// An [`InjectFn`]/[`CompletedFn`] shared by the per-cluster
+/// sub-generators of one installation. Sub-generators fire as barrier
+/// actions on the simulation thread, one at a time, so the lock is
+/// never contended.
+type SharedFn<F> = Arc<Mutex<F>>;
+
+/// The node set of one installation, split by topology cluster (one
+/// entry per cluster that owns at least one of the nodes, in cluster
+/// order).
+fn split_by_cluster(sim: &Sim, nodes: &[StackId]) -> BTreeMap<u32, Vec<StackId>> {
+    let mut by_cluster: BTreeMap<u32, Vec<StackId>> = BTreeMap::new();
+    for &node in nodes {
+        by_cluster.entry(sim.topology().cluster_of(node)).or_default().push(node);
+    }
+    by_cluster
+}
+
+/// The RNG stream of installation `id`'s sub-generator for `cluster`.
+/// Cluster 0's salt matches the pre-pinning single-stream salt, so flat
+/// (single-cluster) simulations reproduce their historical arrivals.
+fn sub_rng(sim: &Sim, id: usize, cluster: u32) -> SmallRng {
+    sim.derive_rng(0x9D39_247E_3377_6D41 ^ (id as u64) << 7 ^ u64::from(cluster) << 32)
+}
+
 /// Install a generator: `nodes` is the set it drives, `until` when it
 /// stops. Returns the generator's index into
-/// [`crate::SimStats::workloads`].
+/// [`crate::SimStats::workloads`]. On clustered topologies traffic
+/// generators are pinned per cluster (see the module docs).
 pub fn install(
     sim: &mut Sim,
     name: &str,
@@ -114,31 +159,35 @@ pub fn install(
     gen: Generator,
 ) -> usize {
     let id = sim.register_workload(name.to_string());
-    let rng = sim.derive_rng(0x9D39_247E_3377_6D41 ^ (id as u64) << 7);
     match gen {
         Generator::Poisson { rate, inject } => {
-            spawn_thinned(sim, id, nodes, until, rng, inject, Intensity::constant(rate));
+            spawn_thinned(sim, id, nodes, until, inject, Intensity::constant(rate));
         }
         Generator::Bursty { base, burst, period, duty, inject } => {
             assert!(burst >= base, "burst rate must be >= base rate");
             let shape = Intensity { base, peak: burst, period: period.as_nanos().max(1), duty };
-            spawn_thinned(sim, id, nodes, until, rng, inject, shape);
+            spawn_thinned(sim, id, nodes, until, inject, shape);
         }
         Generator::ClosedLoop { window, poll, inject, completed } => {
-            let st = ClosedLoopState {
-                id,
-                sent: vec![0; nodes.len()],
-                prev_done: vec![0; nodes.len()],
-                nodes,
-                window,
-                poll,
-                until,
-                inject,
-                completed,
-            };
-            closed_loop_tick(sim, Box::new(st));
+            let inject = Arc::new(Mutex::new(inject));
+            let completed = Arc::new(Mutex::new(completed));
+            for (_, members) in split_by_cluster(sim, &nodes) {
+                let st = ClosedLoopState {
+                    id,
+                    sent: vec![0; members.len()],
+                    prev_done: vec![0; members.len()],
+                    nodes: members,
+                    window,
+                    poll,
+                    until,
+                    inject: Arc::clone(&inject),
+                    completed: Arc::clone(&completed),
+                };
+                closed_loop_tick(sim, Box::new(st));
+            }
         }
         Generator::Churn { crashes, downtime, factory } => {
+            let rng = sub_rng(sim, id, 0);
             spawn_churn(sim, id, nodes, until, rng, crashes, downtime, factory);
         }
     }
@@ -146,6 +195,7 @@ pub fn install(
 }
 
 /// The (periodic, two-level) intensity function of a thinned generator.
+#[derive(Clone)]
 struct Intensity {
     base: f64,
     peak: f64,
@@ -180,14 +230,15 @@ impl Intensity {
     }
 }
 
-/// Per-node candidate streams at the peak rate, thinned to `shape`.
+/// Per-node candidate streams at the peak rate, thinned to `shape` —
+/// one instance per topology cluster, over that cluster's nodes only.
 struct ThinnedState {
     id: usize,
     nodes: Vec<StackId>,
     /// Per-node next candidate arrival, keyed for deterministic pops.
     next: BinaryHeap<Reverse<(Time, u32)>>,
     rng: SmallRng,
-    inject: InjectFn,
+    inject: SharedFn<InjectFn>,
     shape: Intensity,
     until: Time,
     /// Peak rate per node (candidate stream intensity).
@@ -207,32 +258,37 @@ fn spawn_thinned(
     id: usize,
     nodes: Vec<StackId>,
     until: Time,
-    mut rng: SmallRng,
     inject: InjectFn,
     shape: Intensity,
 ) {
     if nodes.is_empty() || shape.peak <= 0.0 {
         return;
     }
+    // The per-node candidate rate is derived from the *whole* node set,
+    // so splitting by cluster preserves the aggregate intensity.
     let peak_per_node = shape.peak / nodes.len() as f64;
-    let mut next = BinaryHeap::new();
+    let inject = Arc::new(Mutex::new(inject));
     let now = sim.now();
-    for (i, _) in nodes.iter().enumerate() {
-        let t = now + exp_sample(&mut rng, peak_per_node);
-        next.push(Reverse((t, i as u32)));
+    for (cluster, members) in split_by_cluster(sim, &nodes) {
+        let mut rng = sub_rng(sim, id, cluster);
+        let mut next = BinaryHeap::new();
+        for (i, _) in members.iter().enumerate() {
+            let t = now + exp_sample(&mut rng, peak_per_node);
+            next.push(Reverse((t, i as u32)));
+        }
+        let st = Box::new(ThinnedState {
+            id,
+            nodes: members,
+            next,
+            rng,
+            inject: Arc::clone(&inject),
+            shape: shape.clone(),
+            until,
+            peak_per_node,
+            last_burst_window: None,
+        });
+        schedule_thinned(sim, st);
     }
-    let st = Box::new(ThinnedState {
-        id,
-        nodes,
-        next,
-        rng,
-        inject,
-        shape,
-        until,
-        peak_per_node,
-        last_burst_window: None,
-    });
-    schedule_thinned(sim, st);
 }
 
 fn schedule_thinned(sim: &mut Sim, st: Box<ThinnedState>) {
@@ -249,7 +305,7 @@ fn thinned_fire(sim: &mut Sim, mut st: Box<ThinnedState>) {
     // Thinning: accept this candidate with probability rate(t)/peak.
     let accept = st.rng.gen::<f64>() < st.shape.at(t) / st.shape.peak;
     if accept && !sim.stack(node).is_crashed() {
-        (st.inject)(sim, node);
+        (st.inject.lock())(sim, node);
         sim.workload_mut(st.id).injected += 1;
         if st.shape.in_burst(t) {
             let w = st.shape.window_of(t);
@@ -264,6 +320,8 @@ fn thinned_fire(sim: &mut Sim, mut st: Box<ThinnedState>) {
     schedule_thinned(sim, st);
 }
 
+/// Closed-loop window state — one instance per topology cluster, over
+/// that cluster's nodes only.
 struct ClosedLoopState {
     id: usize,
     nodes: Vec<StackId>,
@@ -273,8 +331,8 @@ struct ClosedLoopState {
     window: u64,
     poll: Dur,
     until: Time,
-    inject: InjectFn,
-    completed: CompletedFn,
+    inject: SharedFn<InjectFn>,
+    completed: SharedFn<CompletedFn>,
 }
 
 fn closed_loop_tick(sim: &mut Sim, mut st: Box<ClosedLoopState>) {
@@ -286,7 +344,7 @@ fn closed_loop_tick(sim: &mut Sim, mut st: Box<ClosedLoopState>) {
         if sim.stack(node).is_crashed() {
             continue;
         }
-        let done = (st.completed)(sim, node);
+        let done = (st.completed.lock())(sim, node);
         if done < st.prev_done[i] {
             // The completed counter went backwards: the node was
             // restarted with a fresh stack (churn), which dropped its
@@ -296,7 +354,7 @@ fn closed_loop_tick(sim: &mut Sim, mut st: Box<ClosedLoopState>) {
         }
         st.prev_done[i] = done;
         if st.sent[i].saturating_sub(done) < st.window {
-            (st.inject)(sim, node);
+            (st.inject.lock())(sim, node);
             st.sent[i] += 1;
             sim.workload_mut(st.id).injected += 1;
         }

@@ -14,17 +14,10 @@ use dpu_core::{Call, Module, Response, ServiceId, Stack, StackConfig, StackId, T
 use dpu_sim::{SchedConfig, SchedKind, Sim, SimConfig, SimStats};
 use proptest::prelude::*;
 
-/// FNV-1a over the debug rendering of every `(time, event)` pair of the
-/// merged trace (same construction as `tests/host_equivalence.rs`).
+/// The shared equivalence-suite fingerprint (see
+/// `dpu_core::TraceLog::fingerprint`).
 fn trace_fingerprint(trace: &dpu_core::TraceLog) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for (t, e) in trace.events() {
-        for b in format!("{}|{:?}\n", t.as_nanos(), e).bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
+    trace.fingerprint()
 }
 
 /// A busy module: periodic timers, rotating sends, echoes — enough event
@@ -93,7 +86,7 @@ fn run(
     let mut cfg = SimConfig::lan(n, seed);
     cfg.net.loss = loss;
     cfg.net.duplicate = duplicate;
-    cfg.sched = SchedConfig { kind, bucket: Dur::micros(bucket_us), buckets: 256 };
+    cfg.sched = SchedConfig { kind, bucket: Dur::micros(bucket_us), buckets: 256, adaptive: true };
     let mut sim = Sim::new(cfg, mk_stack);
     if crash {
         sim.crash_at(Time::ZERO + Dur::millis(millis / 2), StackId(n - 1));

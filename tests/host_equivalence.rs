@@ -17,18 +17,10 @@ use dpu::sim::SimConfig;
 use dpu_core::time::{Dur, Time};
 use dpu_core::StackId;
 
-/// FNV-1a over the debug rendering of every `(time, event)` pair of the
-/// merged trace. Stable across platforms (no pointers, no maps with
-/// nondeterministic order feed the rendering).
+/// The shared equivalence-suite fingerprint (see
+/// `dpu_core::TraceLog::fingerprint`).
 fn trace_fingerprint(trace: &dpu_core::TraceLog) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for (t, e) in trace.events() {
-        for b in format!("{}|{:?}\n", t.as_nanos(), e).bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
+    trace.fingerprint()
 }
 
 /// One fixed, fully deterministic scenario: 3 Figure-4 stacks under the
