@@ -58,6 +58,7 @@ fn bench_dispatch(c: &mut Criterion) {
             peers: vec![dpu_core::StackId(0)],
             seed: 1,
             trace: false,
+            cluster_size: None,
         },
         FactoryRegistry::new(),
     );

@@ -201,12 +201,24 @@ pub struct StackConfig {
     pub seed: u64,
     /// Whether to record a [`TraceLog`].
     pub trace: bool,
+    /// Nodes per topology cluster, when the host places the stacks on a
+    /// clustered topology (stack `i` belongs to cluster `i /
+    /// cluster_size`, mirroring the simulator's topology rule). `None`
+    /// on flat hosts: locality-aware protocols must degenerate to a
+    /// single cluster spanning the whole group.
+    pub cluster_size: Option<u32>,
 }
 
 impl StackConfig {
     /// Configuration for stack `id` out of `n` stacks `0..n`.
     pub fn nth(id: u32, n: u32, seed: u64) -> StackConfig {
-        StackConfig { id: StackId(id), peers: (0..n).map(StackId).collect(), seed, trace: true }
+        StackConfig {
+            id: StackId(id),
+            peers: (0..n).map(StackId).collect(),
+            seed,
+            trace: true,
+            cluster_size: None,
+        }
     }
 }
 
@@ -259,6 +271,7 @@ impl Module for NetBridge {
 pub struct Stack {
     id: StackId,
     peers: Vec<StackId>,
+    cluster_size: Option<u32>,
     now: Time,
     modules: BTreeMap<ModuleId, ModuleSlot>,
     bindings: BTreeMap<ServiceId, ModuleId>,
@@ -293,6 +306,7 @@ impl Stack {
         let mut stack = Stack {
             id: cfg.id,
             peers: cfg.peers,
+            cluster_size: cfg.cluster_size,
             now: Time::ZERO,
             modules: BTreeMap::new(),
             bindings: BTreeMap::new(),
@@ -327,6 +341,12 @@ impl Stack {
     /// All stacks of the system (including this one).
     pub fn peers(&self) -> &[StackId] {
         &self.peers
+    }
+
+    /// Nodes per topology cluster, if the host placed this stack on a
+    /// clustered topology (see [`StackConfig::cluster_size`]).
+    pub fn cluster_size(&self) -> Option<u32> {
+        self.cluster_size
     }
 
     /// The current virtual time, as last told by the host.
@@ -741,6 +761,14 @@ impl ModuleCtx<'_> {
     /// All stacks of the system.
     pub fn peers(&self) -> &[StackId] {
         &self.stack.peers
+    }
+
+    /// Nodes per topology cluster (`None` on flat hosts): stack `i`
+    /// belongs to cluster `i / cluster_size`, matching the simulator's
+    /// topology rule. Locality-aware protocols (e.g. the hierarchical
+    /// atomic broadcast) derive their cluster membership from this.
+    pub fn cluster_size(&self) -> Option<u32> {
+        self.stack.cluster_size
     }
 
     /// This module's own id.

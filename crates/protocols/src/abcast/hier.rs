@@ -1,0 +1,744 @@
+//! Hierarchical atomic broadcast: per-cluster local sequencers under a
+//! fixed leader-cluster merge.
+//!
+//! The flat sequencer protocol funnels every broadcast through one
+//! stack: at n = 1024 the sequencer's n-way fan-out makes its cluster
+//! the hot shard of the parallel simulation engine and caps available
+//! parallelism near 2× (see `BENCH_par.json`). This variant
+//! decentralizes the fan-out along the topology:
+//!
+//! * **Local sequencer** — the lowest-id member of each topology
+//!   cluster orders its cluster's broadcasts into a *cluster stream*:
+//!   it stamps consecutive local sequence numbers `k` and forwards
+//!   `Fwd{cluster, k, key, data}` to the merge leader.
+//! * **Leader merge** — the globally lowest id (the first cluster's
+//!   sequencer) deterministically interleaves the cluster streams into
+//!   one total order: within a stream, entries commit in local-sequence
+//!   order (`k`-contiguous per forwarder); across streams, in arrival
+//!   order at the leader. Each commit is assigned the next global
+//!   sequence number `g` and sent to exactly one *relay* per cluster.
+//! * **Relay fan-out** — each cluster's relay (initially its local
+//!   sequencer) re-broadcasts `Rly{g, key, data}` inside its own
+//!   cluster; members deliver in contiguous `g` order.
+//!
+//! Per broadcast the leader therefore touches `C` relays (cluster
+//! count), not `n` members, and the `n`-message payload fan-out is
+//! spread over all clusters — which is exactly what lets the per-shard
+//! event counts balance in the parallel engine.
+//!
+//! Cluster membership is derived from the host: stack `i` belongs to
+//! cluster `i / cluster_size`, with `cluster_size` taken from the
+//! factory params when nonzero, else from
+//! [`dpu_core::stack::StackConfig::cluster_size`] (the simulator plumbs
+//! its `sim::topology` value there), else the whole group is one
+//! cluster. Under the flat runtime host the protocol thus degenerates
+//! to a single cluster — one sequencer that is its own leader and
+//! relay, behaviorally the fixed-sequencer protocol with one extra
+//! local hop.
+//!
+//! ## Fault tolerance
+//!
+//! A *local* sequencer crash is recovered: members whose pending
+//! broadcasts stall past the `resend` timeout rotate to the next
+//! cluster member in id order and re-send. Any member acts as sequencer
+//! when addressed (safe: the leader deduplicates by message key and
+//! treats each forwarder as its own stream); an acting non-primary
+//! sequencer first *claims* the cluster's relay role, which makes the
+//! leader replay its commit log so the cluster rejoins the total order
+//! without a gap. The merge leader itself remains a single point of
+//! failure, like the flat sequencer — the paper's motivation for
+//! switching *to* such cheap protocols only in stable conditions (and
+//! away from them when the environment degrades). An inter-cluster
+//! partition only delays: forwards, claims and commits sit in RP2P's
+//! retransmit queues and the streams resume on heal.
+
+use super::{ops, MsgKey};
+use crate::channels;
+use bytes::{Bytes, BytesMut};
+use dpu_core::stack::ModuleCtx;
+use dpu_core::time::Dur;
+use dpu_core::wire::{Decode, Encode, WireError, WireResult};
+use dpu_core::{Call, Module, ModuleSpec, Response, ServiceId, StackId, TimerId};
+use dpu_net::dgram::{self, Dgram, DgramRef};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Module kind name, for factory registration.
+pub const KIND: &str = "abcast.hier";
+
+/// Factory parameters of the hierarchical atomic broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierAbcastParams {
+    /// Incarnation namespace tagging all wire traffic.
+    pub namespace: u64,
+    /// Service name to provide (default [`crate::ABCAST_SVC`]).
+    pub service: String,
+    /// Nodes per cluster; `0` derives the value from the stack's host
+    /// configuration, falling back to one group-wide cluster.
+    pub cluster_size: u32,
+    /// Stall timeout: a member whose pending broadcasts make no
+    /// progress for this long rotates to the next local-sequencer
+    /// candidate and re-sends. Must sit well above the steady-state
+    /// delivery latency or rotation churns (safely, but wastefully).
+    pub resend: Dur,
+}
+
+impl Default for HierAbcastParams {
+    fn default() -> Self {
+        HierAbcastParams {
+            namespace: 0,
+            service: crate::ABCAST_SVC.to_string(),
+            cluster_size: 0,
+            resend: Dur::millis(1500),
+        }
+    }
+}
+
+impl Encode for HierAbcastParams {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.namespace.encode(buf);
+        self.service.encode(buf);
+        self.cluster_size.encode(buf);
+        self.resend.as_nanos().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.namespace.encoded_len()
+            + self.service.encoded_len()
+            + self.cluster_size.encoded_len()
+            + self.resend.as_nanos().encoded_len()
+    }
+}
+
+impl Decode for HierAbcastParams {
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(HierAbcastParams {
+            namespace: u64::decode(buf)?,
+            service: String::decode(buf)?,
+            cluster_size: u32::decode(buf)?,
+            resend: Dur::nanos(u64::decode(buf)?),
+        })
+    }
+}
+
+enum Frame {
+    /// tag 0: member → its cluster's (believed) local sequencer.
+    Req { key: MsgKey, data: Bytes },
+    /// tag 1: acting local sequencer → merge leader; `k` is consecutive
+    /// per forwarder `from`, making each forwarder one FIFO stream.
+    Fwd { cluster: u32, k: u64, from: StackId, key: MsgKey, data: Bytes },
+    /// tag 2: leader → one relay per cluster; `g` is the global
+    /// sequence number.
+    Commit { g: u64, key: MsgKey, data: Bytes },
+    /// tag 3: relay → its cluster's members.
+    Rly { g: u64, key: MsgKey, data: Bytes },
+    /// tag 4: acting non-primary sequencer → leader: take over the
+    /// cluster's relay role and replay the commit log.
+    Claim { cluster: u32, from: StackId },
+}
+
+/// A namespace-tagged frame, encoded in one forward pass.
+struct NsFrame<'a> {
+    ns: u64,
+    frame: &'a Frame,
+}
+
+impl Encode for NsFrame<'_> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
+        match self.frame {
+            Frame::Req { key, data } => {
+                0u32.encode(buf);
+                key.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Fwd { cluster, k, from, key, data } => {
+                1u32.encode(buf);
+                cluster.encode(buf);
+                k.encode(buf);
+                from.encode(buf);
+                key.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Commit { g, key, data } => {
+                2u32.encode(buf);
+                g.encode(buf);
+                key.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Rly { g, key, data } => {
+                3u32.encode(buf);
+                g.encode(buf);
+                key.encode(buf);
+                data.encode(buf);
+            }
+            Frame::Claim { cluster, from } => {
+                4u32.encode(buf);
+                cluster.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        self.ns.encoded_len()
+            + match self.frame {
+                Frame::Req { key, data } => {
+                    0u32.encoded_len() + key.encoded_len() + data.encoded_len()
+                }
+                Frame::Fwd { cluster, k, from, key, data } => {
+                    1u32.encoded_len()
+                        + cluster.encoded_len()
+                        + k.encoded_len()
+                        + from.encoded_len()
+                        + key.encoded_len()
+                        + data.encoded_len()
+                }
+                Frame::Commit { g, key, data } | Frame::Rly { g, key, data } => {
+                    2u32.encoded_len() + g.encoded_len() + key.encoded_len() + data.encoded_len()
+                }
+                Frame::Claim { cluster, from } => {
+                    4u32.encoded_len() + cluster.encoded_len() + from.encoded_len()
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+fn encode_frame(ns: u64, frame: &Frame) -> Bytes {
+    NsFrame { ns, frame }.to_bytes()
+}
+
+fn decode_frame(buf: &Bytes) -> WireResult<(u64, Frame)> {
+    let mut b = buf.clone();
+    let ns = u64::decode(&mut b)?;
+    let frame = match u32::decode(&mut b)? {
+        0 => Frame::Req { key: MsgKey::decode(&mut b)?, data: Bytes::decode(&mut b)? },
+        1 => Frame::Fwd {
+            cluster: u32::decode(&mut b)?,
+            k: u64::decode(&mut b)?,
+            from: StackId::decode(&mut b)?,
+            key: MsgKey::decode(&mut b)?,
+            data: Bytes::decode(&mut b)?,
+        },
+        2 => Frame::Commit {
+            g: u64::decode(&mut b)?,
+            key: MsgKey::decode(&mut b)?,
+            data: Bytes::decode(&mut b)?,
+        },
+        3 => Frame::Rly {
+            g: u64::decode(&mut b)?,
+            key: MsgKey::decode(&mut b)?,
+            data: Bytes::decode(&mut b)?,
+        },
+        4 => Frame::Claim { cluster: u32::decode(&mut b)?, from: StackId::decode(&mut b)? },
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok((ns, frame))
+}
+
+/// One forwarder's cluster stream at the leader: entries commit in
+/// local-sequence order, buffered until `k`-contiguous.
+#[derive(Default)]
+struct Stream {
+    next_k: u64,
+    buf: BTreeMap<u64, (MsgKey, Bytes)>,
+}
+
+/// The hierarchical atomic broadcast module. See module docs.
+pub struct HierAbcastModule {
+    params: HierAbcastParams,
+    svc: ServiceId,
+    rp2p_svc: ServiceId,
+    // -- member state --
+    /// Per-origin sequence for this stack's own broadcasts. Lazily
+    /// seeded from the virtual clock so a churn-restarted incarnation
+    /// never reuses the keys of its predecessor.
+    next_oseq: Option<u64>,
+    /// Own broadcasts not yet delivered back, for stall detection and
+    /// failover re-sends.
+    pending: BTreeMap<MsgKey, Bytes>,
+    /// Rotation index into the cluster's candidate list.
+    seq_idx: usize,
+    /// Whether any own pending broadcast was delivered since the last
+    /// stall-timer tick.
+    progress: bool,
+    timer_armed: bool,
+    /// Next global sequence number to deliver, and the out-of-order
+    /// buffer.
+    next_deliver: u64,
+    buffer: BTreeMap<u64, (MsgKey, Bytes)>,
+    deliveries: u64,
+    // -- acting-sequencer state --
+    /// Next local sequence number of this forwarder's stream.
+    next_k: u64,
+    /// Keys already forwarded (dedup of member re-sends).
+    fwd_seen: BTreeSet<MsgKey>,
+    /// Whether this non-primary node has claimed the relay role.
+    claimed: bool,
+    // -- leader state --
+    next_g: u64,
+    committed: BTreeSet<MsgKey>,
+    /// The commit log, indexed by `g` — replayed to claiming relays.
+    log: Vec<(MsgKey, Bytes)>,
+    /// Current relay per cluster, where it differs from the primary.
+    relays: BTreeMap<u32, StackId>,
+    /// One stream per forwarder.
+    streams: BTreeMap<StackId, Stream>,
+}
+
+impl HierAbcastModule {
+    /// Build with explicit parameters.
+    pub fn new(params: HierAbcastParams) -> HierAbcastModule {
+        let svc = ServiceId::new(&params.service);
+        HierAbcastModule {
+            params,
+            svc,
+            rp2p_svc: ServiceId::new(dpu_net::RP2P_SVC),
+            next_oseq: None,
+            pending: BTreeMap::new(),
+            seq_idx: 0,
+            progress: false,
+            timer_armed: false,
+            next_deliver: 0,
+            buffer: BTreeMap::new(),
+            deliveries: 0,
+            next_k: 0,
+            fwd_seen: BTreeSet::new(),
+            claimed: false,
+            next_g: 0,
+            committed: BTreeSet::new(),
+            log: Vec::new(),
+            relays: BTreeMap::new(),
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// Register this module's factory under [`KIND`].
+    pub fn register(reg: &mut dpu_core::FactoryRegistry) {
+        reg.register(KIND, |spec: &ModuleSpec| {
+            let params = if spec.params.is_empty() {
+                HierAbcastParams::default()
+            } else {
+                spec.params::<HierAbcastParams>().unwrap_or_default()
+            };
+            Box::new(HierAbcastModule::new(params))
+        });
+    }
+
+    /// Messages Adelivered by this module.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Commits assigned so far (meaningful on the merge leader only).
+    pub fn commits(&self) -> u64 {
+        self.next_g
+    }
+
+    /// Nodes per cluster on this stack: explicit params beat the host
+    /// configuration; a flat host is one group-wide cluster.
+    fn cluster_nodes(&self, ctx: &ModuleCtx<'_>) -> u32 {
+        if self.params.cluster_size > 0 {
+            self.params.cluster_size
+        } else {
+            ctx.cluster_size().unwrap_or(u32::MAX).max(1)
+        }
+    }
+
+    fn cluster_of(&self, ctx: &ModuleCtx<'_>, id: StackId) -> u32 {
+        id.0 / self.cluster_nodes(ctx)
+    }
+
+    /// Members of `cluster`, in id order (the candidate list).
+    fn members(&self, ctx: &ModuleCtx<'_>, cluster: u32) -> Vec<StackId> {
+        ctx.peers().iter().copied().filter(|&p| self.cluster_of(ctx, p) == cluster).collect()
+    }
+
+    /// The merge leader: the globally lowest id.
+    fn leader(ctx: &ModuleCtx<'_>) -> StackId {
+        *ctx.peers().iter().min().expect("non-empty group")
+    }
+
+    /// The local sequencer this member currently believes in: the
+    /// candidate list rotated by the stall counter.
+    fn believed_sequencer(&self, ctx: &ModuleCtx<'_>) -> StackId {
+        let my_cluster = self.cluster_of(ctx, ctx.stack_id());
+        let c = self.members(ctx, my_cluster);
+        c[self.seq_idx % c.len()]
+    }
+
+    /// The relay currently responsible for fanning commits into
+    /// `cluster` (primary until a claim replaces it).
+    fn relay_of(&self, ctx: &ModuleCtx<'_>, cluster: u32) -> StackId {
+        match self.relays.get(&cluster) {
+            Some(&r) => r,
+            None => *self.members(ctx, cluster).first().expect("populated cluster"),
+        }
+    }
+
+    fn send(&self, ctx: &mut ModuleCtx<'_>, to: StackId, frame: &Frame) {
+        let body = NsFrame { ns: self.params.namespace, frame };
+        let d = DgramRef { peer: to, channel: channels::ABCAST_HIER, body: &body };
+        let payload = ctx.encode(&d);
+        ctx.call(&self.rp2p_svc, dgram::SEND, payload);
+    }
+
+    /// Act as this cluster's sequencer for one request (any member may
+    /// be addressed after failover rotation; the leader's per-forwarder
+    /// streams and key dedup make concurrent actors safe).
+    fn handle_req(&mut self, ctx: &mut ModuleCtx<'_>, key: MsgKey, data: Bytes) {
+        let my_cluster = self.cluster_of(ctx, ctx.stack_id());
+        if self.cluster_of(ctx, key.0) != my_cluster || !self.fwd_seen.insert(key) {
+            return;
+        }
+        let leader = Self::leader(ctx);
+        let primary = *self.members(ctx, my_cluster).first().expect("populated cluster");
+        if ctx.stack_id() != primary && !self.claimed {
+            // First time acting in the primary's stead: take over the
+            // relay role before the forward, so the leader replays the
+            // log (RP2P is FIFO per link — the claim arrives first).
+            self.claimed = true;
+            self.send(ctx, leader, &Frame::Claim { cluster: my_cluster, from: ctx.stack_id() });
+        }
+        let k = self.next_k;
+        self.next_k += 1;
+        self.send(
+            ctx,
+            leader,
+            &Frame::Fwd { cluster: my_cluster, k, from: ctx.stack_id(), key, data },
+        );
+    }
+
+    /// Leader: commit one stream entry and fan it out to the relays.
+    fn commit(&mut self, ctx: &mut ModuleCtx<'_>, key: MsgKey, data: Bytes) {
+        if !self.committed.insert(key) {
+            return;
+        }
+        let g = self.next_g;
+        self.next_g += 1;
+        self.log.push((key, data.clone()));
+        let clusters: BTreeSet<u32> =
+            ctx.peers().to_vec().iter().map(|&p| self.cluster_of(ctx, p)).collect();
+        for c in clusters {
+            let relay = self.relay_of(ctx, c);
+            self.send(ctx, relay, &Frame::Commit { g, key, data: data.clone() });
+        }
+    }
+
+    /// Member: file a committed entry at its global position and
+    /// deliver the contiguous prefix.
+    fn buffer_insert(&mut self, ctx: &mut ModuleCtx<'_>, g: u64, key: MsgKey, data: Bytes) {
+        if g < self.next_deliver {
+            return;
+        }
+        self.buffer.insert(g, (key, data));
+        while let Some((key, data)) = self.buffer.remove(&self.next_deliver) {
+            self.next_deliver += 1;
+            self.deliveries += 1;
+            if self.pending.remove(&key).is_some() {
+                self.progress = true;
+            }
+            ctx.respond(&self.svc, ops::ADELIVER, data);
+        }
+    }
+
+    fn arm_timer(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if !self.timer_armed {
+            self.timer_armed = true;
+            ctx.set_timer(self.params.resend, 1);
+        }
+    }
+}
+
+impl Module for HierAbcastModule {
+    fn kind(&self) -> &str {
+        KIND
+    }
+
+    fn provides(&self) -> Vec<ServiceId> {
+        vec![self.svc.clone()]
+    }
+
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![self.rp2p_svc.clone()]
+    }
+
+    fn on_call(&mut self, ctx: &mut ModuleCtx<'_>, call: Call) {
+        if call.op != ops::ABCAST {
+            return;
+        }
+        // Seed the per-origin sequence from the clock on first use: a
+        // churn-restarted incarnation starts at a later virtual time,
+        // so its keys never collide with its predecessor's at the
+        // leader's dedup set (deterministic — no wall clock involved).
+        let oseq = *self
+            .next_oseq
+            .get_or_insert_with(|| ctx.now().as_nanos().wrapping_mul(0x9E3779B97F4A7C15));
+        self.next_oseq = Some(oseq + 1);
+        let key = (ctx.stack_id(), oseq);
+        self.pending.insert(key, call.data.clone());
+        let seqr = self.believed_sequencer(ctx);
+        self.send(ctx, seqr, &Frame::Req { key, data: call.data });
+        self.arm_timer(ctx);
+    }
+
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.service != self.rp2p_svc || resp.op != dgram::RECV {
+            return;
+        }
+        let Ok(d) = resp.decode::<Dgram>() else { return };
+        if d.channel != channels::ABCAST_HIER {
+            return;
+        }
+        let Ok((ns, frame)) = decode_frame(&d.data) else { return };
+        if ns != self.params.namespace {
+            return;
+        }
+        match frame {
+            Frame::Req { key, data } => self.handle_req(ctx, key, data),
+            Frame::Fwd { k, from, key, data, .. } => {
+                if ctx.stack_id() != Self::leader(ctx) {
+                    return;
+                }
+                let s = self.streams.entry(from).or_default();
+                if k < s.next_k {
+                    return; // duplicate
+                }
+                s.buf.insert(k, (key, data));
+                while let Some(entry) = {
+                    let s = self.streams.get_mut(&from).expect("stream just touched");
+                    s.buf.remove(&s.next_k).inspect(|_| s.next_k += 1)
+                } {
+                    self.commit(ctx, entry.0, entry.1);
+                }
+            }
+            Frame::Commit { g, key, data } => {
+                // Fan out inside the cluster, then file locally.
+                let my_cluster = self.cluster_of(ctx, ctx.stack_id());
+                for peer in self.members(ctx, my_cluster) {
+                    if peer != ctx.stack_id() {
+                        self.send(ctx, peer, &Frame::Rly { g, key, data: data.clone() });
+                    }
+                }
+                self.buffer_insert(ctx, g, key, data);
+            }
+            Frame::Rly { g, key, data } => self.buffer_insert(ctx, g, key, data),
+            Frame::Claim { cluster, from } => {
+                if ctx.stack_id() != Self::leader(ctx) {
+                    return;
+                }
+                self.relays.insert(cluster, from);
+                // Replay the whole log to the claiming relay: a crashed
+                // primary may have left any subset of its cluster at any
+                // delivery depth, and re-relayed positions below a
+                // member's `next_deliver` are dropped idempotently.
+                for (g, (key, data)) in self.log.clone().into_iter().enumerate() {
+                    self.send(ctx, from, &Frame::Commit { g: g as u64, key, data });
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _id: TimerId, _tag: u64) {
+        self.timer_armed = false;
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.progress {
+            // Deliveries of our own messages are flowing — the believed
+            // sequencer is alive, just loaded. Keep waiting.
+            self.progress = false;
+        } else {
+            // Stalled: rotate to the next candidate and re-send
+            // everything outstanding (the leader deduplicates).
+            self.seq_idx += 1;
+            for (key, data) in self.pending.clone() {
+                let seqr = self.believed_sequencer(ctx);
+                self.send(ctx, seqr, &Frame::Req { key, data });
+            }
+        }
+        self.arm_timer(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abcast::testkit::{abcast, assert_total_order, delivered, mk_stack};
+    use dpu_core::time::Time;
+    use dpu_core::wire;
+    use dpu_sim::{NetConfig, Sim, SimConfig};
+
+    fn hier_default() -> Box<dyn Module> {
+        Box::new(HierAbcastModule::new(HierAbcastParams::default()))
+    }
+
+    fn flat_sim(n: u32, seed: u64) -> Sim {
+        Sim::new(SimConfig::lan(n, seed), |sc| mk_stack(sc, hier_default))
+    }
+
+    /// 3-node clusters on a datacenter fabric over a LAN backbone; the
+    /// cluster size reaches the module through the stack config.
+    fn clustered_sim(n: u32, seed: u64) -> Sim {
+        let cfg = SimConfig::clustered(n, seed, 3, NetConfig::datacenter(), NetConfig::lan());
+        Sim::new(cfg, |sc| mk_stack(sc, hier_default))
+    }
+
+    #[test]
+    fn frame_and_params_wire_contract() {
+        use dpu_core::wire::testing::assert_wire_contract;
+        let key = (StackId(3), 77u64);
+        let frames = [
+            Frame::Req { key, data: Bytes::from_static(b"m") },
+            Frame::Fwd { cluster: 2, k: 9, from: StackId(6), key, data: Bytes::from_static(b"f") },
+            Frame::Commit { g: 4, key, data: Bytes::from_static(b"c") },
+            Frame::Rly { g: 5, key, data: Bytes::from_static(b"r") },
+            Frame::Claim { cluster: 1, from: StackId(4) },
+        ];
+        for frame in &frames {
+            let nf = NsFrame { ns: 6, frame };
+            assert_eq!(nf.encoded_len(), nf.to_bytes().len());
+            let bytes = nf.to_bytes();
+            let (ns, _back) = decode_frame(&bytes).expect("roundtrip");
+            assert_eq!(ns, 6);
+            for cut in 0..bytes.len() {
+                assert!(decode_frame(&bytes.slice(..cut)).is_err());
+            }
+        }
+        assert_wire_contract(&HierAbcastParams::default());
+    }
+
+    #[test]
+    fn single_message_delivered_everywhere_on_flat_host() {
+        // Flat topology: the single-cluster degeneration.
+        let mut sim = flat_sim(3, 42);
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        abcast(&mut sim, 1, b"hello");
+        sim.run_until(Time::ZERO + Dur::secs(1));
+        assert_total_order(&mut sim, &[0, 1, 2], 1);
+    }
+
+    #[test]
+    fn singleton_group_delivers_to_itself() {
+        let mut sim = flat_sim(1, 8);
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        abcast(&mut sim, 0, b"solo");
+        sim.run_until(Time::ZERO + Dur::secs(1));
+        assert_total_order(&mut sim, &[0], 1);
+    }
+
+    #[test]
+    fn concurrent_senders_totally_ordered_across_clusters() {
+        // 9 nodes in 3 clusters; senders in every cluster.
+        let mut sim = clustered_sim(9, 7);
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        for i in 0..9u32 {
+            for j in 0..6u8 {
+                abcast(&mut sim, i, &[i as u8, j]);
+            }
+        }
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        assert_total_order(&mut sim, &[0, 1, 2, 3, 4, 5, 6, 7, 8], 54);
+    }
+
+    #[test]
+    fn fifo_per_sender_is_preserved_by_the_stream_merge() {
+        // RP2P is FIFO, the local sequencer forwards in arrival order
+        // and the leader commits each stream k-contiguously, so one
+        // sender's messages keep their send order.
+        let mut sim = clustered_sim(6, 3);
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        for j in 0..20u8 {
+            abcast(&mut sim, 4, &[j]);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(3));
+        let d = delivered(&mut sim, 1);
+        let order: Vec<u8> = d.iter().map(|b| b[0]).collect();
+        assert_eq!(order, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn explicit_cluster_size_param_overrides_flat_host() {
+        // Two synthetic clusters of 2 on a flat LAN: the params value
+        // beats the (absent) host topology.
+        let params = HierAbcastParams { cluster_size: 2, ..HierAbcastParams::default() };
+        let mut sim = Sim::new(SimConfig::lan(4, 5), move |sc| {
+            let params = params.clone();
+            mk_stack(sc, move || Box::new(HierAbcastModule::new(params)))
+        });
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        for i in 0..4u32 {
+            abcast(&mut sim, i, &[i as u8]);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        assert_total_order(&mut sim, &[0, 1, 2, 3], 4);
+    }
+
+    #[test]
+    fn loss_is_recovered_by_rp2p_underneath() {
+        let mut cfg = SimConfig::clustered(6, 11, 3, NetConfig::lossy(0.2), NetConfig::lossy(0.2));
+        cfg.net.loss = 0.2;
+        let mut sim = Sim::new(cfg, |sc| mk_stack(sc, hier_default));
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        for j in 0..10u8 {
+            abcast(&mut sim, 5, &[j]);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(10));
+        assert_total_order(&mut sim, &[0, 1, 2, 3, 4, 5], 10);
+    }
+
+    #[test]
+    fn local_sequencer_crash_fails_over_without_a_gap() {
+        // Crash cluster 1's primary (node 3) mid-stream: members rotate
+        // to node 4, which claims the relay role; the log replay closes
+        // the gap and the survivors converge on one total order.
+        let params = HierAbcastParams { resend: Dur::millis(250), ..HierAbcastParams::default() };
+        let cfg = SimConfig::clustered(9, 21, 3, NetConfig::datacenter(), NetConfig::lan());
+        let mut sim = Sim::new(cfg, move |sc| {
+            let params = params.clone();
+            mk_stack(sc, move || Box::new(HierAbcastModule::new(params)))
+        });
+        sim.run_until(Time::ZERO + Dur::millis(50));
+        for i in 0..9u32 {
+            abcast(&mut sim, i, &[0, i as u8]);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(400));
+        sim.crash_at(sim.now(), StackId(3));
+        sim.run_until(Time::ZERO + Dur::millis(500));
+        // Post-crash traffic from every surviving stack, including the
+        // orphaned cluster members 4 and 5.
+        for i in [0u32, 1, 2, 4, 5, 6, 7, 8] {
+            abcast(&mut sim, i, &[1, i as u8]);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(12));
+        let survivors = [0u32, 1, 2, 4, 5, 6, 7, 8];
+        assert_total_order(&mut sim, &survivors, 17);
+    }
+
+    #[test]
+    fn namespace_filtering_drops_foreign_frames() {
+        let p1 = HierAbcastParams { namespace: 1, ..HierAbcastParams::default() };
+        let frame_bytes = encode_frame(
+            2,
+            &Frame::Commit { g: 0, key: (StackId(0), 0), data: Bytes::from_static(b"x") },
+        );
+        let (ns, _) = decode_frame(&frame_bytes).unwrap();
+        assert_eq!(ns, 2);
+        assert_ne!(ns, p1.namespace);
+    }
+
+    #[test]
+    fn params_roundtrip_and_factory() {
+        let p = HierAbcastParams {
+            namespace: 5,
+            service: "svc-x".into(),
+            cluster_size: 64,
+            resend: Dur::millis(700),
+        };
+        let b = wire::to_bytes(&p);
+        assert_eq!(wire::from_bytes::<HierAbcastParams>(&b).unwrap(), p);
+        let mut reg = dpu_core::FactoryRegistry::new();
+        HierAbcastModule::register(&mut reg);
+        let m = reg.build(&ModuleSpec::with_params(KIND, &p)).unwrap();
+        assert_eq!(m.kind(), KIND);
+        assert_eq!(m.provides(), vec![ServiceId::new("svc-x")]);
+    }
+}

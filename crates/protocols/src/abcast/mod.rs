@@ -1,4 +1,4 @@
-//! Atomic broadcast: three interchangeable implementations of the §5.1
+//! Atomic broadcast: four interchangeable implementations of the §5.1
 //! specification (Hadzilacos–Toueg):
 //!
 //! * **validity** — a correct process that ABcasts `m` eventually
@@ -16,6 +16,7 @@
 //! | [`ct::CtAbcastModule`] | reduction to consensus (Chandra–Toueg transformation): gossip messages, agree on batches | crash-tolerant, uniform (inherits consensus) |
 //! | [`sequencer::SeqAbcastModule`] | fixed sequencer assigns a global sequence | non-fault-tolerant (sequencer is a single point of failure); cheapest latency |
 //! | [`ring::RingAbcastModule`] | privilege-based: a circulating token carries the sequence counter | non-fault-tolerant; throughput-friendly, latency grows with ring position |
+//! | [`hier::HierAbcastModule`] | hierarchical: one local sequencer per topology cluster, streams merged by a leader cluster | local-sequencer failover; leader remains a single point of failure; scales fan-out across clusters |
 //!
 //! All variants provide the same two-operation service ([`ops`]), so the
 //! replacement module of `dpu-repl` can switch between them on the fly —
@@ -31,6 +32,7 @@
 //! [`dpu_core::ModuleSpec`]; see the crate docs.
 
 pub mod ct;
+pub mod hier;
 pub mod ring;
 pub mod sequencer;
 

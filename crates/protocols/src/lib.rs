@@ -9,10 +9,11 @@
 //!   rotating coordinator, plus a fixed-preferred-coordinator policy
 //!   variant (the second *agreement protocol* used by the consensus
 //!   replacement experiment);
-//! * [`abcast`] — three interchangeable atomic broadcast protocols
+//! * [`abcast`] — four interchangeable atomic broadcast protocols
 //!   satisfying the §5.1 specification: consensus-based
-//!   ([`abcast::ct`]), fixed-sequencer ([`abcast::sequencer`]) and
-//!   privilege/token-ring ([`abcast::ring`]);
+//!   ([`abcast::ct`]), fixed-sequencer ([`abcast::sequencer`]),
+//!   privilege/token-ring ([`abcast::ring`]) and hierarchical
+//!   per-cluster sequencers under a merge leader ([`abcast::hier`]);
 //! * [`gm::GmModule`] — group membership (totally ordered views over
 //!   atomic broadcast), optionally auto-excluding suspected members;
 //! * [`rb::RbModule`] — unordered reliable broadcast (relay-on-first-
@@ -53,6 +54,7 @@ pub mod fd;
 pub mod gm;
 pub mod omega;
 pub mod rb;
+pub mod testing;
 
 /// Service name of the failure detector.
 pub const FD_SVC: &str = "fd";
@@ -84,4 +86,6 @@ pub mod channels {
     pub const MAESTRO: u16 = 7;
     /// Graceful-Adaptation-style switch coordination (RP2P).
     pub const GRACEFUL: u16 = 8;
+    /// Hierarchical atomic broadcast (RP2P).
+    pub const ABCAST_HIER: u16 = 9;
 }

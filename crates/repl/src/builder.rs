@@ -38,6 +38,7 @@ use dpu_core::{FactoryRegistry, ModuleId, ModuleSpec, ServiceId, Stack, StackCon
 use dpu_net::rp2p::Rp2pModule;
 use dpu_net::udp::UdpModule;
 use dpu_protocols::abcast::ct::CtAbcastModule;
+use dpu_protocols::abcast::hier::HierAbcastModule;
 use dpu_protocols::abcast::ops as ab_ops;
 use dpu_protocols::abcast::ring::RingAbcastModule;
 use dpu_protocols::abcast::sequencer::SeqAbcastModule;
@@ -52,6 +53,7 @@ use dpu_sim::{Sim, SimConfig};
 pub mod specs {
     use dpu_core::ModuleSpec;
     use dpu_protocols::abcast::ct::{CtAbcastParams, KIND as CT_KIND};
+    use dpu_protocols::abcast::hier::{HierAbcastParams, KIND as HIER_KIND};
     use dpu_protocols::abcast::ring::{RingAbcastParams, KIND as RING_KIND};
     use dpu_protocols::abcast::sequencer::{SeqAbcastParams, KIND as SEQ_KIND};
     use dpu_protocols::consensus::{ConsensusParams, KIND_CT, KIND_OFFSET};
@@ -111,6 +113,24 @@ pub mod specs {
         )
     }
 
+    /// Hierarchical (per-cluster sequencer) atomic broadcast with
+    /// incarnation `ns`; cluster membership derives from the host.
+    pub fn hier(ns: u64) -> ModuleSpec {
+        hier_in(ns, dpu_protocols::ABCAST_SVC)
+    }
+
+    /// Hierarchical atomic broadcast providing a specific service.
+    pub fn hier_in(ns: u64, service: &str) -> ModuleSpec {
+        ModuleSpec::with_params(
+            HIER_KIND,
+            &HierAbcastParams {
+                namespace: ns,
+                service: service.to_string(),
+                ..HierAbcastParams::default()
+            },
+        )
+    }
+
     /// Rotating-coordinator (Chandra–Toueg) consensus providing `service`
     /// with wire incarnation `inc`.
     pub fn consensus_ct(service: &str, inc: u64) -> ModuleSpec {
@@ -141,6 +161,7 @@ pub fn registry() -> FactoryRegistry {
     CtAbcastModule::register(&mut reg);
     SeqAbcastModule::register(&mut reg);
     RingAbcastModule::register(&mut reg);
+    HierAbcastModule::register(&mut reg);
     ReplAbcastModule::register(&mut reg);
     MaestroSwitcher::register(&mut reg);
     GracefulSwitcher::register(&mut reg);
@@ -550,8 +571,18 @@ mod tests {
         n: u32,
         seed: u64,
     ) -> (Sim, Handles) {
+        run_with_switch_on(SimConfig::lan(n, seed), layer, initial, new_spec)
+    }
+
+    fn run_with_switch_on(
+        cfg: SimConfig,
+        layer: SwitchLayer,
+        initial: ModuleSpec,
+        new_spec: ModuleSpec,
+    ) -> (Sim, Handles) {
+        let n = cfg.n;
         let opts = GroupStackOpts { abcast: initial, layer, ..Default::default() };
-        let (mut sim, h) = group_sim(SimConfig::lan(n, seed), &opts);
+        let (mut sim, h) = group_sim(cfg, &opts);
         sim.run_until(Time::ZERO + Dur::millis(200));
         // Phase 1: messages before the switch.
         for i in 0..n {
@@ -628,6 +659,38 @@ mod tests {
     #[test]
     fn repl_switch_with_seven_stacks() {
         run_with_switch(SwitchLayer::Repl, ct_spec(0), ct_spec(1), 7, 11);
+    }
+
+    #[test]
+    fn repl_switches_sequencer_to_hier_on_flat_host() {
+        // Flat LAN: hier degenerates to a single cluster and must still
+        // interchange cleanly with the flat sequencer.
+        run_with_switch(
+            SwitchLayer::Repl,
+            seq_spec(0, dpu_protocols::ABCAST_SVC),
+            specs::hier(1),
+            3,
+            15,
+        );
+    }
+
+    #[test]
+    fn repl_switches_hier_to_ct_on_clustered_topology() {
+        use dpu_sim::NetConfig;
+        let cfg = SimConfig::clustered(6, 17, 3, NetConfig::datacenter(), NetConfig::lan());
+        run_with_switch_on(cfg, SwitchLayer::Repl, specs::hier(0), ct_spec(1));
+    }
+
+    #[test]
+    fn repl_switches_ct_to_hier_on_clustered_topology() {
+        use dpu_sim::NetConfig;
+        let cfg = SimConfig::clustered(6, 19, 3, NetConfig::datacenter(), NetConfig::lan());
+        run_with_switch_on(cfg, SwitchLayer::Repl, ct_spec(0), specs::hier(1));
+    }
+
+    #[test]
+    fn graceful_switch_to_hier_via_alternate_slot() {
+        run_with_switch(SwitchLayer::Graceful, ct_spec(0), specs::hier_in(1, "abcast.alt"), 3, 23);
     }
 
     #[test]

@@ -390,6 +390,9 @@ impl Runtime {
                 peers: (0..cfg.n).map(StackId).collect(),
                 seed: cfg.seed,
                 trace: cfg.trace,
+                // The live runtime has no topology model: one flat
+                // cluster, which locality-aware protocols degenerate to.
+                cluster_size: None,
             };
             let (ids, drivers) = &mut by_shard[(i as usize) % shards];
             ids.push(StackId(i));

@@ -572,7 +572,11 @@ impl Sim {
             let count = cluster_size.min(cfg.n - base);
             let nodes = (base..base + count)
                 .map(|i| Node {
-                    driver: StackDriver::new(mk_stack(Self::mk_stack_config(&cfg, StackId(i)))),
+                    driver: StackDriver::new(mk_stack(Self::mk_stack_config(
+                        &cfg,
+                        topology.cluster_size(),
+                        StackId(i),
+                    ))),
                     cpu_free: Time::ZERO,
                     nic_free: Time::ZERO,
                     step_scheduled: false,
@@ -609,12 +613,13 @@ impl Sim {
         sim
     }
 
-    fn mk_stack_config(cfg: &SimConfig, id: StackId) -> StackConfig {
+    fn mk_stack_config(cfg: &SimConfig, cluster_size: Option<u32>, id: StackId) -> StackConfig {
         StackConfig {
             id,
             peers: (0..cfg.n).map(StackId).collect(),
             seed: cfg.seed,
             trace: cfg.trace,
+            cluster_size,
         }
     }
 
@@ -627,7 +632,7 @@ impl Sim {
     /// The [`StackConfig`] node `id` was (and would again be) built from
     /// — used by churn workloads to construct replacement stacks.
     pub fn stack_config(&self, id: StackId) -> StackConfig {
-        Self::mk_stack_config(&self.cfg, id)
+        Self::mk_stack_config(&self.cfg, self.topology.cluster_size(), id)
     }
 
     /// Current virtual time.

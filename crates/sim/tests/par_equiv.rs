@@ -136,6 +136,62 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The full hierarchical atomic broadcast stack — per-cluster local
+    /// sequencers, leader-cluster stream merge, relay fan-out — is
+    /// bit-identical across worker counts: same stats, same trace
+    /// fingerprint, same delivery log. This is the protocol whose
+    /// traffic pattern the cluster sharding exists for, so it doubles
+    /// as the engine's most adversarial in-tree workload (cross-cluster
+    /// forwards and commits on every broadcast).
+    #[test]
+    fn hier_abcast_stack_is_worker_count_invariant(
+        n in prop_oneof![Just(6u32), Just(8), Just(12)],
+        cluster_size in prop_oneof![Just(2u32), Just(3), Just(4)],
+        seed in any::<u64>(),
+        workers in 2usize..=4,
+    ) {
+        use dpu_protocols::testing::{self, Variant};
+        let run = |workers: usize| {
+            let cfg =
+                SimConfig::clustered(n, seed, cluster_size, NetConfig::datacenter(), NetConfig::lan())
+                    .with_workers(workers);
+            let mut sim =
+                Sim::new(cfg, |sc| testing::conformance_stack(sc, Variant::Hier, 0));
+            let nodes = sim.stack_ids();
+            let until = Time::ZERO + Dur::millis(2500);
+            let mut counter = 0u64;
+            dpu_sim::workload::install(
+                &mut sim,
+                "abcast",
+                nodes,
+                until,
+                dpu_sim::workload::Generator::Poisson {
+                    rate: 40.0,
+                    inject: Box::new(move |sim, node| {
+                        counter += 1;
+                        let payload = (node.0, counter).to_bytes();
+                        sim.with_stack(node, |s| testing::send(s, payload));
+                    }),
+                },
+            );
+            sim.run_until(until + Dur::secs(2));
+            let stats = sim.stats();
+            let fp = trace_fingerprint(&sim.merged_trace());
+            let log = sim.with_stack(StackId(0), testing::log);
+            (stats, fp, log)
+        };
+        let serial = run(1);
+        let parallel = run(workers);
+        prop_assert!(!serial.2.is_empty(), "the run must actually deliver broadcasts");
+        prop_assert_eq!(&serial.0, &parallel.0, "stats diverged");
+        prop_assert_eq!(serial.1, parallel.1, "trace fingerprint diverged");
+        prop_assert_eq!(&serial.2, &parallel.2, "delivery log diverged");
+    }
+}
+
 /// The SimStats merge satellite: on a partitioned clustered run, the
 /// per-worker (per-shard) counter folding must equal the one-worker
 /// counters exactly, field by field, and the per-shard rows must sum

@@ -1,0 +1,177 @@
+//! Total-order conformance harness: every atomic broadcast variant ×
+//! every topology shape × every workload shape, asserted against the
+//! §5.1 specification (uniform total order, no loss, no duplication,
+//! delivery-prefix agreement).
+//!
+//! The reusable half — the [`Variant`] enumeration, the standard stack
+//! and the log assertions — lives in `dpu_protocols::testing`; this
+//! file is only the driving matrix. A fifth abcast variant joins the
+//! whole matrix by adding one `Variant` arm and its entry in
+//! `ALL_VARIANTS`.
+//!
+//! Crash-free cells (steady Poisson, bursty IPPP) assert *full*
+//! conformance: identical logs everywhere containing exactly the
+//! broadcast set. Churn cells assert the *safety* half only — prefix
+//! agreement, no duplication, no creation — because the
+//! non-fault-tolerant variants may legitimately stall when their
+//! sequencer, token holder or merge leader crashes, and a restarted
+//! incarnation may deliver nothing or join mid-stream.
+
+use bytes::Bytes;
+use dpu_core::time::{Dur, Time};
+use dpu_core::StackId;
+use dpu_protocols::testing::{self, Variant, ALL_VARIANTS};
+use dpu_sim::workload::{install, Generator, InjectFn, StackFactory};
+use dpu_sim::{NetConfig, Sim, SimConfig};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+const N: u32 = 6;
+
+/// Topology shapes of the matrix.
+#[derive(Clone, Copy, Debug)]
+enum Topo {
+    /// Flat LAN — the single-cluster degeneration.
+    Flat,
+    /// Two 3-node clusters on a datacenter fabric over a LAN backbone.
+    Clustered,
+    /// Two 3-node clusters over a WAN backbone — high inter-cluster
+    /// latency stresses the ordering layers' cross-cluster paths.
+    Wan,
+}
+
+const TOPOS: [Topo; 3] = [Topo::Flat, Topo::Clustered, Topo::Wan];
+
+impl Topo {
+    fn config(self, seed: u64) -> SimConfig {
+        match self {
+            Topo::Flat => SimConfig::lan(N, seed),
+            Topo::Clustered => {
+                SimConfig::clustered(N, seed, 3, NetConfig::datacenter(), NetConfig::lan())
+            }
+            Topo::Wan => SimConfig::clustered(N, seed, 3, NetConfig::lan(), NetConfig::wan()),
+        }
+    }
+}
+
+/// The broadcast record shared between the inject closure and the final
+/// assertions: payloads are unique (origin id + global counter).
+type Sent = Arc<Mutex<BTreeSet<Bytes>>>;
+
+fn injector(sent: Sent) -> InjectFn {
+    let mut counter = 0u64;
+    Box::new(move |sim: &mut Sim, node: StackId| {
+        counter += 1;
+        let mut payload = Vec::with_capacity(12);
+        payload.extend_from_slice(&node.0.to_be_bytes());
+        payload.extend_from_slice(&counter.to_be_bytes());
+        let b = Bytes::from(payload);
+        sent.lock().unwrap().insert(b.clone());
+        sim.with_stack(node, |s| testing::send(s, b));
+    })
+}
+
+fn mk_sim(variant: Variant, topo: Topo, seed: u64) -> Sim {
+    Sim::new(topo.config(seed), move |sc| testing::conformance_stack(sc, variant, 0))
+}
+
+fn all_nodes() -> Vec<StackId> {
+    (0..N).map(StackId).collect()
+}
+
+fn logs_of(sim: &mut Sim, nodes: &[u32]) -> Vec<(String, Vec<Bytes>)> {
+    nodes.iter().map(|&i| (format!("node{i}"), sim.with_stack(StackId(i), testing::log))).collect()
+}
+
+fn run_crash_free(variant: Variant, topo: Topo, seed: u64, load: impl FnOnce(Sent) -> Generator) {
+    let mut sim = mk_sim(variant, topo, seed);
+    sim.run_until(Time::ZERO + Dur::millis(200));
+    let sent: Sent = Sent::default();
+    install(
+        &mut sim,
+        &format!("{}-{topo:?}", variant.name()),
+        all_nodes(),
+        Time::ZERO + Dur::secs(3),
+        load(Arc::clone(&sent)),
+    );
+    sim.run_until(Time::ZERO + Dur::secs(20));
+    let logs = logs_of(&mut sim, &[0, 1, 2, 3, 4, 5]);
+    let sent = sent.lock().unwrap();
+    assert!(!sent.is_empty(), "{} {topo:?}: workload injected nothing", variant.name());
+    testing::assert_complete(&logs, &sent);
+}
+
+#[test]
+fn steady_poisson_full_conformance_across_all_variants_and_topologies() {
+    for (i, &variant) in ALL_VARIANTS.iter().enumerate() {
+        for (j, &topo) in TOPOS.iter().enumerate() {
+            run_crash_free(variant, topo, 100 + (i * TOPOS.len() + j) as u64, |sent| {
+                Generator::Poisson { rate: 30.0, inject: injector(sent) }
+            });
+        }
+    }
+}
+
+#[test]
+fn bursty_ippp_full_conformance_across_all_variants_and_topologies() {
+    for (i, &variant) in ALL_VARIANTS.iter().enumerate() {
+        for (j, &topo) in TOPOS.iter().enumerate() {
+            run_crash_free(variant, topo, 200 + (i * TOPOS.len() + j) as u64, |sent| {
+                Generator::Bursty {
+                    base: 8.0,
+                    burst: 60.0,
+                    period: Dur::millis(500),
+                    duty: 0.3,
+                    inject: injector(sent),
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn churn_preserves_safety_across_all_variants_and_topologies() {
+    // Nodes 2 and 4 crash at random instants and restart 300 ms later
+    // with a fresh incarnation of the same stack.
+    const VICTIMS: [u32; 2] = [2, 4];
+    for (i, &variant) in ALL_VARIANTS.iter().enumerate() {
+        for (j, &topo) in TOPOS.iter().enumerate() {
+            let seed = 300 + (i * TOPOS.len() + j) as u64;
+            let mut sim = mk_sim(variant, topo, seed);
+            sim.run_until(Time::ZERO + Dur::millis(200));
+            let sent: Sent = Sent::default();
+            install(
+                &mut sim,
+                &format!("traffic-{}-{topo:?}", variant.name()),
+                all_nodes(),
+                Time::ZERO + Dur::secs(3),
+                Generator::Poisson { rate: 30.0, inject: injector(Arc::clone(&sent)) },
+            );
+            let factory: StackFactory =
+                Arc::new(move |sc| testing::conformance_stack(sc, variant, 0));
+            install(
+                &mut sim,
+                &format!("churn-{}-{topo:?}", variant.name()),
+                VICTIMS.iter().copied().map(StackId).collect(),
+                Time::ZERO + Dur::millis(2500),
+                Generator::Churn { crashes: 2, downtime: Dur::millis(300), factory },
+            );
+            sim.run_until(Time::ZERO + Dur::secs(20));
+
+            let sent = sent.lock().unwrap();
+            assert!(!sent.is_empty());
+            // Never-crashed nodes: the full safety contract.
+            let steady = logs_of(&mut sim, &[0, 1, 3, 5]);
+            testing::assert_safe(&steady, &sent);
+            // Restarted incarnations: they may have joined mid-stream,
+            // so their logs must embed order-preservingly in the
+            // longest steady log rather than share a prefix with it.
+            let reference = steady.iter().map(|(_, l)| l).max_by_key(|l| l.len()).unwrap().clone();
+            for (who, log) in logs_of(&mut sim, &VICTIMS) {
+                testing::assert_no_duplicates(&who, &log);
+                testing::assert_no_creation(&who, &log, &sent);
+                testing::assert_subsequence(&who, &log, &reference);
+            }
+        }
+    }
+}

@@ -157,6 +157,83 @@ fn partition_delays_but_does_not_break_the_switch() {
     check_run(&mut sim, &h).assert_ok();
 }
 
+/// Hierarchical abcast with a fast failover timeout, so the rotation
+/// machinery acts within the test horizon.
+fn hier_spec(ns: u64) -> dpu_core::ModuleSpec {
+    use dpu::protocols::abcast::hier::{HierAbcastParams, KIND};
+    dpu_core::ModuleSpec::with_params(
+        KIND,
+        &HierAbcastParams {
+            namespace: ns,
+            resend: Dur::millis(300),
+            ..HierAbcastParams::default()
+        },
+    )
+}
+
+fn clustered_cfg(n: u32, seed: u64, sz: u32) -> SimConfig {
+    use dpu::sim::NetConfig;
+    SimConfig::clustered(n, seed, sz, NetConfig::datacenter(), NetConfig::lan())
+}
+
+#[test]
+fn hier_local_sequencer_crash_mid_stream_recovers_one_total_order() {
+    // Unlike the flat sequencer (negative control below), the
+    // hierarchical variant survives a *local* sequencer crash: cluster
+    // 1's members rotate to the next candidate, which claims the relay
+    // role and receives the leader's log replay — the survivors
+    // converge on a single gap-free total order.
+    let o = GroupStackOpts { abcast: hier_spec(0), ..opts() };
+    let (mut sim, h) = group_sim(clustered_cfg(9, 41, 3), &o);
+    sim.run_until(Time::ZERO + Dur::millis(500));
+    let until = sim.now() + Dur::secs(4);
+    drive_load(&mut sim, &h, 40.0, until);
+    // Crash cluster 1's primary sequencer (node 3) mid-stream.
+    sim.schedule_in(Dur::millis(1500), |sim| {
+        sim.crash_at(sim.now(), StackId(3));
+    });
+    sim.run_until(until + Dur::secs(25));
+    let report = check_run(&mut sim, &h);
+    report.assert_ok();
+    let survivors = [0u32, 1, 2, 4, 5, 6, 7, 8].map(StackId);
+    let counts: Vec<usize> =
+        survivors.iter().map(|&id| report.checker.delivery_count(id)).collect();
+    assert!(counts[0] > 0, "survivors must keep delivering after the crash");
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "survivors disagree on the delivered set: {counts:?}"
+    );
+}
+
+#[test]
+fn hier_intercluster_partition_heals_into_one_total_order() {
+    // Partition the two clusters: cluster 1's forwards, claims and the
+    // leader's commits sit in RP2P retransmit queues until the heal,
+    // after which both sides converge on one complete total order.
+    let o = GroupStackOpts { abcast: hier_spec(0), ..opts() };
+    let (mut sim, h) = group_sim(clustered_cfg(6, 43, 3), &o);
+    sim.run_until(Time::ZERO + Dur::millis(500));
+    for i in 0..6 {
+        send_probe(&mut sim, StackId(i), &h);
+    }
+    sim.run_until(sim.now() + Dur::secs(2));
+    sim.partition(&[StackId(0), StackId(1), StackId(2)], &[StackId(3), StackId(4), StackId(5)]);
+    // Traffic on both sides of the cut.
+    for i in 0..6 {
+        send_probe(&mut sim, StackId(i), &h);
+    }
+    sim.run_until(sim.now() + Dur::secs(3));
+    sim.heal_partitions();
+    sim.run_until(sim.now() + Dur::secs(30));
+    let report = check_run(&mut sim, &h);
+    report.assert_ok();
+    let sent = report.checker.broadcast_count();
+    assert_eq!(sent, 12);
+    for id in sim.stack_ids() {
+        assert_eq!(report.checker.delivery_count(id), sent, "stack {id} has a gap");
+    }
+}
+
 #[test]
 fn non_fault_tolerant_protocol_stalls_on_crash_and_checker_sees_it() {
     // Negative control: the sequencer protocol is *not* crash-tolerant.

@@ -22,7 +22,11 @@ enum Target {
     Ct,
     Seq,
     Ring,
+    Hier,
 }
+
+/// All switchable atomic broadcast variants.
+const TARGETS: [Target; 4] = [Target::Ct, Target::Seq, Target::Ring, Target::Hier];
 
 impl Target {
     fn spec(self, ns: u64) -> ModuleSpec {
@@ -30,12 +34,13 @@ impl Target {
             Target::Ct => specs::ct(ns),
             Target::Seq => specs::seq(ns),
             Target::Ring => specs::ring(ns),
+            Target::Hier => specs::hier(ns),
         }
     }
 }
 
 fn target_strategy() -> impl Strategy<Value = Target> {
-    prop_oneof![Just(Target::Ct), Just(Target::Seq), Just(Target::Ring)]
+    prop_oneof![Just(Target::Ct), Just(Target::Seq), Just(Target::Ring), Just(Target::Hier)]
 }
 
 proptest! {
@@ -124,6 +129,60 @@ proptest! {
         let sent = report.checker.broadcast_count();
         for id in sim.stack_ids() {
             prop_assert_eq!(report.checker.delivery_count(id), sent, "stack {}", id);
+        }
+    }
+
+    /// Every ordered pair of atomic broadcast variants (including the
+    /// paper's identity switches, §6.2) switches cleanly at a random
+    /// instant under random load on a clustered topology — the shape
+    /// that exercises the hierarchical variant's per-cluster sequencers
+    /// rather than its flat degeneration.
+    #[test]
+    fn every_ordered_variant_pair_switches_cleanly_under_load(
+        seed in 0u64..1_000,
+        load in 20.0f64..60.0,
+        switch_ms in 300u64..2000,
+    ) {
+        for from in TARGETS {
+            for to in TARGETS {
+                let opts = GroupStackOpts {
+                    abcast: from.spec(0),
+                    layer: SwitchLayer::Repl,
+                    probe_pad: Some(8),
+                    with_gm: false,
+                    extra_defaults: Vec::new(),
+                };
+                let cfg = SimConfig::clustered(
+                    6,
+                    seed,
+                    3,
+                    dpu::sim::NetConfig::datacenter(),
+                    dpu::sim::NetConfig::lan(),
+                );
+                let (mut sim, h) = group_sim(cfg, &opts);
+                sim.run_until(Time::ZERO + Dur::millis(300));
+                let until = sim.now() + Dur::secs(2);
+                drive_load(&mut sim, &h, load, until);
+                let h2 = h.clone();
+                let spec = to.spec(1);
+                sim.schedule(Time::ZERO + Dur::millis(300 + switch_ms), move |sim| {
+                    request_change(sim, StackId(1), &h2, &spec);
+                });
+                sim.run_until(until + Dur::secs(12));
+                let report = check_run(&mut sim, &h);
+                report.assert_ok();
+                let sent = report.checker.broadcast_count();
+                for id in sim.stack_ids() {
+                    prop_assert_eq!(
+                        report.checker.delivery_count(id),
+                        sent,
+                        "{:?}->{:?} stack {}",
+                        from,
+                        to,
+                        id
+                    );
+                }
+            }
         }
     }
 
