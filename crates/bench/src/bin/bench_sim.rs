@@ -152,6 +152,7 @@ fn abcast_soak_sim(
         &dpu_net::rp2p::Rp2pConfig {
             retransmit: Dur::millis(100),
             lower: dpu_net::UDP_SVC.to_string(),
+            max_retransmits: 0,
         },
     );
     let opts = GroupStackOpts {

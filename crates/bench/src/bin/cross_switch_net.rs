@@ -1,0 +1,236 @@
+//! **Two-process live switch over loopback UDP** — the paper's Figure-4
+//! scenario hosted on real sockets across a process boundary. The
+//! parent re-spawns itself twice; each child hosts half of an 8-stack
+//! group on an epoll-backed [`dpu_reactor::Reactor`], the halves
+//! rendezvous through a temp directory (the stand-in for a name
+//! service), and a non-sequencer stack requests `changeABcast(seq(1))`
+//! while probes flow with 5% injected send-side loss. Each child
+//! asserts the switch applied exactly once, nothing is stuck, loss
+//! actually fired, and rp2p actually retransmitted; the parent asserts
+//! both processes delivered the *same messages in the same order* by
+//! comparing FNV-1a digests of the delivery logs.
+//!
+//! ```text
+//! cargo run --release -p dpu-bench --bin cross_switch_net
+//! ```
+//!
+//! Exits non-zero (and says why) if any property fails. Internal flags
+//! `--half <0|1> --rdv <dir>` select child mode.
+
+use dpu_bench::Args;
+use dpu_core::probe::Probe;
+use dpu_core::StackId;
+use dpu_reactor::{NodeAddr, ReactorConfig};
+use dpu_repl::abcast_repl::ReplAbcastModule;
+use dpu_repl::builder::{
+    group_reactor, request_change_reactor, send_probe_reactor, specs, GroupStackOpts, SwitchLayer,
+};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const N: u32 = 8;
+const HALF: u32 = N / 2;
+/// Probes per phase per child; total messages = 4 * PROBES.
+const PROBES: u32 = 5;
+const LOSS: f64 = 0.05;
+
+fn main() {
+    let args = Args::parse();
+    if args.has("half") {
+        child(args.get("half", 0u32), PathBuf::from(args.get("rdv", ".".to_string())));
+    } else {
+        parent();
+    }
+}
+
+/// Spawn the two halves as real OS processes and compare their digests.
+fn parent() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let rdv = std::env::temp_dir().join(format!("dpu_cross_switch_net_{}", std::process::id()));
+    std::fs::create_dir_all(&rdv).expect("create rendezvous dir");
+
+    let spawn = |half: u32| {
+        std::process::Command::new(&exe)
+            .args(["--half", &half.to_string(), "--rdv"])
+            .arg(&rdv)
+            .spawn()
+            .expect("spawn child")
+    };
+    let mut c0 = spawn(0);
+    let mut c1 = spawn(1);
+    let s0 = c0.wait().expect("wait child 0");
+    let s1 = c1.wait().expect("wait child 1");
+    assert!(s0.success(), "child 0 failed: {s0}");
+    assert!(s1.success(), "child 1 failed: {s1}");
+
+    let d0 = std::fs::read_to_string(rdv.join("digest_0")).expect("digest 0");
+    let d1 = std::fs::read_to_string(rdv.join("digest_1")).expect("digest 1");
+    let _ = std::fs::remove_dir_all(&rdv);
+    assert_eq!(d0, d1, "the two OS processes diverged: delivery-log digests differ ({d0} vs {d1})");
+    println!(
+        "PASS: 2 processes x {HALF} stacks switched seq(0)->seq(1) live over loopback UDP; \
+         uniform total order, digest {}",
+        d0.trim()
+    );
+}
+
+/// One half of the group: stacks `half*4 .. half*4+4` on one reactor.
+fn child(half: u32, rdv: PathBuf) {
+    let opts = GroupStackOpts {
+        abcast: specs::seq(0),
+        layer: SwitchLayer::Repl,
+        probe_pad: Some(0),
+        with_gm: false,
+        extra_defaults: Vec::new(),
+    };
+    let lo = half * HALF;
+    let mut cfg = ReactorConfig::new(N, (lo..lo + HALF).map(StackId).collect());
+    cfg.loss = LOSS;
+    cfg.seed = 100 + u64::from(half);
+    let (r, h) = group_reactor(cfg, &opts).expect("spawn reactor");
+
+    // Rendezvous: publish our bound addresses, install the peer's.
+    let mine: String =
+        r.local_addrs().iter().map(|na| format!("{} {}\n", na.id.0, na.addr)).collect();
+    write_atomic(&rdv.join(format!("addrs_{half}")), &mine);
+    for line in read_when_present(&rdv.join(format!("addrs_{}", 1 - half))).lines() {
+        let (id, addr) = line.split_once(' ').expect("id addr");
+        r.set_peer(NodeAddr {
+            id: StackId(id.parse().expect("stack id")),
+            addr: addr.parse().expect("socket addr"),
+        });
+    }
+
+    let probe = h.probe.expect("probe");
+    let layer = h.layer.expect("repl layer");
+    let delivered = |node: u32| {
+        r.with_stack(StackId(node), move |s| {
+            s.with_module::<Probe, _>(probe, |p| p.delivered().len()).expect("probe")
+        })
+    };
+    let local_delivered = |count: usize| (lo..lo + HALF).all(|node| delivered(node) >= count);
+
+    // Phase 1: both halves broadcast; total = 2 * PROBES messages.
+    for _ in 0..PROBES {
+        send_probe_reactor(&r, StackId(lo + 1), &h);
+    }
+    wait_until(half, "phase-1 deliveries", || local_delivered(2 * PROBES as usize));
+
+    // The live switch: half 1 requests it from stack 5 — a
+    // non-sequencer stack whose request must cross the process
+    // boundary to reach the sequencer hosted by half 0.
+    if half == 1 {
+        request_change_reactor(&r, StackId(lo + 1), &h, &specs::seq(1));
+    }
+    for _ in 0..PROBES {
+        send_probe_reactor(&r, StackId(lo + 2), &h);
+    }
+    let total = 4 * PROBES as usize;
+    let settled = || {
+        (lo..lo + HALF).all(|node| {
+            delivered(node) == total
+                && r.with_stack(StackId(node), move |s| {
+                    s.with_module::<ReplAbcastModule, _>(layer, |m| {
+                        m.seq_number() == 1 && m.undelivered_len() == 0
+                    })
+                    .expect("repl layer")
+                })
+        })
+    };
+    let dump = || {
+        for node in lo..lo + HALF {
+            let (sn, und) = r.with_stack(StackId(node), move |s| {
+                s.with_module::<ReplAbcastModule, _>(layer, |m| {
+                    (m.seq_number(), m.undelivered_len())
+                })
+                .expect("repl layer")
+            });
+            eprintln!(
+                "half {half} stack {node}: delivered={} sn={sn} undelivered={und}",
+                delivered(node)
+            );
+        }
+    };
+    let limit = Instant::now() + Duration::from_secs(120);
+    while !settled() {
+        if Instant::now() >= limit {
+            dump();
+            panic!("half {half} timed out waiting for switch applied + all deliveries settled");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Local uniformity, then publish the digest for the parent.
+    let log = |node: u32| {
+        r.with_stack(StackId(node), move |s| {
+            s.with_module::<Probe, _>(probe, |p| {
+                p.delivered().iter().map(|rec| rec.msg).collect::<Vec<_>>()
+            })
+            .expect("probe")
+        })
+    };
+    let reference = log(lo);
+    for node in lo + 1..lo + HALF {
+        assert_eq!(log(node), reference, "stack {node} diverged inside half {half}");
+    }
+    write_atomic(&rdv.join(format!("digest_{half}")), &format!("{:016x}\n", fnv(&reference)));
+
+    // The transport properties the demo exists to show: loss fired on
+    // the real socket and rp2p recovered through it.
+    let stats = r.stats();
+    let transport = r.transport_stats();
+    assert!(stats.packets_dropped >= 1, "5% loss dropped nothing: {stats:?}");
+    assert!(transport.retransmissions > 0, "recovery implies retransmissions: {transport:?}");
+    assert_eq!(stats.malformed_dropped, 0, "peers only send well-formed frames");
+    println!(
+        "half {half}: {} sent, {} dropped by loss model, {} retransmissions, digest ok",
+        stats.packets_sent, stats.packets_dropped, transport.retransmissions
+    );
+
+    // Exit barrier: the peer may still be waiting on retransmissions
+    // from our stacks (that is the point of the loss model) — keep the
+    // reactor alive until both halves have settled.
+    write_atomic(&rdv.join(format!("done_{half}")), "done\n");
+    read_when_present(&rdv.join(format!("done_{}", 1 - half)));
+    r.shutdown();
+}
+
+fn wait_until(half: u32, what: &str, mut done: impl FnMut() -> bool) {
+    let limit = Instant::now() + Duration::from_secs(120);
+    while !done() {
+        assert!(Instant::now() < limit, "half {half} timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Write-then-rename so the peer never observes a partial file.
+fn write_atomic(path: &Path, contents: &str) {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).expect("write rendezvous file");
+    std::fs::rename(&tmp, path).expect("publish rendezvous file");
+}
+
+fn read_when_present(path: &Path) -> String {
+    let limit = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            return s;
+        }
+        assert!(Instant::now() < limit, "peer never published {}", path.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// FNV-1a over the delivery log — a cheap order-sensitive fingerprint.
+fn fnv(log: &[(StackId, u64)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for (origin, seq) in log {
+        origin.0.to_le_bytes().into_iter().for_each(&mut eat);
+        seq.to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    h
+}

@@ -51,6 +51,7 @@ fn main() {
         &dpu_net::rp2p::Rp2pConfig {
             retransmit: Dur::millis(retransmit),
             lower: dpu_net::UDP_SVC.to_string(),
+            max_retransmits: 0,
         },
     );
     let opts = GroupStackOpts {

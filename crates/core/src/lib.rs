@@ -52,7 +52,7 @@ pub mod wire;
 
 pub use host::{ActionSink, HostEvent, StackDriver, Wakeup};
 pub use ids::{ModuleId, ServiceId, StackId, TimerId};
-pub use module::{Call, Module, ModuleSpec, Op, Response};
+pub use module::{Call, Module, ModuleSpec, Op, Response, TransportStats};
 pub use stack::{FactoryRegistry, HostAction, ModuleCtx, Stack, StackConfig};
 pub use time::{Dur, Time};
 pub use trace::{TraceEvent, TraceLog};

@@ -112,6 +112,39 @@ pub trait Module: Any + Send {
     fn on_stop(&mut self, ctx: &mut ModuleCtx<'_>) {
         let _ = ctx;
     }
+
+    /// Health counters, if this module implements a reliable transport
+    /// (retransmission + acknowledgements). The default is `None`;
+    /// `rp2p`-style modules override it so hosts can aggregate transport
+    /// health per stack ([`crate::stack::Stack::transport_stats`]) and
+    /// per run without downcasting to concrete module types.
+    fn transport_stats(&self) -> Option<TransportStats> {
+        None
+    }
+}
+
+/// Counters reported by reliable-transport modules (see
+/// [`Module::transport_stats`]). All counters are cumulative over the
+/// module's lifetime; `unacked` is the current backlog.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Data frames retransmitted after a retransmission-timer scan.
+    pub retransmissions: u64,
+    /// Frames dropped after exhausting the configured retransmit cap —
+    /// non-zero means a peer looked permanently dead and reliability was
+    /// given up for those frames.
+    pub exhausted: u64,
+    /// Frames currently awaiting acknowledgement across all peers.
+    pub unacked: u64,
+}
+
+impl TransportStats {
+    /// Fold another module's counters into this one (plain addition).
+    pub fn absorb(&mut self, other: TransportStats) {
+        self.retransmissions += other.retransmissions;
+        self.exhausted += other.exhausted;
+        self.unacked += other.unacked;
+    }
 }
 
 /// A serialisable description of a module to create: the paper's `prot`

@@ -703,6 +703,19 @@ impl Stack {
         self.scratch.stats()
     }
 
+    /// Fold the [`crate::TransportStats`] of every live module that
+    /// reports them (a stack can hold several transport incarnations
+    /// after protocol switches). Zero everywhere if no module does.
+    pub fn transport_stats(&self) -> crate::TransportStats {
+        let mut total = crate::TransportStats::default();
+        for slot in self.modules.values() {
+            if let Some(ts) = slot.module.as_ref().and_then(|m| m.transport_stats()) {
+                total.absorb(ts);
+            }
+        }
+        total
+    }
+
     /// Run a closure against the concrete type of a module (downcast).
     /// Returns `None` if the module does not exist or has another type.
     pub fn with_module<M: Module, R>(

@@ -16,12 +16,17 @@
 //!
 //! All are ordinary [`dpu_core::Module`]s; they are wired into stacks via
 //! service names [`UDP_SVC`] and [`RP2P_SVC`].
+//!
+//! [`sockframe`] is not a module but the datagram envelope used by the
+//! real-socket host (`dpu-reactor`) to carry `(src, dst, payload)`
+//! across an actual wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frag;
 pub mod rp2p;
+pub mod sockframe;
 pub mod udp;
 
 /// Service name of the unreliable datagram service.

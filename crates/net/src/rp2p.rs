@@ -12,6 +12,15 @@
 //!
 //! Sends to the local stack are looped back directly (no wire traffic).
 //!
+//! When a retransmission fills a sequence gap, the resequencing buffer
+//! releases the recovered frames **one per dispatch cascade** (the rest
+//! ride a zero-delay timer) rather than all at once. The stack's
+//! delivery queue is breadth-first, so a batch release would let frame
+//! k+1 reach modules before frame k's reactions — including
+//! `create_module` during a dynamic protocol update — have run; a
+//! switching group would then discard new-protocol traffic that arrived
+//! ahead of its own switch and stall. See [`Rp2pModule`]'s `pending_up`.
+//!
 //! Provides service [`crate::RP2P_SVC`], requires [`crate::UDP_SVC`]. All
 //! wire traffic uses UDP channel [`RP2P_UDP_CHANNEL`]; the user-facing
 //! `channel` of each [`Dgram`] travels inside the RP2P frame.
@@ -31,6 +40,7 @@ pub const KIND: &str = "rp2p";
 pub const RP2P_UDP_CHANNEL: u16 = 0;
 
 const TAG_RETRANSMIT: u64 = 1;
+const TAG_RELEASE: u64 = 2;
 
 /// Tuning knobs for RP2P.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,11 +50,22 @@ pub struct Rp2pConfig {
     /// The datagram service underneath (default [`crate::UDP_SVC`]; point
     /// it at [`crate::FRAG_SVC`] when frames can exceed the MTU).
     pub lower: String,
+    /// Give up on a frame after this many retransmissions (`0` =
+    /// unbounded, the default). Without a cap a permanently-dead peer
+    /// grows the unacked map without bound; with one, exhausted frames
+    /// are dropped and counted (see [`Rp2pModule::exhausted`]) —
+    /// reliability is traded for bounded memory, exactly like a TCP
+    /// connection timing out.
+    pub max_retransmits: u64,
 }
 
 impl Default for Rp2pConfig {
     fn default() -> Self {
-        Rp2pConfig { retransmit: Dur::millis(20), lower: crate::UDP_SVC.to_string() }
+        Rp2pConfig {
+            retransmit: Dur::millis(20),
+            lower: crate::UDP_SVC.to_string(),
+            max_retransmits: 0,
+        }
     }
 }
 
@@ -52,15 +73,22 @@ impl Encode for Rp2pConfig {
     fn encode(&self, buf: &mut BytesMut) {
         self.retransmit.as_nanos().encode(buf);
         self.lower.encode(buf);
+        self.max_retransmits.encode(buf);
     }
     fn encoded_len(&self) -> usize {
-        self.retransmit.as_nanos().encoded_len() + self.lower.encoded_len()
+        self.retransmit.as_nanos().encoded_len()
+            + self.lower.encoded_len()
+            + self.max_retransmits.encoded_len()
     }
 }
 
 impl Decode for Rp2pConfig {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
-        Ok(Rp2pConfig { retransmit: Dur::nanos(u64::decode(buf)?), lower: String::decode(buf)? })
+        Ok(Rp2pConfig {
+            retransmit: Dur::nanos(u64::decode(buf)?),
+            lower: String::decode(buf)?,
+            max_retransmits: u64::decode(buf)?,
+        })
     }
 }
 
@@ -110,10 +138,17 @@ impl Decode for Frame {
     }
 }
 
+/// A sent-but-unacknowledged data frame, with its retransmit count.
+struct Unacked {
+    channel: u16,
+    data: Bytes,
+    attempts: u64,
+}
+
 #[derive(Default)]
 struct PeerOut {
     next_seq: u64,
-    unacked: BTreeMap<u64, (u16, Bytes)>,
+    unacked: BTreeMap<u64, Unacked>,
 }
 
 #[derive(Default)]
@@ -129,7 +164,19 @@ pub struct Rp2pModule {
     udp_svc: ServiceId,
     out: BTreeMap<StackId, PeerOut>,
     inn: BTreeMap<StackId, PeerIn>,
+    /// Resequenced frames awaiting upward delivery. At most one frame is
+    /// released per dispatch cascade (the rest ride a zero-delay timer):
+    /// the stack's delivery queue is breadth-first, so handing a whole
+    /// recovered batch up at once would let frame k+1 reach modules
+    /// *before* the chain of module-creation reactions triggered by
+    /// frame k has run — a dynamic-update group would discard
+    /// new-protocol traffic arriving ahead of its own switch and stall
+    /// forever. One-per-cascade restores the order Algorithm 1 assumes.
+    pending_up: std::collections::VecDeque<(StackId, u16, Bytes)>,
+    /// Whether a `TAG_RELEASE` timer is armed.
+    releasing: bool,
     retransmissions: u64,
+    exhausted: u64,
 }
 
 impl Rp2pModule {
@@ -142,7 +189,10 @@ impl Rp2pModule {
             udp_svc,
             out: BTreeMap::new(),
             inn: BTreeMap::new(),
+            pending_up: std::collections::VecDeque::new(),
+            releasing: false,
             retransmissions: 0,
+            exhausted: 0,
         }
     }
 
@@ -164,6 +214,14 @@ impl Rp2pModule {
         self.retransmissions
     }
 
+    /// Frames dropped after exhausting
+    /// [`Rp2pConfig::max_retransmits`] — each one is a message whose
+    /// reliable delivery was abandoned because the peer looked
+    /// permanently dead.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+
     /// Number of frames currently awaiting ack across all peers.
     pub fn unacked(&self) -> usize {
         self.out.values().map(|p| p.unacked.len()).sum()
@@ -180,6 +238,25 @@ impl Rp2pModule {
         let d = Dgram { peer: src, channel, data };
         let up = ctx.encode(&d);
         ctx.respond(&self.rp2p_svc, dgram::RECV, up);
+    }
+
+    /// Release one frame from [`Rp2pModule::pending_up`]; defer the rest
+    /// to a zero-delay timer so each frame's full dispatch cascade runs
+    /// before the next frame is seen by any module. In the common case
+    /// (one in-order frame, nothing buffered) this is an immediate
+    /// delivery with no timer — byte-identical to handing the frame up
+    /// directly.
+    fn release(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if self.releasing {
+            return; // a release timer is already armed
+        }
+        if let Some((src, ch, d)) = self.pending_up.pop_front() {
+            self.deliver(ctx, src, ch, d);
+        }
+        if !self.pending_up.is_empty() {
+            self.releasing = true;
+            ctx.set_timer(Dur::ZERO, TAG_RELEASE);
+        }
     }
 
     fn handle_frame(&mut self, ctx: &mut ModuleCtx<'_>, src: StackId, frame: Frame) {
@@ -203,8 +280,9 @@ impl Rp2pModule {
                         ready.push(entry);
                     }
                     for (ch, d) in ready {
-                        self.deliver(ctx, src, ch, d);
+                        self.pending_up.push_back((src, ch, d));
                     }
+                    self.release(ctx);
                 }
                 // Always (re-)ack: covers duplicates and lost acks.
                 let cum = self.inn.get(&src).map_or(0, |p| p.next_expected);
@@ -249,7 +327,7 @@ impl Module for Rp2pModule {
         let pout = self.out.entry(d.peer).or_default();
         let seq = pout.next_seq;
         pout.next_seq += 1;
-        pout.unacked.insert(seq, (d.channel, d.data.clone()));
+        pout.unacked.insert(seq, Unacked { channel: d.channel, data: d.data.clone(), attempts: 0 });
         self.udp_send(ctx, d.peer, &Frame::Data { seq, channel: d.channel, data: d.data });
     }
 
@@ -266,22 +344,46 @@ impl Module for Rp2pModule {
     }
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _timer: TimerId, tag: u64) {
+        if tag == TAG_RELEASE {
+            self.releasing = false;
+            self.release(ctx);
+            return;
+        }
         if tag != TAG_RETRANSMIT {
             return;
         }
-        // Collect first to avoid borrowing self across udp_send.
-        let pending: Vec<(StackId, u64, u16, Bytes)> = self
-            .out
-            .iter()
-            .flat_map(|(&peer, pout)| {
-                pout.unacked.iter().map(move |(&seq, (ch, data))| (peer, seq, *ch, data.clone()))
-            })
-            .collect();
+        // Collect first to avoid borrowing self across udp_send. Frames
+        // that hit the retransmit cap are dropped from the unacked map
+        // here (counted, not resent), so a dead peer's backlog is
+        // bounded by cap × send rate instead of growing forever.
+        let cap = self.cfg.max_retransmits;
+        let mut pending: Vec<(StackId, u64, u16, Bytes)> = Vec::new();
+        for (&peer, pout) in &mut self.out {
+            let mut dropped = 0u64;
+            pout.unacked.retain(|&seq, fr| {
+                if cap > 0 && fr.attempts >= cap {
+                    dropped += 1;
+                    return false;
+                }
+                fr.attempts += 1;
+                pending.push((peer, seq, fr.channel, fr.data.clone()));
+                true
+            });
+            self.exhausted += dropped;
+        }
         for (peer, seq, channel, data) in pending {
             self.retransmissions += 1;
             self.udp_send(ctx, peer, &Frame::Data { seq, channel, data });
         }
         ctx.set_timer(self.cfg.retransmit, TAG_RETRANSMIT);
+    }
+
+    fn transport_stats(&self) -> Option<dpu_core::TransportStats> {
+        Some(dpu_core::TransportStats {
+            retransmissions: self.retransmissions,
+            exhausted: self.exhausted,
+            unacked: self.unacked() as u64,
+        })
     }
 }
 
@@ -421,9 +523,68 @@ mod tests {
         assert_eq!(unacked, 0);
     }
 
+    fn mk_capped(cap: u64) -> impl FnMut(StackConfig) -> Stack {
+        move |sc| {
+            let mut s = Stack::new(sc, FactoryRegistry::new());
+            let udp = s.add_module(Box::new(UdpModule::new()));
+            let rp2p = s.add_module(Box::new(Rp2pModule::new(Rp2pConfig {
+                max_retransmits: cap,
+                ..Rp2pConfig::default()
+            })));
+            s.add_module(Box::new(Rp2pSink { got: vec![] }));
+            s.bind(&ServiceId::new(crate::UDP_SVC), udp);
+            s.bind(&ServiceId::new(crate::RP2P_SVC), rp2p);
+            s
+        }
+    }
+
+    #[test]
+    fn retransmit_cap_bounds_dead_peer_backlog() {
+        let mut cfg = SimConfig::lan(2, 13);
+        cfg.net.loss = 1.0; // the wire is dead: nothing (incl. acks) arrives
+        let mut sim = Sim::new(cfg, mk_capped(5));
+        for i in 0..8u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        let (unacked, exhausted, retrans, ts) = sim.with_stack(StackId(0), |s| {
+            let (u, e, r) = s
+                .with_module::<Rp2pModule, _>(RP2P, |m| {
+                    (m.unacked(), m.exhausted(), m.retransmissions())
+                })
+                .unwrap();
+            (u, e, r, s.transport_stats())
+        });
+        assert_eq!(unacked, 0, "capped frames must leave the unacked map");
+        assert_eq!(exhausted, 8, "every frame to the dead peer is given up");
+        assert_eq!(retrans, 8 * 5, "each frame retried exactly cap times");
+        // The Module::transport_stats hook reports the same numbers.
+        assert_eq!(ts, dpu_core::TransportStats { retransmissions: 40, exhausted: 8, unacked: 0 });
+    }
+
+    #[test]
+    fn default_config_retries_forever() {
+        let mut cfg = SimConfig::lan(2, 13);
+        cfg.net.loss = 1.0;
+        let mut sim = Sim::new(cfg, mk_capped(0));
+        for i in 0..4u8 {
+            send(&mut sim, 0, 1, i);
+        }
+        sim.run_until(Time::ZERO + Dur::secs(2));
+        let (unacked, exhausted) = sim.with_stack(StackId(0), |s| {
+            s.with_module::<Rp2pModule, _>(RP2P, |m| (m.unacked(), m.exhausted())).unwrap()
+        });
+        assert_eq!(unacked, 4, "uncapped frames are never abandoned");
+        assert_eq!(exhausted, 0);
+    }
+
     #[test]
     fn config_roundtrip_and_factory() {
-        let cfg = Rp2pConfig { retransmit: Dur::millis(55), lower: "udp".to_string() };
+        let cfg = Rp2pConfig {
+            retransmit: Dur::millis(55),
+            lower: "udp".to_string(),
+            max_retransmits: 7,
+        };
         let b = wire::to_bytes(&cfg);
         assert_eq!(wire::from_bytes::<Rp2pConfig>(&b).unwrap(), cfg);
         let mut reg = FactoryRegistry::new();
@@ -438,7 +599,11 @@ mod tests {
         assert_wire_contract(&Frame::Data { seq: 9, channel: 3, data: Bytes::from_static(b"xy") });
         assert_wire_contract(&Frame::Data { seq: u64::MAX, channel: 0, data: Bytes::new() });
         assert_wire_contract(&Frame::Ack { cum: 123_456 });
-        assert_wire_contract(&Rp2pConfig { retransmit: Dur::millis(55), lower: "udp".into() });
+        assert_wire_contract(&Rp2pConfig {
+            retransmit: Dur::millis(55),
+            lower: "udp".into(),
+            max_retransmits: 3,
+        });
     }
 
     #[test]

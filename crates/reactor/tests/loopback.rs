@@ -1,0 +1,217 @@
+//! Real-socket host tests: loopback UDP exchange within and across
+//! reactors, loss recovery through rp2p, and adversarial socket input
+//! (a bound UDP port is open to arbitrary bytes — everything malformed
+//! must be a counted drop, never a panic).
+
+use bytes::Bytes;
+use dpu_core::stack::{FactoryRegistry, ModuleCtx, Stack, StackConfig};
+use dpu_core::wire::{self, Encode};
+use dpu_core::{Call, Module, ModuleId, Response, ServiceId, StackId};
+use dpu_net::dgram::{self, Dgram};
+use dpu_net::rp2p::{Rp2pConfig, Rp2pModule};
+use dpu_net::sockframe::SockFrame;
+use dpu_net::udp::UdpModule;
+use dpu_reactor::{NodeAddr, Reactor, ReactorConfig};
+use std::time::{Duration, Instant};
+
+/// Records `rp2p` RECV responses.
+struct Rp2pSink {
+    got: Vec<Dgram>,
+}
+
+impl Module for Rp2pSink {
+    fn kind(&self) -> &str {
+        "rp2psink"
+    }
+    fn provides(&self) -> Vec<ServiceId> {
+        Vec::new()
+    }
+    fn requires(&self) -> Vec<ServiceId> {
+        vec![ServiceId::new(dpu_net::RP2P_SVC)]
+    }
+    fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
+    fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+        if resp.op == dgram::RECV {
+            self.got.push(resp.decode().unwrap());
+        }
+    }
+}
+
+/// Stack layout: m1 net bridge, m2 udp, m3 rp2p, m4 sink.
+const SINK: ModuleId = ModuleId(4);
+
+fn mk_stack(sc: StackConfig) -> Stack {
+    let mut s = Stack::new(sc, FactoryRegistry::new());
+    let udp = s.add_module(Box::new(UdpModule::new()));
+    let rp2p = s.add_module(Box::new(Rp2pModule::new(Rp2pConfig::default())));
+    s.add_module(Box::new(Rp2pSink { got: vec![] }));
+    s.bind(&ServiceId::new(dpu_net::UDP_SVC), udp);
+    s.bind(&ServiceId::new(dpu_net::RP2P_SVC), rp2p);
+    s
+}
+
+fn send(r: &Reactor, from: u32, to: u32, tagbyte: u8) {
+    let d = Dgram { peer: StackId(to), channel: 5, data: Bytes::from(vec![tagbyte]) };
+    r.with_stack(StackId(from), move |s| {
+        s.call_as(SINK, &ServiceId::new(dpu_net::RP2P_SVC), dgram::SEND, wire::to_bytes(&d))
+    });
+}
+
+fn sink_data(r: &Reactor, node: u32) -> Vec<u8> {
+    r.with_stack(StackId(node), |s| {
+        s.with_module::<Rp2pSink, _>(SINK, |k| k.got.iter().map(|d| d.data[0]).collect::<Vec<u8>>())
+            .unwrap()
+    })
+}
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !done() {
+        assert!(Instant::now() < deadline, "timeout waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn two_stacks_one_reactor_exchange_over_real_sockets() {
+    let r = Reactor::spawn(ReactorConfig::new(2, vec![StackId(0), StackId(1)]), mk_stack)
+        .expect("spawn reactor");
+    for i in 0..10u8 {
+        send(&r, 0, 1, i);
+        send(&r, 1, 0, 100 + i);
+    }
+    wait_until("bidirectional delivery", || {
+        sink_data(&r, 1).len() == 10 && sink_data(&r, 0).len() == 10
+    });
+    // rp2p guarantees FIFO per peer even over a real socket.
+    assert_eq!(sink_data(&r, 1), (0..10).collect::<Vec<u8>>());
+    assert_eq!(sink_data(&r, 0), (100..110).collect::<Vec<u8>>());
+    let stats = r.stats();
+    assert!(stats.packets_sent >= 20, "all traffic crosses the socket: {stats:?}");
+    assert!(stats.packets_received >= 20);
+    assert_eq!(stats.malformed_dropped, 0);
+    let stacks = r.shutdown();
+    assert_eq!(stacks.len(), 2);
+}
+
+#[test]
+fn two_reactors_recover_injected_loss_via_rp2p() {
+    // Two single-stack reactors in one process — the same peer-table
+    // handshake two OS processes would do, minus the fork.
+    let mut cfg_a = ReactorConfig::new(2, vec![StackId(0)]);
+    cfg_a.loss = 0.4;
+    cfg_a.seed = 7;
+    let ra = Reactor::spawn(cfg_a, mk_stack).expect("spawn a");
+    let mut cfg_b = ReactorConfig::new(2, vec![StackId(1)]);
+    cfg_b.loss = 0.4;
+    cfg_b.seed = 8;
+    let rb = Reactor::spawn(cfg_b, mk_stack).expect("spawn b");
+    for &na in ra.local_addrs() {
+        rb.set_peer(na);
+    }
+    for &na in rb.local_addrs() {
+        ra.set_peer(na);
+    }
+    for i in 0..30u8 {
+        send(&ra, 0, 1, i);
+    }
+    wait_until("lossy cross-reactor delivery", || sink_data(&rb, 1).len() == 30);
+    assert_eq!(sink_data(&rb, 1), (0..30).collect::<Vec<u8>>());
+    // The loss model must have actually dropped frames, and rp2p must
+    // have actually retransmitted through the real socket.
+    let dropped = ra.stats().packets_dropped + rb.stats().packets_dropped;
+    assert!(dropped > 0, "0.4 loss dropped nothing over 30+ frames");
+    assert!(ra.transport_stats().retransmissions > 0, "recovery implies retransmissions");
+    ra.shutdown();
+    rb.shutdown();
+}
+
+#[test]
+fn junk_datagrams_are_counted_drops_never_panics() {
+    let r = Reactor::spawn(ReactorConfig::new(2, vec![StackId(0), StackId(1)]), mk_stack)
+        .expect("spawn reactor");
+    let target = r.local_addrs()[0].addr;
+    let attacker = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind attacker");
+
+    // 1. Arbitrary junk of many lengths (xorshift bytes).
+    let mut x = 0xDEADBEEFCAFEF00Du64;
+    let mut junk_sent = 0u64;
+    for len in 0..64usize {
+        let junk: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                (x >> 32) as u8
+            })
+            .collect();
+        attacker.send_to(&junk, target).expect("send junk");
+        junk_sent += 1;
+    }
+    // 2. Truncations and corruptions of a well-formed frame.
+    let good = SockFrame { src: StackId(1), dst: StackId(0), payload: Bytes::from(vec![0xab; 32]) }
+        .to_bytes();
+    for cut in 0..good.len() {
+        attacker.send_to(&good[..cut], target).expect("send truncated");
+        junk_sent += 1;
+    }
+    let mut corrupted = good.to_vec();
+    corrupted[0] ^= 0xff; // break the magic
+    attacker.send_to(&corrupted, target).expect("send corrupted");
+    junk_sent += 1;
+    // 3. A well-formed frame for a stack this reactor does not host.
+    let misdirected =
+        SockFrame { src: StackId(0), dst: StackId(7), payload: Bytes::new() }.to_bytes();
+    attacker.send_to(&misdirected, target).expect("send misdirected");
+
+    // The reactor must absorb all of it as counted drops...
+    wait_until("junk to be counted", || {
+        let s = r.stats();
+        // Not every junk datagram is malformed (a 0-length datagram or
+        // an unlucky prefix may decode), so compare against a floor.
+        s.malformed_dropped + s.packets_received >= junk_sent && s.misdirected >= 1
+    });
+    // ...and still do its job afterwards.
+    for i in 0..5u8 {
+        send(&r, 1, 0, i);
+    }
+    wait_until("normal delivery after junk", || sink_data(&r, 0).len() == 5);
+    assert_eq!(sink_data(&r, 0), (0..5).collect::<Vec<u8>>());
+    let stats = r.stats();
+    assert!(stats.malformed_dropped > 0, "junk must land in the malformed counter: {stats:?}");
+    r.shutdown();
+}
+
+#[test]
+fn idle_reactor_reports_no_deadline_traffic() {
+    // A reactor with no pending work parks on epoll with no deadline;
+    // spawning + shutting down promptly (no sleeps needed to drain
+    // busy loops) is the observable behaviour.
+    let r = Reactor::spawn(ReactorConfig::new(1, vec![StackId(0)]), |sc| {
+        Stack::new(sc, FactoryRegistry::new())
+    })
+    .expect("spawn reactor");
+    assert_eq!(r.n(), 1);
+    assert_eq!(r.local_addrs().len(), 1);
+    let t0 = Instant::now();
+    let stacks = r.shutdown();
+    assert_eq!(stacks.len(), 1);
+    assert!(t0.elapsed() < Duration::from_secs(5), "shutdown of an idle reactor stalled");
+}
+
+#[test]
+fn set_peer_reroutes_unroutable_destinations() {
+    let r = Reactor::spawn(ReactorConfig::new(3, vec![StackId(0)]), mk_stack).expect("spawn");
+    // Stack 2 is not in the peer table: sends to it are counted drops.
+    send(&r, 0, 2, 1);
+    wait_until("unroutable counted", || r.stats().unroutable > 0);
+    // Add the peer (here: loop it back to ourselves) and the very same
+    // rp2p retransmit path delivers the queued frame.
+    let me = r.local_addrs()[0].addr;
+    r.set_peer(NodeAddr { id: StackId(2), addr: me });
+    // Frames for dst=2 now arrive at stack 0's socket but are
+    // misdirected (we do not host stack 2) — the point is only that
+    // routing switched from `unroutable` to a real send.
+    wait_until("frames routed after set_peer", || r.stats().misdirected > 0);
+    r.shutdown();
+}

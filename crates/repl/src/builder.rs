@@ -45,6 +45,7 @@ use dpu_protocols::abcast::sequencer::SeqAbcastModule;
 use dpu_protocols::consensus::ConsensusModule;
 use dpu_protocols::fd::FdModule;
 use dpu_protocols::gm::{GmModule, GmParams};
+use dpu_reactor::{Reactor, ReactorConfig};
 use dpu_runtime::{Runtime, RuntimeConfig};
 use dpu_sim::{Sim, SimConfig};
 
@@ -351,6 +352,48 @@ pub fn request_change_live(rt: &Runtime, node: StackId, h: &Handles, new_spec: &
     let top = h.top_service.clone();
     let data = dpu_core::wire::to_bytes(new_spec);
     rt.with_stack(node, move |s| s.call_as(probe, &top, crate::CHANGE_OP, data));
+}
+
+/// Instantiate the locally-hosted slice of an `cfg.n`-stack group (per
+/// `opts`) on the epoll-backed real-socket host. The counterpart of
+/// [`group_runtime`] when the group spans OS processes: each process
+/// hosts `cfg.local` and exchanges frames over loopback UDP. The
+/// returned [`Handles`] are identical on every stack.
+pub fn group_reactor(
+    cfg: ReactorConfig,
+    opts: &GroupStackOpts,
+) -> std::io::Result<(Reactor, Handles)> {
+    let mut handles: Option<Handles> = None;
+    let r = Reactor::spawn(cfg, |sc| {
+        let built = build(sc, opts);
+        if handles.is_none() {
+            handles = Some(built.handles.clone());
+        }
+        built.stack
+    })?;
+    Ok((r, handles.expect("at least one local stack")))
+}
+
+/// Send one probe message from `node` on the real-socket host (stamps
+/// the current wall-clock time). Counterpart of [`send_probe_live`].
+pub fn send_probe_reactor(r: &Reactor, node: StackId, h: &Handles) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let now = r.now();
+    r.with_stack(node, move |s| {
+        let payload =
+            s.with_module::<Probe, _>(probe, |p| p.next_payload(node, now)).expect("probe present");
+        s.call_as(probe, &top, ab_ops::ABCAST, payload);
+    });
+}
+
+/// Request a protocol change from `node` on the real-socket host (the
+/// paper's `changeABcast(prot)`). Counterpart of [`request_change_live`].
+pub fn request_change_reactor(r: &Reactor, node: StackId, h: &Handles, new_spec: &ModuleSpec) {
+    let Some(probe) = h.probe else { return };
+    let top = h.top_service.clone();
+    let data = dpu_core::wire::to_bytes(new_spec);
+    r.with_stack(node, move |s| s.call_as(probe, &top, crate::CHANGE_OP, data));
 }
 
 /// Send one probe message from `node` (stamps the current virtual time).

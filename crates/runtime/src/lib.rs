@@ -62,7 +62,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Configuration of the sharded runtime.
 #[derive(Clone, Debug)]
@@ -230,11 +230,6 @@ struct Shard {
     start: Instant,
 }
 
-/// How long an idle shard sleeps when its wheel is empty. (Shutdown
-/// does not rely on this: [`Runtime::shutdown`] and [`Runtime`]'s
-/// `Drop` both post an explicit `Stop` to every mailbox.)
-const IDLE_TIMEOUT: Duration = Duration::from_millis(100);
-
 /// Upper bound on mailbox messages handled between wheel checks, so a
 /// flood of packets cannot starve due timers or delivery-timestamp
 /// ordering.
@@ -253,30 +248,37 @@ impl Shard {
         loop {
             let now = self.now();
             self.fire_wheel(now);
-            let timeout = match self.wheel.peek() {
+            // Park on the mailbox until the earliest wheel deadline —
+            // or indefinitely when the wheel is empty, so an idle shard
+            // burns no CPU. Every other wakeup arrives as a mailbox
+            // message, and shutdown never relies on a timeout:
+            // [`Runtime::shutdown`] and [`Runtime`]'s `Drop` both post
+            // an explicit `Stop` to every mailbox.
+            let msg = match self.wheel.peek() {
                 Some(WheelEntry(Reverse((at, _)), _)) => {
-                    at.since(self.now()).to_std().min(IDLE_TIMEOUT)
-                }
-                None => IDLE_TIMEOUT,
-            };
-            match self.mailbox.recv_timeout(timeout) {
-                Ok(msg) => {
-                    if !self.handle(msg) {
-                        break;
+                    match self.mailbox.recv_timeout(at.since(self.now()).to_std()) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                    for _ in 0..DRAIN_BATCH {
-                        match self.mailbox.try_recv() {
-                            Ok(msg) => {
-                                if !self.handle(msg) {
-                                    return self.into_stacks();
-                                }
-                            }
-                            Err(_) => break,
+                }
+                None => match self.mailbox.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                },
+            };
+            if !self.handle(msg) {
+                break;
+            }
+            for _ in 0..DRAIN_BATCH {
+                match self.mailbox.try_recv() {
+                    Ok(msg) => {
+                        if !self.handle(msg) {
+                            return self.into_stacks();
                         }
                     }
+                    Err(_) => break,
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         self.into_stacks()
@@ -470,6 +472,21 @@ impl Runtime {
         total
     }
 
+    /// Aggregate [`dpu_core::TransportStats`] over every stack — the
+    /// health of the reliable transport under the live loss model
+    /// (rp2p retransmissions, frames given up after the retransmit
+    /// cap, current unacked backlog).
+    ///
+    /// Like [`Runtime::with_stack`], must be called from outside the
+    /// shard threads.
+    pub fn transport_stats(&self) -> dpu_core::TransportStats {
+        let mut total = dpu_core::TransportStats::default();
+        for i in 0..self.n() {
+            total.absorb(self.with_stack(StackId(i), |s| s.transport_stats()));
+        }
+        total
+    }
+
     /// Run a closure against the stack of node `id` (on its owning
     /// shard) and return the result. Blocks until the shard services the
     /// request.
@@ -530,6 +547,7 @@ mod tests {
     use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
     use dpu_core::wire::Encode;
     use dpu_core::{Call, Module, Response, ServiceId, TimerId};
+    use std::time::Duration;
 
     /// Counts datagrams; replies "pong" to any "ping".
     struct PingPong {

@@ -674,7 +674,13 @@ impl Sim {
     /// per-generator breakdowns, and the aggregated wire scratch stats,
     /// with a printable [`std::fmt::Display`].
     pub fn report(&self) -> SimReport {
-        SimReport { n: self.cfg.n, now: self.now, stats: self.stats(), wire: self.wire_stats() }
+        SimReport {
+            n: self.cfg.n,
+            now: self.now,
+            stats: self.stats(),
+            wire: self.wire_stats(),
+            transport: self.transport_stats(),
+        }
     }
 
     /// The topology (for link inspection; mutate via the `Sim` methods
@@ -939,6 +945,20 @@ impl Sim {
         for shard in &self.shards {
             for node in &shard.nodes {
                 total.absorb(node.driver.stack().wire_stats());
+            }
+        }
+        total
+    }
+
+    /// Aggregate [`dpu_core::TransportStats`] over every stack — the
+    /// reliable-transport health of the run (rp2p retransmissions,
+    /// frames given up after the retransmit cap, current unacked
+    /// backlog). Also folded into [`Sim::report`].
+    pub fn transport_stats(&self) -> dpu_core::TransportStats {
+        let mut total = dpu_core::TransportStats::default();
+        for shard in &self.shards {
+            for node in &shard.nodes {
+                total.absorb(node.driver.stack().transport_stats());
             }
         }
         total

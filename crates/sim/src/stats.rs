@@ -11,6 +11,7 @@
 //! totals are identical whichever worker count executed the run.
 
 use dpu_core::wire::ScratchStats;
+use dpu_core::TransportStats;
 use std::fmt;
 
 /// Counters for one shard (one topology cluster, the unit the parallel
@@ -115,6 +116,10 @@ pub struct SimReport {
     pub stats: SimStats,
     /// Aggregated wire scratch counters over every stack.
     pub wire: ScratchStats,
+    /// Aggregated reliable-transport counters over every stack
+    /// (`Sim::transport_stats`): rp2p retransmissions, frames given up
+    /// after the retransmit cap, and the unacked backlog at run end.
+    pub transport: TransportStats,
 }
 
 impl fmt::Display for SimReport {
@@ -149,10 +154,15 @@ impl fmt::Display for SimReport {
             }
             writeln!(f)?;
         }
-        write!(
+        writeln!(
             f,
             "wire: {} emitted, {} reclaimed, {} allocations",
             self.wire.emitted, self.wire.reclaimed, self.wire.allocations
+        )?;
+        write!(
+            f,
+            "transport: {} retransmissions, {} exhausted, {} unacked",
+            self.transport.retransmissions, self.transport.exhausted, self.transport.unacked
         )
     }
 }
@@ -222,10 +232,12 @@ mod tests {
             now: dpu_core::time::Time(5_000_000),
             stats,
             wire: ScratchStats::default(),
+            transport: TransportStats { retransmissions: 9, exhausted: 1, unacked: 0 },
         };
         let text = report.to_string();
         assert!(text.contains("dropped 2 (loss 2 / partition 0)"), "{text}");
         assert!(text.contains("workload poisson"), "{text}");
         assert!(text.contains("wire:"), "{text}");
+        assert!(text.contains("transport: 9 retransmissions, 1 exhausted, 0 unacked"), "{text}");
     }
 }

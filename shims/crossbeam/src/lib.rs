@@ -9,10 +9,11 @@
 //! * [`thread`] — [`thread::scope`] scoped threads, delegating to
 //!   `std::thread::scope` with crossbeam's `Result`-returning signature.
 //!
-//! The `select!` implementation polls ready arms with a short sleep
-//! rather than parking on an event list; for the runtime's workloads
-//! (millisecond-scale timers, test traffic) the difference is not
-//! observable, only a little extra idle CPU.
+//! The `select!` implementation parks the calling thread on a
+//! [`channel::SelectWaker`] registered with every polled channel, so a
+//! blocked select burns no CPU: senders (and sender disconnection)
+//! signal the waker, which re-polls the arms. Registration happens
+//! before the first poll, so a send racing with select cannot be lost.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +39,76 @@ pub mod channel {
         // Signalled on push, pop, and endpoint drop.
         cond: Condvar,
         cap: Option<usize>,
+        // Wakers of `select!` calls currently parked on this channel,
+        // held weakly: a select that returned simply stops upgrading
+        // and is pruned on the next notify or registration. Lock order
+        // is always `state` before `select_wakers` (never the reverse),
+        // so notifying while holding the state lock cannot deadlock.
+        select_wakers: Mutex<Vec<std::sync::Weak<SelectWaker>>>,
+    }
+
+    impl<T> Shared<T> {
+        /// Wake every parked `select!`; prune the dead entries.
+        fn notify_select(&self) {
+            let mut ws = self.select_wakers.lock().unwrap_or_else(|e| e.into_inner());
+            ws.retain(|w| match w.upgrade() {
+                Some(s) => {
+                    s.signal();
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
+    /// The parking primitive behind [`crate::select!`]: a one-shot
+    /// (re-armable) flag + condvar. Each `select!` invocation creates
+    /// one, registers it with every polled channel, and parks on it
+    /// between polls; [`Sender::send`] and sender disconnection signal
+    /// it. Public only because the macro expands in caller crates.
+    pub struct SelectWaker {
+        signaled: Mutex<bool>,
+        cond: Condvar,
+    }
+
+    impl SelectWaker {
+        /// A fresh, unsignalled waker.
+        #[allow(clippy::new_ret_no_self)]
+        pub fn new() -> Arc<SelectWaker> {
+            Arc::new(SelectWaker { signaled: Mutex::new(false), cond: Condvar::new() })
+        }
+
+        /// Re-arm before polling the arms: a signal that arrives after
+        /// this point (and hence may correspond to a message the polls
+        /// will miss) is kept for the next [`SelectWaker::wait_until`].
+        pub fn prepare(&self) {
+            *self.signaled.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        }
+
+        /// Mark ready and wake the parked thread.
+        pub fn signal(&self) {
+            *self.signaled.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.cond.notify_all();
+        }
+
+        /// Park until signalled (consuming the signal, returns `true`)
+        /// or until `deadline` (returns `false`).
+        pub fn wait_until(&self, deadline: Instant) -> bool {
+            let mut sig = self.signaled.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if *sig {
+                    *sig = false;
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (guard, _) =
+                    self.cond.wait_timeout(sig, deadline - now).unwrap_or_else(|e| e.into_inner());
+                sig = guard;
+            }
+        }
     }
 
     /// The sending half of a channel. Cloneable.
@@ -101,6 +172,7 @@ pub mod channel {
             state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
             cond: Condvar::new(),
             cap,
+            select_wakers: Mutex::new(Vec::new()),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
@@ -137,6 +209,7 @@ pub mod channel {
                     Some(0) => {
                         st.queue.push_back(value);
                         self.shared.cond.notify_all();
+                        self.shared.notify_select();
                         while !st.queue.is_empty() {
                             if st.receivers == 0 {
                                 // Receivers vanished before the handoff:
@@ -156,6 +229,7 @@ pub mod channel {
             }
             st.queue.push_back(value);
             self.shared.cond.notify_all();
+            self.shared.notify_select();
             Ok(())
         }
     }
@@ -175,6 +249,9 @@ pub mod channel {
             st.senders -= 1;
             if st.senders == 0 {
                 self.shared.cond.notify_all();
+                // Disconnection counts as select-ready (an arm yields
+                // `Err(RecvError)`), so parked selects must wake too.
+                self.shared.notify_select();
             }
         }
     }
@@ -207,6 +284,24 @@ pub mod channel {
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Implementation detail of [`crate::select!`]: park this
+        /// select invocation's waker on the channel. Held weakly; no
+        /// deregistration needed — dead entries are pruned here and on
+        /// notify, so repeated selects on an otherwise idle channel
+        /// cannot accumulate garbage.
+        #[doc(hidden)]
+        pub fn __register_select_waker(&self, waker: &Arc<SelectWaker>) {
+            let mut ws = self.shared.select_wakers.lock().unwrap_or_else(|e| e.into_inner());
+            ws.retain(|w| w.strong_count() > 0);
+            ws.push(Arc::downgrade(waker));
+        }
+
+        /// Registered (live or dead) select wakers, for the pruning test.
+        #[cfg(test)]
+        pub(crate) fn select_waker_count(&self) -> usize {
+            self.shared.select_wakers.lock().unwrap_or_else(|e| e.into_inner()).len()
         }
 
         /// Receives a message, giving up after `timeout`.
@@ -270,9 +365,11 @@ pub mod channel {
 /// Shim limitation: supports only the shape used in this workspace —
 /// one or more `recv($receiver) -> $binding => $block` arms followed by
 /// a mandatory `default($timeout) => $block` arm. Arms are polled in
-/// order with a short sleep in between until one is ready or the
-/// timeout elapses. A disconnected channel counts as ready and yields
-/// `Err(RecvError)`, matching `crossbeam-channel`.
+/// order; if none is ready the thread *parks* on a
+/// [`channel::SelectWaker`] registered with every arm's channel until a
+/// send (or sender disconnection) signals it or the timeout elapses —
+/// a blocked select consumes no CPU. A disconnected channel counts as
+/// ready and yields `Err(RecvError)`, matching `crossbeam-channel`.
 #[macro_export]
 macro_rules! select {
     (
@@ -280,7 +377,14 @@ macro_rules! select {
         default($timeout:expr) => $dbody:block $(,)?
     ) => {{
         let __deadline = ::std::time::Instant::now() + $timeout;
+        let __waker = $crate::channel::SelectWaker::new();
+        // Register before the first poll: a message sent after the poll
+        // misses it necessarily signals the already-registered waker.
+        $(
+            ($rx).__register_select_waker(&__waker);
+        )+
         loop {
+            __waker.prepare();
             $(
                 {
                     let __rx = &($rx);
@@ -303,10 +407,9 @@ macro_rules! select {
                     }
                 }
             )+
-            if ::std::time::Instant::now() >= __deadline {
+            if !__waker.wait_until(__deadline) {
                 break $dbody;
             }
-            ::std::thread::sleep(::std::time::Duration::from_micros(500));
         }
     }};
 }
@@ -439,6 +542,58 @@ mod tests {
             default(Duration::from_millis(5)) => { hit = 5; }
         }
         assert_eq!(hit, 5);
+    }
+
+    #[test]
+    fn select_parks_until_cross_thread_send() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            tx.send(11).unwrap();
+        });
+        let t0 = std::time::Instant::now();
+        let mut got = None;
+        select! {
+            recv(rx) -> msg => { got = Some(msg.unwrap()); }
+            default(Duration::from_secs(30)) => {}
+        }
+        // Woken by the send, long before the 30 s default arm.
+        assert_eq!(got, Some(11));
+        assert!(t0.elapsed() < Duration::from_secs(10), "select missed the waker signal");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_wakes_on_sender_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            drop(tx);
+        });
+        let mut got = None;
+        select! {
+            recv(rx) -> msg => { got = Some(msg); }
+            default(Duration::from_secs(30)) => {}
+        }
+        assert_eq!(got, Some(Err(RecvError)));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_idle_selects_do_not_accumulate_wakers() {
+        let (_tx, rx) = unbounded::<u32>();
+        let mut fired = false;
+        for _ in 0..64 {
+            select! {
+                recv(rx) -> _msg => { fired = true }
+                default(Duration::from_millis(1)) => {}
+            }
+        }
+        assert!(!fired, "nothing was sent");
+        // Dead wakers are pruned at registration time, so an idle
+        // channel polled in a loop stays at one live entry.
+        let n = rx.select_waker_count();
+        assert!(n <= 1, "waker list grew to {n}");
     }
 
     #[test]

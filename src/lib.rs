@@ -12,7 +12,9 @@
 //!   variants, group membership;
 //! * [`repl`] — the replacement module (Algorithm 1) and the baseline
 //!   switchers;
-//! * [`runtime`] — a sharded event-loop real-time host.
+//! * [`runtime`] — a sharded event-loop real-time host;
+//! * [`reactor`] — an epoll-backed real-socket host (stacks over
+//!   loopback UDP, groups spanning OS processes).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@
 pub use dpu_core as core;
 pub use dpu_net as net;
 pub use dpu_protocols as protocols;
+pub use dpu_reactor as reactor;
 pub use dpu_repl as repl;
 pub use dpu_runtime as runtime;
 pub use dpu_sim as sim;

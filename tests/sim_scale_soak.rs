@@ -55,6 +55,7 @@ fn live_switch_soak(n: u32, rate: f64, workers: usize) {
         &dpu::net::rp2p::Rp2pConfig {
             retransmit: Dur::millis(100 * scale),
             lower: dpu::net::UDP_SVC.to_string(),
+            max_retransmits: 0,
         },
     );
     let opts = GroupStackOpts {
