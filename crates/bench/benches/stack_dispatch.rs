@@ -55,7 +55,7 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut stack = Stack::new(
         StackConfig {
             id: dpu_core::StackId(0),
-            peers: vec![dpu_core::StackId(0)],
+            peers: [dpu_core::StackId(0)].into(),
             seed: 1,
             trace: false,
             cluster_size: None,

@@ -205,6 +205,15 @@ fn available_parallelism(stats: &SimStats) -> f64 {
 fn run_par_mode(workers: usize, quick: bool, out: &str) {
     let sizes: &[u32] = if quick { &[256] } else { &[256, 1024] };
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let oversubscribed = host_cores < workers;
+    if oversubscribed {
+        eprintln!(
+            "warning: {workers} workers on {host_cores} host core(s) — wall-clock speedups in \
+             this run measure scheduling overhead, not the engine; trust only the \
+             available_parallelism column (deterministic) and rerun on >= {workers} cores for \
+             timing"
+        );
+    }
     let mut rows = String::new();
     let mut headline = 0.0f64;
     let mut headline_n = 0u32;
@@ -260,11 +269,19 @@ fn run_par_mode(workers: usize, quick: bool, out: &str) {
             ));
         }
     }
+    let warning = if oversubscribed {
+        format!(
+            "\n  \"warning\": \"host undersized: {workers} workers on {host_cores} core(s); \
+             wall-clock columns are not meaningful on this host\","
+        )
+    } else {
+        String::new()
+    };
     let json = format!(
         r#"{{
   "bench": "conservative parallel simulation engine (see crates/bench/src/bin/bench_sim.rs, --workers mode)",
   "workers": {workers},
-  "host_cores": {host_cores},
+  "host_cores": {host_cores},{warning}
   "note": "wall_speedup needs >= workers physical cores to be meaningful; available_parallelism (per-shard event sum over max) is the host-independent load-balance ceiling; every serial/parallel pair asserted bit-identical",
   "rows": [
 {rows}

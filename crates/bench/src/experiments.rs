@@ -322,11 +322,10 @@ pub fn fig6_point(n: u32, load: f64, mode: Fig6Mode, seed: u64) -> Summary {
 /// in order — the parameter sweeps are embarrassingly parallel.
 pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let f = &f;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move |_| f(item))).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move || f(item))).collect();
         handles.into_iter().map(|h| h.join().expect("sweep job")).collect()
     })
-    .expect("sweep scope")
 }
 
 #[cfg(test)]

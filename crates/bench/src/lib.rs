@@ -14,10 +14,11 @@
 //! Criterion micro-benchmarks live in `benches/`. All runs are pure
 //! functions of their seed; `EXPERIMENTS.md` records outputs.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod mem;
 pub mod stats;
 pub mod synth;
 

@@ -36,6 +36,7 @@ use crate::wire::{Encode, ScratchStats, WireError, WireScratch};
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Operation codes of the built-in `net` service (the host boundary).
 pub mod net_ops {
@@ -195,8 +196,10 @@ pub struct StackConfig {
     /// This stack's id (the machine index `i`).
     pub id: StackId,
     /// All stacks in the system, including this one, in a globally agreed
-    /// order.
-    pub peers: Vec<StackId>,
+    /// order. Shared: every stack of a host holds the same allocation
+    /// (build it once with [`StackConfig::peer_table`]) — an owned vector
+    /// per stack would cost O(n²) bytes across a simulation.
+    pub peers: Arc<[StackId]>,
     /// Seed for the stack's deterministic RNG (mixed with the stack id).
     pub seed: u64,
     /// Whether to record a [`TraceLog`].
@@ -211,14 +214,23 @@ pub struct StackConfig {
 
 impl StackConfig {
     /// Configuration for stack `id` out of `n` stacks `0..n`.
+    ///
+    /// Builds a fresh peer table per call; hosts constructing many
+    /// stacks should call [`StackConfig::peer_table`] once and share it.
     pub fn nth(id: u32, n: u32, seed: u64) -> StackConfig {
         StackConfig {
             id: StackId(id),
-            peers: (0..n).map(StackId).collect(),
+            peers: Self::peer_table(n),
             seed,
             trace: true,
             cluster_size: None,
         }
+    }
+
+    /// The canonical peer table for a group of `n` stacks `0..n`, ready
+    /// to be shared across every [`StackConfig`] of the group.
+    pub fn peer_table(n: u32) -> Arc<[StackId]> {
+        (0..n).map(StackId).collect()
     }
 }
 
@@ -270,7 +282,7 @@ impl Module for NetBridge {
 /// (paper §2).
 pub struct Stack {
     id: StackId,
-    peers: Vec<StackId>,
+    peers: Arc<[StackId]>,
     cluster_size: Option<u32>,
     now: Time,
     modules: BTreeMap<ModuleId, ModuleSlot>,
@@ -701,6 +713,47 @@ impl Stack {
     /// Counters of this stack's scratch pool (see [`ScratchStats`]).
     pub fn wire_stats(&self) -> ScratchStats {
         self.scratch.stats()
+    }
+
+    /// Structural estimate of this stack's resident bytes: the struct
+    /// itself, each module's concrete state (`size_of_val` through the
+    /// trait object), the dispatch/bindings/timers structures, queued
+    /// work, the trace log and the scratch pool's retained buffers.
+    ///
+    /// Allocations *inside* module state (boxed fields, collected
+    /// payload `Bytes`) and per-node `BTreeMap` overhead are invisible
+    /// from here, so treat the number as a floor — it is meant for
+    /// capacity planning (bytes/stack across a large simulation), not
+    /// as an allocator-accurate measurement. The shared peer table is
+    /// deliberately excluded: it is one allocation per *host*, and
+    /// charging it to every stack would re-introduce on paper the
+    /// O(n²) cost the sharing removed.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        let mut total = size_of::<Stack>();
+        for slot in self.modules.values() {
+            total += size_of::<ModuleId>() + size_of::<ModuleSlot>();
+            total += slot.kind.capacity();
+            total += slot.provides.capacity() * size_of::<ServiceId>();
+            total += slot.requires.capacity() * size_of::<ServiceId>();
+            if let Some(m) = slot.module.as_deref() {
+                total += size_of_val(m);
+            }
+        }
+        total += self.bindings.len() * size_of::<(ServiceId, ModuleId)>();
+        for reqs in self.requirers.values() {
+            total += size_of::<ServiceId>() + reqs.capacity() * size_of::<ModuleId>();
+        }
+        for queue in self.waiting.values() {
+            total += size_of::<ServiceId>() + queue.capacity() * size_of::<Call>();
+        }
+        total += self.queue.capacity() * size_of::<Delivery>();
+        total += self.actions.capacity() * size_of::<HostAction>();
+        total += self.timers.len() * size_of::<(TimerId, (ModuleId, u64))>();
+        total += self.defaults.len() * size_of::<(ServiceId, crate::module::ModuleSpec)>();
+        total += self.trace.mem_bytes();
+        total += self.scratch.mem_bytes();
+        total
     }
 
     /// Fold the [`crate::TransportStats`] of every live module that

@@ -178,6 +178,14 @@ impl TraceLog {
         self.events.is_empty()
     }
 
+    /// Structural bytes held by the event vector (capacity × entry
+    /// size; event-internal strings are not walked). Feeds the hosts'
+    /// memory audit — tracing is usually the dominant per-stack cost
+    /// when enabled, which is why capacity runs disable it.
+    pub fn mem_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<(Time, TraceEvent)>()
+    }
+
     /// Append all events of `other` (e.g. to merge per-stack logs). The
     /// result is re-sorted by time, preserving append order for equal
     /// times.

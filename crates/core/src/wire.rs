@@ -594,6 +594,14 @@ impl WireScratch {
         self.stats
     }
 
+    /// Bytes currently pinned by the pool's retained buffer handles
+    /// (an upper bound on what reclaim can recover; the buffers may be
+    /// co-owned by in-flight messages). Feeds the hosts' structural
+    /// memory audit.
+    pub fn mem_bytes(&self) -> usize {
+        self.retained.iter().map(|b| b.len()).sum()
+    }
+
     /// Encode `value`, reusing a reclaimed buffer when one is free.
     /// The produced bytes are identical to [`Encode::to_bytes`].
     pub fn encode<T: Encode + ?Sized>(&mut self, value: &T) -> Bytes {

@@ -365,6 +365,7 @@ impl Reactor {
         let mut local = Vec::with_capacity(cfg.local.len());
         let mut ids = Vec::with_capacity(cfg.local.len());
         let mut drivers = Vec::with_capacity(cfg.local.len());
+        let peer_table = StackConfig::peer_table(cfg.n);
         for (i, &id) in cfg.local.iter().enumerate() {
             let sock = UdpSocket::bind(cfg.bind_addr)?;
             sock.set_nonblocking(true)?;
@@ -376,7 +377,7 @@ impl Reactor {
             index_of.insert(id, i);
             let sc = StackConfig {
                 id,
-                peers: (0..cfg.n).map(StackId).collect(),
+                peers: Arc::clone(&peer_table),
                 seed: cfg.seed,
                 trace: cfg.trace,
                 // Like the live runtime: no topology model.

@@ -386,10 +386,11 @@ impl Runtime {
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards).map(|_| unbounded::<ShardMsg>()).unzip();
         let mut by_shard: Vec<(Vec<StackId>, Vec<StackDriver>)> =
             (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        let peer_table = StackConfig::peer_table(cfg.n);
         for i in 0..cfg.n {
             let sc = StackConfig {
                 id: StackId(i),
-                peers: (0..cfg.n).map(StackId).collect(),
+                peers: Arc::clone(&peer_table),
                 seed: cfg.seed,
                 trace: cfg.trace,
                 // The live runtime has no topology model: one flat

@@ -61,12 +61,13 @@
 
 pub mod par;
 pub mod sched;
+mod slab;
 pub mod stats;
 pub mod topology;
 pub mod workload;
 
 pub use sched::{SchedConfig, SchedKind};
-pub use stats::{ShardStats, SimReport, SimStats, WorkloadStats};
+pub use stats::{MemStats, ShardStats, SimReport, SimStats, WorkloadStats};
 pub use topology::{NetConfig, Topology};
 
 use bytes::Bytes;
@@ -78,7 +79,9 @@ use dpu_core::{Stack, StackConfig, StackId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sched::Scheduler;
+use slab::NodeSlab;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// CPU model: virtual service time charged per dispatched stack step, by
 /// step category. Calibrated very roughly to the paper's Pentium III
@@ -237,20 +240,6 @@ pub(crate) enum EventKind {
     Action(Box<dyn FnOnce(&mut Sim) + Send>),
 }
 
-struct Node {
-    /// The stack plus its timer queue, driven through the unified host
-    /// API (`dpu_core::host`).
-    driver: StackDriver,
-    cpu_free: Time,
-    /// When this node's outbound link finishes its current transmission;
-    /// sends serialise behind it (NIC queueing).
-    nic_free: Time,
-    step_scheduled: bool,
-    crashed: bool,
-    /// Time of the currently scheduled [`EventKind::NodeWake`], if any.
-    wake: Option<Time>,
-}
-
 /// [`ActionSink`] that buffers sends so they can be replayed through the
 /// network model once the driver borrow ends.
 #[derive(Default)]
@@ -288,7 +277,9 @@ pub(crate) struct Shard {
     /// First global node id owned by this shard (clusters are
     /// contiguous id ranges).
     base: u32,
-    nodes: Vec<Node>,
+    /// Slot-stable drivers + SoA hot fields (see [`slab`]); slot =
+    /// `id - base`.
+    nodes: NodeSlab,
     sched: Scheduler<EventKind>,
     seq: u64,
     rng: SmallRng,
@@ -301,8 +292,8 @@ pub(crate) struct Shard {
 
 impl Shard {
     #[inline]
-    fn node_mut(&mut self, id: StackId) -> &mut Node {
-        &mut self.nodes[(id.0 - self.base) as usize]
+    fn slot(&self, id: StackId) -> usize {
+        (id.0 - self.base) as usize
     }
 
     fn push(&mut self, at: Time, kind: EventKind) {
@@ -344,51 +335,51 @@ impl Shard {
         self.stats.events += 1;
         match kind {
             EventKind::PacketArrive { dst, src, payload } => {
-                let node = self.node_mut(dst);
-                if node.crashed {
+                let slot = self.slot(dst);
+                if self.nodes.crashed(slot) {
                     return;
                 }
-                node.driver.deliver(at, src, payload);
+                self.nodes.driver_mut(slot).deliver(at, src, payload);
                 self.stats.packets_delivered += 1;
                 self.ensure_step(dst);
             }
             EventKind::NodeWake { node } => {
-                let n = self.node_mut(node);
-                if n.crashed || n.wake != Some(at) {
+                let slot = self.slot(node);
+                if self.nodes.crashed(slot) || self.nodes.wake(slot) != Some(at) {
                     // Stale wake: a nearer deadline superseded this entry.
                     return;
                 }
-                n.wake = None;
-                let next = n.driver.wake(at);
+                self.nodes.set_wake(slot, None);
+                let next = self.nodes.driver_mut(slot).wake(at);
                 self.ensure_step(node);
                 self.ensure_wake_at(node, next);
             }
             EventKind::NodeStep { node } => {
-                self.node_mut(node).step_scheduled = false;
+                let slot = self.slot(node);
+                self.nodes.set_step_scheduled(slot, false);
                 self.node_step(shared, node, at);
             }
             EventKind::Crash { node } => {
-                let n = self.node_mut(node);
-                n.crashed = true;
-                n.driver.stack_mut().crash(at);
+                let slot = self.slot(node);
+                self.nodes.set_crashed(slot);
+                self.nodes.driver_mut(slot).stack_mut().crash(at);
             }
             EventKind::Action(_) => unreachable!("actions are dispatched by the Sim, not a shard"),
         }
     }
 
     fn node_step(&mut self, shared: &SimShared<'_>, id: StackId, at: Time) {
-        let node = self.node_mut(id);
-        if node.crashed {
+        let slot = self.slot(id);
+        if self.nodes.crashed(slot) {
             return;
         }
-        let Some(info) = node.driver.step_raw(at) else { return };
+        let Some(info) = self.nodes.driver_mut(slot).step_raw(at) else { return };
         self.stats.steps += 1;
-        let node = self.node_mut(id);
         let cost = shared.cpu.cost(info.category);
-        node.cpu_free = at + cost;
-        let done = node.cpu_free;
+        let done = at + cost;
+        self.nodes.set_cpu_free(slot, done);
         let mut buf = SendBuf::default();
-        node.driver.settle(done, &mut buf);
+        self.nodes.driver_mut(slot).settle(done, &mut buf);
         self.flush_sends(shared, buf);
         self.ensure_step(id);
         self.ensure_wake(id);
@@ -426,8 +417,9 @@ impl Shard {
         // curves at high throughput.
         let bits = 8 * (payload.len() + link.header_bytes) as u64;
         let tx = Dur::nanos(bits.saturating_mul(1_000_000_000) / link.bandwidth_bps);
-        let depart = when.max(self.node_mut(src).nic_free);
-        self.node_mut(src).nic_free = depart + tx;
+        let src_slot = self.slot(src);
+        let depart = when.max(self.nodes.nic_free(src_slot));
+        self.nodes.set_nic_free(src_slot, depart + tx);
         let copies =
             if link.duplicate > 0.0 && self.rng.gen::<f64>() < link.duplicate { 2 } else { 1 };
         let dst_shard = shared.topology.cluster_of(dst) as usize;
@@ -448,38 +440,40 @@ impl Shard {
     }
 
     fn ensure_step(&mut self, id: StackId) {
-        let now = self.now;
-        let node = self.node_mut(id);
-        if node.crashed || node.step_scheduled || !node.driver.stack().has_work() {
+        let slot = self.slot(id);
+        if self.nodes.crashed(slot)
+            || self.nodes.step_scheduled(slot)
+            || !self.nodes.driver(slot).stack().has_work()
+        {
             return;
         }
-        node.step_scheduled = true;
-        let at = now.max(node.cpu_free);
+        self.nodes.set_step_scheduled(slot, true);
+        let at = self.now.max(self.nodes.cpu_free(slot));
         self.push(at, EventKind::NodeStep { node: id });
     }
 
     /// Keep one [`EventKind::NodeWake`] scheduled at the driver's
     /// earliest timer deadline. Scheduling a nearer wake strands the old
-    /// queue entry; the stamp in [`Node::wake`] marks it stale.
+    /// queue entry; the wake stamp in the [`NodeSlab`] marks it stale.
     fn ensure_wake(&mut self, id: StackId) {
-        let deadline = self.node_mut(id).driver.next_deadline();
+        let slot = self.slot(id);
+        let deadline = self.nodes.driver_mut(slot).next_deadline();
         self.ensure_wake_at(id, deadline);
     }
 
     /// [`Shard::ensure_wake`] with the deadline already in hand (the
     /// fused [`StackDriver::wake`] hook reports it for free).
     fn ensure_wake_at(&mut self, id: StackId, deadline: Option<Time>) {
-        let now = self.now;
-        let node = self.node_mut(id);
-        if node.crashed {
+        let slot = self.slot(id);
+        if self.nodes.crashed(slot) {
             return;
         }
         let Some(deadline) = deadline else { return };
-        let at = deadline.max(now);
-        if node.wake.is_some_and(|w| w <= at) {
+        let at = deadline.max(self.now);
+        if self.nodes.wake(slot).is_some_and(|w| w <= at) {
             return;
         }
-        node.wake = Some(at);
+        self.nodes.set_wake(slot, Some(at));
         self.push(at, EventKind::NodeWake { node: id });
     }
 }
@@ -519,6 +513,17 @@ macro_rules! shared_view {
     };
 }
 
+/// Mutable access to the topology. It sits behind an [`Arc`] so the
+/// persistent worker pool can hold a reference across a stretch; between
+/// stretches the refcount is (almost always) 1 and `make_mut` is free.
+/// A clone can only happen in the harmless window where a pool worker
+/// still holds the previous stretch's job.
+macro_rules! topology_mut {
+    ($sim:expr) => {
+        Arc::make_mut(&mut $sim.topology)
+    };
+}
+
 /// The deterministic discrete-event host. See module docs.
 pub struct Sim {
     cfg: SimConfig,
@@ -532,7 +537,15 @@ pub struct Sim {
     /// [`SimStats::events`]; they belong to no shard).
     actions_dispatched: u64,
     workloads: Vec<WorkloadStats>,
-    topology: Topology,
+    /// Shared with the worker pool during parallel stretches; mutate
+    /// through `topology_mut!` (partitions, loss changes).
+    topology: Arc<Topology>,
+    /// The one peer table every stack of the run shares (an owned vector
+    /// per stack would cost O(n²) bytes — the old 65536-stack ceiling).
+    peer_table: Arc<[StackId]>,
+    /// Persistent worker threads for the parallel engine, spawned on the
+    /// first parallel stretch and parked on a condvar between stretches.
+    pool: Option<par::WorkerPool>,
     /// Conservative epoch width for the clustered engine (`ZERO` when
     /// there is a single shard and epochs are unbounded).
     lookahead: Dur,
@@ -562,31 +575,29 @@ impl Sim {
     /// Build a simulation; `mk_stack` constructs each stack from its
     /// [`StackConfig`] (attach factories, install modules, etc.).
     pub fn new(mut cfg: SimConfig, mut mk_stack: impl FnMut(StackConfig) -> Stack) -> Sim {
-        let topology = cfg.topology.take().unwrap_or_else(|| Topology::flat(cfg.net.clone()));
+        let topology =
+            Arc::new(cfg.topology.take().unwrap_or_else(|| Topology::flat(cfg.net.clone())));
         let nshards = topology.cluster_count(cfg.n) as usize;
         let lookahead = topology.lookahead(cfg.n).unwrap_or(Dur::ZERO);
         let cluster_size = topology.cluster_size().unwrap_or(cfg.n.max(1));
+        let peer_table = StackConfig::peer_table(cfg.n);
         let mut shards = Vec::with_capacity(nshards);
         for k in 0..nshards as u32 {
             let base = k * cluster_size;
             let count = cluster_size.min(cfg.n - base);
-            let nodes = (base..base + count)
-                .map(|i| Node {
-                    driver: StackDriver::new(mk_stack(Self::mk_stack_config(
+            let drivers = (base..base + count)
+                .map(|i| {
+                    StackDriver::new(mk_stack(Self::mk_stack_config(
                         &cfg,
                         topology.cluster_size(),
+                        &peer_table,
                         StackId(i),
-                    ))),
-                    cpu_free: Time::ZERO,
-                    nic_free: Time::ZERO,
-                    step_scheduled: false,
-                    crashed: false,
-                    wake: None,
+                    )))
                 })
                 .collect();
             shards.push(Shard {
                 base,
-                nodes,
+                nodes: NodeSlab::new(drivers),
                 sched: Scheduler::new(&cfg.sched, count as usize),
                 seq: 0,
                 rng: SmallRng::seed_from_u64(shard_seed(cfg.seed, k)),
@@ -604,6 +615,8 @@ impl Sim {
             actions_dispatched: 0,
             workloads: Vec::new(),
             topology,
+            peer_table,
+            pool: None,
             lookahead,
         };
         // Stacks are born with pending Start deliveries.
@@ -613,14 +626,13 @@ impl Sim {
         sim
     }
 
-    fn mk_stack_config(cfg: &SimConfig, cluster_size: Option<u32>, id: StackId) -> StackConfig {
-        StackConfig {
-            id,
-            peers: (0..cfg.n).map(StackId).collect(),
-            seed: cfg.seed,
-            trace: cfg.trace,
-            cluster_size,
-        }
+    fn mk_stack_config(
+        cfg: &SimConfig,
+        cluster_size: Option<u32>,
+        peers: &Arc<[StackId]>,
+        id: StackId,
+    ) -> StackConfig {
+        StackConfig { id, peers: Arc::clone(peers), seed: cfg.seed, trace: cfg.trace, cluster_size }
     }
 
     #[inline]
@@ -632,7 +644,7 @@ impl Sim {
     /// The [`StackConfig`] node `id` was (and would again be) built from
     /// — used by churn workloads to construct replacement stacks.
     pub fn stack_config(&self, id: StackId) -> StackConfig {
-        Self::mk_stack_config(&self.cfg, self.topology.cluster_size(), id)
+        Self::mk_stack_config(&self.cfg, self.topology.cluster_size(), &self.peer_table, id)
     }
 
     /// Current virtual time.
@@ -680,7 +692,29 @@ impl Sim {
             stats: self.stats(),
             wire: self.wire_stats(),
             transport: self.transport_stats(),
+            mem: self.mem_stats(),
         }
+    }
+
+    /// Structural memory audit: summed [`dpu_core::StackDriver`]
+    /// estimates plus each shard's scheduler queue and outboxes, and
+    /// the shared peer table counted once. A floor on the true
+    /// resident set (see [`MemStats`]); the `bench_scale` binary pairs
+    /// it with allocator-measured numbers. Also folded into
+    /// [`Sim::report`].
+    pub fn mem_stats(&self) -> MemStats {
+        use std::mem::size_of;
+        let mut total = 0usize;
+        for shard in &self.shards {
+            total += shard.nodes.mem_bytes();
+            total += shard.sched.len() * size_of::<(sched::Key, EventKind)>();
+            for ob in &shard.outbox {
+                total += ob.capacity() * size_of::<Inflight>();
+            }
+        }
+        total += self.peer_table.len() * size_of::<StackId>();
+        let bytes_total = total as u64;
+        MemStats { bytes_total, bytes_per_stack: bytes_total / u64::from(self.cfg.n.max(1)) }
     }
 
     /// The topology (for link inspection; mutate via the `Sim` methods
@@ -693,13 +727,15 @@ impl Sim {
     pub fn stack(&self, id: StackId) -> &Stack {
         let k = self.topology.cluster_of(id) as usize;
         let shard = &self.shards[k];
-        shard.nodes[(id.0 - shard.base) as usize].driver.stack()
+        shard.nodes.driver(shard.slot(id)).stack()
     }
 
     /// Mutate a stack, then reschedule its CPU if the mutation produced
     /// work. Use this (not direct field access) so injected calls run.
     pub fn with_stack<R>(&mut self, id: StackId, f: impl FnOnce(&mut Stack) -> R) -> R {
-        let r = f(self.shard_of(id).node_mut(id).driver.stack_mut());
+        let shard = self.shard_of(id);
+        let slot = shard.slot(id);
+        let r = f(shard.nodes.driver_mut(slot).stack_mut());
         self.after_stack_mutation(id);
         r
     }
@@ -713,7 +749,8 @@ impl Sim {
         let shard = &mut self.shards[k];
         shard.now = shard.now.max(now);
         let mut buf = SendBuf::default();
-        shard.node_mut(id).driver.settle(now, &mut buf);
+        let slot = shard.slot(id);
+        shard.nodes.driver_mut(slot).settle(now, &mut buf);
         shard.flush_sends(&shared, buf);
         shard.ensure_step(id);
         shard.ensure_wake(id);
@@ -772,30 +809,48 @@ impl Sim {
     /// crash/restart schedules.
     pub fn restart_node(&mut self, id: StackId, stack: Stack) {
         let now = self.now;
-        let node = self.shard_of(id).node_mut(id);
-        node.driver = StackDriver::new(stack);
-        node.crashed = false;
-        node.cpu_free = now;
-        node.nic_free = now;
-        node.step_scheduled = false;
-        node.wake = None;
+        let shard = self.shard_of(id);
+        let slot = shard.slot(id);
+        // Recycle the slab slot in place: the old incarnation's module,
+        // timer and scratch state is dropped here, before the SoA fields
+        // are reset — nothing of it survives into the new incarnation.
+        shard.nodes.retire(slot);
+        shard.nodes.recycle(slot, StackDriver::new(stack), now);
+        self.after_stack_mutation(id);
+    }
+
+    /// [`Sim::restart_node`], but the replacement stack is built *after*
+    /// the old incarnation has been dropped: the factory runs against a
+    /// vacant slab slot, so a restart's resident peak is one stack's
+    /// worth of state, not two. Churn workloads restart through this
+    /// path — at 10^5+ stacks the difference is whether a restart storm
+    /// doubles the process footprint.
+    pub fn restart_node_with(&mut self, id: StackId, factory: impl FnOnce(StackConfig) -> Stack) {
+        let cfg = self.stack_config(id);
+        let shard = self.shard_of(id);
+        let slot = shard.slot(id);
+        shard.nodes.retire(slot);
+        let driver = StackDriver::new(factory(cfg));
+        let now = self.now;
+        let shard = self.shard_of(id);
+        shard.nodes.recycle(slot, driver, now);
         self.after_stack_mutation(id);
     }
 
     /// Block traffic in both directions between the two groups.
     pub fn partition(&mut self, a: &[StackId], b: &[StackId]) {
-        self.topology.partition(a, b);
+        topology_mut!(self).partition(a, b);
     }
 
     /// Block all traffic between two clusters of the topology.
     pub fn partition_clusters(&mut self, a: u32, b: u32) {
         let n = self.cfg.n;
-        self.topology.partition_clusters(a, b, n);
+        topology_mut!(self).partition_clusters(a, b, n);
     }
 
     /// Remove all partitions.
     pub fn heal_partitions(&mut self) {
-        self.topology.heal_partitions();
+        topology_mut!(self).heal_partitions();
     }
 
     /// Change the loss probability from now on (applied to the default
@@ -803,8 +858,9 @@ impl Sim {
     /// overrides are left alone).
     pub fn set_loss(&mut self, loss: f64) {
         self.cfg.net.loss = loss;
-        self.topology.default_mut().loss = loss;
-        if let Some(backbone) = self.topology.backbone_mut() {
+        let topology = topology_mut!(self);
+        topology.default_mut().loss = loss;
+        if let Some(backbone) = topology.backbone_mut() {
             backbone.loss = loss;
         }
     }
@@ -930,9 +986,16 @@ impl Sim {
                 par::exchange(&mut views);
             }
         } else {
-            let shared = shared_view!(self);
+            let pool = self.pool.get_or_insert_with(|| par::WorkerPool::new(workers));
             let shards = std::mem::take(&mut self.shards);
-            self.shards = par::run_stretch_threaded(shards, &shared, la, bound, workers);
+            self.shards = pool.run_stretch(
+                shards,
+                Arc::clone(&self.topology),
+                self.cfg.cpu.clone(),
+                self.cfg.n,
+                la,
+                bound,
+            );
         }
     }
 
@@ -943,8 +1006,8 @@ impl Sim {
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
         let mut total = dpu_core::wire::ScratchStats::default();
         for shard in &self.shards {
-            for node in &shard.nodes {
-                total.absorb(node.driver.stack().wire_stats());
+            for driver in shard.nodes.drivers() {
+                total.absorb(driver.stack().wire_stats());
             }
         }
         total
@@ -957,8 +1020,8 @@ impl Sim {
     pub fn transport_stats(&self) -> dpu_core::TransportStats {
         let mut total = dpu_core::TransportStats::default();
         for shard in &self.shards {
-            for node in &shard.nodes {
-                total.absorb(node.driver.stack().transport_stats());
+            for driver in shard.nodes.drivers() {
+                total.absorb(driver.stack().transport_stats());
             }
         }
         total
@@ -968,8 +1031,8 @@ impl Sim {
     pub fn merged_trace(&mut self) -> TraceLog {
         let mut merged = TraceLog::new();
         for shard in &mut self.shards {
-            for node in &mut shard.nodes {
-                let t = node.driver.stack_mut().take_trace();
+            for driver in shard.nodes.drivers_mut() {
+                let t = driver.stack_mut().take_trace();
                 merged.merge(&t);
             }
         }

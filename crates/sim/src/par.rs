@@ -47,7 +47,10 @@
 //!
 //! * shard state (nodes, event queue, `seq` counter, link-randomness
 //!   RNG stream, stats partial) is touched only by the shard's owner —
-//!   one worker per epoch, exclusive;
+//!   one worker per epoch, exclusive. *Which* worker owns a shard is
+//!   decided dynamically (work-stealing claims, see `WorkerPool`),
+//!   but the claim is exclusive and the shard's event order is its own,
+//!   so ownership placement is invisible to the result;
 //! * the epoch schedule (`T`, `T + W`, action barriers) is derived from
 //!   shard queue minima and the action queue — pure functions of the
 //!   configuration and seed;
@@ -67,11 +70,13 @@
 //! seeds and worker counts, the same way `sched_equiv.rs` pins the
 //! scheduler implementations to each other.
 
-use crate::{Shard, SimShared};
+use crate::{CpuConfig, Shard, SimShared, Topology};
 use dpu_core::time::Time;
 use parking_lot::Mutex;
 use std::ops::DerefMut;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
 
 /// A reusable sense-reversing barrier. Spins briefly (the common case:
 /// workers finish their epochs within microseconds of each other), then
@@ -168,92 +173,229 @@ pub(crate) fn exchange<S: DerefMut<Target = Shard>>(shards: &mut [S]) {
     }
 }
 
-/// Run epochs on a worker pool until every shard's next event is at or
-/// beyond `bound` (exclusive), then hand the shards back. The control
-/// thread computes each epoch's horizon and performs the exchange; the
-/// workers process `worker-index + k·workers`-strided shards between two
-/// barrier waits. Shards travel through `Mutex`es, but every lock is
-/// uncontended by construction — the barrier phases alternate exclusive
-/// access between the workers and the control thread.
+/// One stretch of epochs handed to the pool. The shards sit in their
+/// cells only during a parallel phase (the control thread owns them
+/// between epochs for exchange + floor); the rest is the read-only view
+/// workers dispatch against plus the epoch-control atomics.
+struct StretchJob {
+    cells: Vec<Mutex<Option<Shard>>>,
+    topology: Arc<Topology>,
+    cpu: CpuConfig,
+    n: u32,
+    barrier: SpinBarrier,
+    /// Exclusive horizon of the current epoch (nanoseconds).
+    horizon: AtomicU64,
+    stop: AtomicBool,
+    /// Work-stealing cursor: workers `fetch_add` their way through
+    /// [`StretchJob::order`] until it runs out, so an epoch-imbalanced
+    /// shard set self-balances instead of idling the fixed-stride
+    /// owners of light shards.
+    claim: AtomicUsize,
+    /// The claim order of the current epoch: shard indices, busiest
+    /// event queue first (longest-processing-time-first — the heavy
+    /// shard starts immediately and stragglers don't gate the barrier).
+    /// Written by the control thread before the start-of-epoch barrier.
+    order: Vec<AtomicUsize>,
+}
+
+/// What the pool's condvar guards: a monotone job generation plus the
+/// current job. Workers sleep here between stretches.
+#[derive(Default)]
+struct JobBoard {
+    gen: u64,
+    job: Option<Arc<StretchJob>>,
+    shutdown: bool,
+}
+
+/// The persistent worker pool: `workers` OS threads spawned once per
+/// [`crate::Sim`] and parked on a condvar between stretches, replacing
+/// the old spawn-and-join of scoped threads per stretch (a few tens of
+/// microseconds per barrier action — ~1% of an action-dense Poisson
+/// soak, and pure waste at the 10⁵-stack scale where stretches are
+/// short and plentiful).
 ///
-/// The pool is scoped to one *stretch* (the span between two barrier
-/// actions): each call spawns and joins its workers. That costs a few
-/// tens of microseconds per action timestamp — noise for timer-driven
-/// load, and ~1% of an action-dense run like the Poisson abcast soak
-/// (hundreds of stretches over seconds of wall time). A pool that
-/// persists across stretches would need the shards (and the topology
-/// they read) lifted out of `Sim` behind `Arc`s so actions can still
-/// take `&mut Sim` between epochs; tracked as a ROADMAP follow-up.
-pub(crate) fn run_stretch_threaded(
-    shards: Vec<Shard>,
-    shared: &SimShared<'_>,
-    lookahead_ns: u64,
-    bound: Time,
+/// Within a stretch the protocol is unchanged — start barrier, parallel
+/// phase, end barrier — except that workers *claim* shards dynamically
+/// through [`StretchJob::claim`] instead of walking a fixed stride.
+/// Claiming is work stealing with deterministic results: it only decides
+/// *which thread* executes a shard's epoch, never the order of events
+/// within the shard (exclusive per epoch) nor the exchange order at the
+/// barrier (fixed, destination-major), so the run stays bit-identical
+/// for every worker count — see the module docs.
+///
+/// A panic in module code poisons the stretch's barrier: its cohort
+/// disbands, the control thread re-raises the panic, and the `Sim` is
+/// dead (the shards died with the job). The pool itself shuts down via
+/// [`Drop`], which is what a panicking run unwinds into.
+pub(crate) struct WorkerPool {
     workers: usize,
-) -> Vec<Shard> {
-    let nshards = shards.len();
-    let cells: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
-    let barrier = SpinBarrier::new(workers + 1);
-    let horizon = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-    crossbeam::thread::scope(|scope| {
-        for wi in 0..workers {
-            let (cells, barrier, horizon, stop) = (&cells, &barrier, &horizon, &stop);
-            scope.spawn(move |_| {
-                // A panic in module code (run_epoch executes arbitrary
-                // stack handlers) poisons the barrier on unwind so the
-                // cohort disbands; the panic itself propagates through
-                // the scoped join below.
-                let _poison = PoisonOnPanic(barrier);
-                loop {
-                    if !barrier.wait() {
-                        return; // a peer panicked
-                    }
-                    if stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let h = Time(horizon.load(Ordering::Acquire));
-                    let mut i = wi;
-                    while i < nshards {
-                        cells[i].lock().run_epoch(shared, h);
-                        i += workers;
-                    }
-                    if !barrier.wait() {
-                        return; // a peer panicked
-                    }
-                }
-            });
+    board: Arc<(StdMutex<JobBoard>, Condvar)>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let board = Arc::new((StdMutex::new(JobBoard::default()), Condvar::new()));
+        let threads = (0..workers)
+            .map(|wi| {
+                let board = Arc::clone(&board);
+                std::thread::Builder::new()
+                    .name(format!("sim-worker-{wi}"))
+                    .spawn(move || worker_loop(&board))
+                    .expect("spawn simulation worker thread")
+            })
+            .collect();
+        WorkerPool { workers, board, threads }
+    }
+
+    /// Run epochs until every shard's next event is at or beyond `bound`
+    /// (exclusive), then hand the shards back. The control thread (the
+    /// caller) computes each epoch's horizon and claim order, parks the
+    /// shards in the job's cells for the parallel phase, and performs
+    /// the exchange between phases, when the workers hold no locks.
+    pub(crate) fn run_stretch(
+        &self,
+        mut shards: Vec<Shard>,
+        topology: Arc<Topology>,
+        cpu: CpuConfig,
+        n: u32,
+        lookahead_ns: u64,
+        bound: Time,
+    ) -> Vec<Shard> {
+        let nshards = shards.len();
+        let job = Arc::new(StretchJob {
+            cells: (0..nshards).map(|_| Mutex::new(None)).collect(),
+            topology,
+            cpu,
+            n,
+            barrier: SpinBarrier::new(self.workers + 1),
+            horizon: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            claim: AtomicUsize::new(0),
+            order: (0..nshards).map(AtomicUsize::new).collect(),
+        });
+        {
+            let (board, cond) = &*self.board;
+            let mut b = board.lock().expect("pool board poisoned");
+            b.gen += 1;
+            b.job = Some(Arc::clone(&job));
+            cond.notify_all();
         }
-        // Control loop. Between the end-of-epoch barrier and the next
-        // start-of-epoch barrier the workers hold no locks, so the
-        // control thread has exclusive access for exchange + floor.
-        // Returning on a poisoned wait (never blocking on it) lets the
-        // scope join the panicked worker and re-raise its panic.
-        let _poison = PoisonOnPanic(&barrier);
-        let mut floor = {
-            let mut guards: Vec<_> = cells.iter().map(|c| c.lock()).collect();
-            min_next_time(&mut guards)
-        };
+        // If the control thread panics (exchange runs Shard code), the
+        // workers must disband rather than spin on a dead cohort.
+        let _poison = PoisonOnPanic(&job.barrier);
         loop {
-            let Some(f) = floor.filter(|f| *f < bound) else {
-                stop.store(true, Ordering::Release);
-                let _ = barrier.wait();
-                return;
+            let floor = {
+                let mut views: Vec<&mut Shard> = shards.iter_mut().collect();
+                min_next_time(&mut views)
             };
-            horizon.store(f.0.saturating_add(lookahead_ns).min(bound.0), Ordering::Release);
-            if !barrier.wait() {
-                return; // workers start the epoch (or a worker panicked)
+            let Some(f) = floor.filter(|f| *f < bound) else {
+                job.stop.store(true, Ordering::Release);
+                if !job.barrier.wait() {
+                    panic!("parallel simulation worker panicked");
+                }
+                return shards;
+            };
+            job.horizon.store(f.0.saturating_add(lookahead_ns).min(bound.0), Ordering::Release);
+            // Longest-queue-first claim order; ties break on shard index
+            // (sort_by_key is stable), keeping the order deterministic —
+            // not that it matters for the result, only for telemetry.
+            let mut order: Vec<usize> = (0..nshards).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(shards[i].sched.len()));
+            for (slot, idx) in job.order.iter().zip(order) {
+                slot.store(idx, Ordering::Relaxed);
             }
-            if !barrier.wait() {
-                return; // workers finished the epoch (or one panicked)
+            job.claim.store(0, Ordering::Relaxed);
+            for (cell, shard) in job.cells.iter().zip(shards.drain(..)) {
+                *cell.lock() = Some(shard);
             }
-            let mut guards: Vec<_> = cells.iter().map(|c| c.lock()).collect();
-            exchange(&mut guards);
-            floor = min_next_time(&mut guards);
+            if !job.barrier.wait() {
+                panic!("parallel simulation worker panicked");
+            }
+            // ... the workers execute the epoch ...
+            if !job.barrier.wait() {
+                panic!("parallel simulation worker panicked");
+            }
+            shards.extend(
+                job.cells.iter().map(|c| c.lock().take().expect("shard parked for the epoch")),
+            );
+            let mut views: Vec<&mut Shard> = shards.iter_mut().collect();
+            exchange(&mut views);
         }
-    })
-    .expect("parallel simulation worker panicked");
-    cells.into_iter().map(Mutex::into_inner).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let (board, cond) = &*self.board;
+            if let Ok(mut b) = board.lock() {
+                b.shutdown = true;
+                cond.notify_all();
+            }
+        }
+        for t in self.threads.drain(..) {
+            // A worker that panicked mid-run is already gone; its join
+            // error is the panic we re-raised at the barrier.
+            let _ = t.join();
+        }
+    }
+}
+
+/// A pool thread: sleep on the board until a new job generation (or
+/// shutdown), work the stretch, repeat.
+fn worker_loop(board: &(StdMutex<JobBoard>, Condvar)) {
+    let mut last_gen = 0;
+    loop {
+        let job = {
+            let (board, cond) = board;
+            let mut b = board.lock().expect("pool board poisoned");
+            loop {
+                if b.shutdown {
+                    return;
+                }
+                if b.gen != last_gen {
+                    last_gen = b.gen;
+                    break Arc::clone(b.job.as_ref().expect("job posted with the gen bump"));
+                }
+                b = cond.wait(b).expect("pool board poisoned");
+            }
+        };
+        stretch_worker(&job);
+    }
+}
+
+/// One worker's side of a stretch: rendezvous, claim-and-run shards
+/// until the epoch's claim cursor runs dry, rendezvous again.
+fn stretch_worker(job: &StretchJob) {
+    // A panic in module code (run_epoch executes arbitrary stack
+    // handlers) poisons the barrier on unwind, so the cohort — control
+    // thread included — disbands instead of waiting forever; the control
+    // thread then re-raises the panic on its side.
+    let _poison = PoisonOnPanic(&job.barrier);
+    let shared = SimShared { topology: &job.topology, cpu: &job.cpu, n: job.n };
+    let nshards = job.cells.len();
+    loop {
+        if !job.barrier.wait() {
+            return; // a peer panicked
+        }
+        if job.stop.load(Ordering::Acquire) {
+            return; // stretch complete — back to the board
+        }
+        let h = Time(job.horizon.load(Ordering::Acquire));
+        loop {
+            let k = job.claim.fetch_add(1, Ordering::AcqRel);
+            if k >= nshards {
+                break;
+            }
+            let idx = job.order[k].load(Ordering::Relaxed);
+            let mut cell = job.cells[idx].lock();
+            cell.as_mut().expect("shard parked for the epoch").run_epoch(&shared, h);
+        }
+        if !job.barrier.wait() {
+            return; // a peer panicked
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,9 +409,9 @@ mod tests {
         const ROUNDS: usize = 200;
         let barrier = SpinBarrier::new(THREADS);
         let arrived = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..THREADS {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     for round in 0..ROUNDS {
                         arrived.fetch_add(1, Ordering::AcqRel);
                         assert!(barrier.wait());
@@ -284,8 +426,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(arrived.load(Ordering::Acquire), THREADS * ROUNDS);
     }
 }

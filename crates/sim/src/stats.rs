@@ -101,6 +101,24 @@ impl SimStats {
     }
 }
 
+/// Structural memory audit of a simulation (see `Sim::mem_stats`):
+/// the summed per-driver estimates plus the shards' scheduler queues,
+/// outboxes and the shared peer table (counted once).
+///
+/// These are *structural* numbers — walked from the data structures,
+/// not read from the allocator — so they floor the true resident set
+/// (module-internal boxes and in-flight payload `Bytes` are invisible).
+/// The committed `BENCH_scale.json` pairs them with allocator-measured
+/// bytes/stack from the counting-allocator harness in `dpu-bench`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Summed structural bytes across the whole simulation.
+    pub bytes_total: u64,
+    /// `bytes_total / n` — the capacity-planning headline: multiply by
+    /// the target stack count to size a box.
+    pub bytes_per_stack: u64,
+}
+
 /// Everything a scenario wants to print at the end of a run, in one
 /// value with a one-summary [`fmt::Display`]: the run counters, the
 /// per-shard and per-generator breakdowns, and the aggregated wire
@@ -120,6 +138,9 @@ pub struct SimReport {
     /// (`Sim::transport_stats`): rp2p retransmissions, frames given up
     /// after the retransmit cap, and the unacked backlog at run end.
     pub transport: TransportStats,
+    /// Structural memory audit (`Sim::mem_stats`): total and per-stack
+    /// resident-byte estimates at report time.
+    pub mem: MemStats,
 }
 
 impl fmt::Display for SimReport {
@@ -159,10 +180,15 @@ impl fmt::Display for SimReport {
             "wire: {} emitted, {} reclaimed, {} allocations",
             self.wire.emitted, self.wire.reclaimed, self.wire.allocations
         )?;
-        write!(
+        writeln!(
             f,
             "transport: {} retransmissions, {} exhausted, {} unacked",
             self.transport.retransmissions, self.transport.exhausted, self.transport.unacked
+        )?;
+        write!(
+            f,
+            "memory: ~{} bytes/stack structural ({} total)",
+            self.mem.bytes_per_stack, self.mem.bytes_total
         )
     }
 }
@@ -233,11 +259,13 @@ mod tests {
             stats,
             wire: ScratchStats::default(),
             transport: TransportStats { retransmissions: 9, exhausted: 1, unacked: 0 },
+            mem: MemStats { bytes_total: 40_000, bytes_per_stack: 20_000 },
         };
         let text = report.to_string();
         assert!(text.contains("dropped 2 (loss 2 / partition 0)"), "{text}");
         assert!(text.contains("workload poisson"), "{text}");
         assert!(text.contains("wire:"), "{text}");
         assert!(text.contains("transport: 9 retransmissions, 1 exhausted, 0 unacked"), "{text}");
+        assert!(text.contains("memory: ~20000 bytes/stack structural (40000 total)"), "{text}");
     }
 }

@@ -393,8 +393,10 @@ fn spawn_churn(
             sim.crash_at(sim.now(), victim);
             sim.workload_mut(id).crashes += 1;
             sim.schedule_in(downtime, move |sim| {
-                let stack = factory(sim.stack_config(victim));
-                sim.restart_node(victim, stack);
+                // Eager-drop restart: the crashed incarnation is freed
+                // before the factory builds its replacement, so churn
+                // never holds two copies of a node's state alive.
+                sim.restart_node_with(victim, |sc| factory(sc));
                 sim.workload_mut(id).restarts += 1;
             });
         });

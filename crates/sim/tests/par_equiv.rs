@@ -192,6 +192,47 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Steal-pressure invariance for the persistent work-stealing pool:
+    /// with more workers than ready shards (and again with fewer), the
+    /// claim cursor's races decide only *which thread* executes a
+    /// shard, never the shard-internal event order or the exchange
+    /// order — so every worker count reproduces the serial run
+    /// bit-for-bit. Oversubscribed counts (workers > shards) maximise
+    /// contention on the cursor; tiny counts maximise multi-shard
+    /// batches per worker.
+    #[test]
+    fn work_stealing_pool_is_steal_pressure_invariant(
+        n in 6u32..=16,
+        cluster_size in prop_oneof![Just(2u32), Just(3)],
+        seed in any::<u64>(),
+        loss in 0.0f64..0.15,
+        millis in 30u64..80,
+        workers_a in 2usize..=8,
+        workers_b in 2usize..=8,
+    ) {
+        let sc = Scenario {
+            n,
+            cluster_size,
+            seed,
+            loss,
+            duplicate: 0.0,
+            backbone_us: 400,
+            millis,
+            crash: false,
+        };
+        let serial = run(&sc, SchedKind::Calendar, 1);
+        let a = run(&sc, SchedKind::Calendar, workers_a);
+        let b = run(&sc, SchedKind::Calendar, workers_b);
+        prop_assert_eq!(&serial.0, &a.0, "stats diverged (workers_a)");
+        prop_assert_eq!(serial.1, a.1, "fingerprint diverged (workers_a)");
+        prop_assert_eq!(&serial.0, &b.0, "stats diverged (workers_b)");
+        prop_assert_eq!(serial.1, b.1, "fingerprint diverged (workers_b)");
+    }
+}
+
 /// The SimStats merge satellite: on a partitioned clustered run, the
 /// per-worker (per-shard) counter folding must equal the one-worker
 /// counters exactly, field by field, and the per-shard rows must sum
@@ -231,15 +272,17 @@ fn per_worker_stats_fold_to_serial_counters_on_partitioned_run() {
     assert!(shard_events <= parallel.events);
 }
 
-/// A panic inside module code running on a worker thread must
-/// propagate out of `Sim::run_until` (via barrier poisoning + the
-/// scoped join) — not deadlock the cohort at the epoch barrier.
+/// A panic inside module code running on a pool worker must propagate
+/// out of `Sim::run_until` (via barrier poisoning + the control
+/// thread's poisoned-wait check) — not deadlock the cohort at the
+/// epoch barrier, and not hang the persistent pool's condvar loop.
 #[test]
-#[should_panic(expected = "scoped thread panicked")]
+#[should_panic(expected = "parallel simulation worker panicked")]
 fn worker_panic_propagates_instead_of_deadlocking() {
-    // The worker's own payload ("module blew up") is printed, but the
-    // scoped join rethrows with std's generic message; a regression of
-    // the barrier poisoning shows up as a hang, not a different string.
+    // The worker's own payload ("module blew up") is printed on its
+    // thread, but the control thread rethrows with the pool's message;
+    // a regression of the barrier poisoning shows up as a hang, not a
+    // different string.
     struct Bomb {
         ticks: u32,
     }

@@ -1,13 +1,13 @@
 //! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
 //!
-//! Implements the subset the workspace uses:
-//!
-//! * [`channel`] — MPMC [`channel::bounded`] / [`channel::unbounded`]
-//!   channels built on `Mutex` + `Condvar`, plus a [`select!`] macro
-//!   limited to the shape the runtime needs (`recv(..) -> ..` arms
-//!   followed by one `default(timeout)` arm);
-//! * [`thread`] — [`thread::scope`] scoped threads, delegating to
-//!   `std::thread::scope` with crossbeam's `Result`-returning signature.
+//! Implements the subset the workspace uses: [`channel`] — MPMC
+//! [`channel::bounded`] / [`channel::unbounded`] channels built on
+//! `Mutex` + `Condvar`, plus a [`select!`] macro limited to the shape
+//! the runtime needs (`recv(..) -> ..` arms followed by one
+//! `default(timeout)` arm). The former `thread::scope` surface is gone:
+//! the simulator's parallel engine now runs a persistent worker pool
+//! (`dpu-sim::par`) and the remaining scoped-thread users call
+//! `std::thread::scope` directly.
 //!
 //! The `select!` implementation parks the calling thread on a
 //! [`channel::SelectWaker`] registered with every polled channel, so a
@@ -414,56 +414,6 @@ macro_rules! select {
     }};
 }
 
-pub mod thread {
-    //! Scoped threads with crossbeam's `Result`-returning API, backed
-    //! by `std::thread::scope`.
-
-    use std::any::Any;
-
-    /// A scope handle; spawn threads that may borrow from the enclosing
-    /// stack frame.
-    pub struct Scope<'scope, 'env: 'scope> {
-        inner: &'scope std::thread::Scope<'scope, 'env>,
-    }
-
-    /// Handle to join a thread spawned in a [`Scope`].
-    pub struct ScopedJoinHandle<'scope, T> {
-        inner: std::thread::ScopedJoinHandle<'scope, T>,
-    }
-
-    impl<'scope, 'env> Scope<'scope, 'env> {
-        /// Spawns a scoped thread. The closure receives the scope (so it
-        /// could spawn further threads), like crossbeam's API.
-        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
-        where
-            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
-            T: Send + 'scope,
-        {
-            let inner_scope = self.inner;
-            ScopedJoinHandle { inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })) }
-        }
-    }
-
-    impl<T> ScopedJoinHandle<'_, T> {
-        /// Waits for the thread to finish; `Err` carries its panic payload.
-        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
-            self.inner.join()
-        }
-    }
-
-    /// Creates a scope for spawning scoped threads. All spawned threads
-    /// are joined before this returns. Returns `Ok` with the closure's
-    /// result; a panic in an *unjoined* thread propagates as a panic
-    /// (std semantics) rather than an `Err`, which no caller here
-    /// relies on.
-    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
-    where
-        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-    {
-        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError, TryRecvError};
@@ -594,16 +544,5 @@ mod tests {
         // channel polled in a loop stays at one live entry.
         let n = rx.select_waker_count();
         assert!(n <= 1, "waker list grew to {n}");
-    }
-
-    #[test]
-    fn scoped_threads_borrow_and_join() {
-        let data = [1u64, 2, 3, 4];
-        let total: u64 = crate::thread::scope(|scope| {
-            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        })
-        .unwrap();
-        assert_eq!(total, 100);
     }
 }
