@@ -13,7 +13,7 @@
 //! Usage: `cargo run --release -p dpu-bench --bin bench_net [out.json]
 //! [--msgs 500] [--quick]` (default output `BENCH_net.json`).
 
-use dpu_bench::Args;
+use dpu_bench::{Args, JsonWriter};
 use dpu_core::probe::Probe;
 use dpu_core::StackId;
 use dpu_reactor::ReactorConfig;
@@ -133,44 +133,40 @@ fn main() {
     let rt = run_runtime(msgs);
     let (rx, stats) = run_reactor(msgs);
 
-    let json = format!(
-        r#"{{
-  "bench": "abcast delivery latency, in-process runtime vs epoll real-socket host (see crates/bench/src/bin/bench_net.rs)",
-  "workload": "n=3 sequencer abcast, {msgs} probes from stack 1 paced 1ms, pad 32",
-  "units": "latency us, throughput deliveries/s",
-  "runtime": {{
-    "host": "dpu-runtime, 1 shard, in-memory mailboxes",
-    "p50_us": {:.1},
-    "p99_us": {:.1},
-    "deliveries_per_s": {:.0},
-    "deliveries": {}
-  }},
-  "reactor": {{
-    "host": "dpu-reactor, every packet through loopback UDP + epoll",
-    "p50_us": {:.1},
-    "p99_us": {:.1},
-    "deliveries_per_s": {:.0},
-    "deliveries": {},
-    "packets_sent": {},
-    "packets_received": {},
-    "malformed_dropped": {}
-  }},
-  "reactor_over_runtime_p50": {:.2}
-}}
-"#,
-        rt.p50_us,
-        rt.p99_us,
-        rt.msgs_per_s,
-        rt.deliveries,
-        rx.p50_us,
-        rx.p99_us,
-        rx.msgs_per_s,
-        rx.deliveries,
-        stats.packets_sent,
-        stats.packets_received,
-        stats.malformed_dropped,
-        rx.p50_us / rt.p50_us,
-    );
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_str(
+            "bench",
+            "abcast delivery latency, in-process runtime vs epoll real-socket host (see \
+             crates/bench/src/bin/bench_net.rs)",
+        )
+        .field_str(
+            "workload",
+            &format!("n=3 sequencer abcast, {msgs} probes from stack 1 paced 1ms, pad 32"),
+        )
+        .field_str("units", "latency us, throughput deliveries/s")
+        .key("runtime")
+        .begin_obj()
+        .field_str("host", "dpu-runtime, 1 shard, in-memory mailboxes")
+        .field_f64("p50_us", rt.p50_us, 1)
+        .field_f64("p99_us", rt.p99_us, 1)
+        .field_f64("deliveries_per_s", rt.msgs_per_s, 0)
+        .field_u64("deliveries", rt.deliveries as u64)
+        .end_obj()
+        .key("reactor")
+        .begin_obj()
+        .field_str("host", "dpu-reactor, every packet through loopback UDP + epoll")
+        .field_f64("p50_us", rx.p50_us, 1)
+        .field_f64("p99_us", rx.p99_us, 1)
+        .field_f64("deliveries_per_s", rx.msgs_per_s, 0)
+        .field_u64("deliveries", rx.deliveries as u64)
+        .field_u64("packets_sent", stats.packets_sent)
+        .field_u64("packets_received", stats.packets_received)
+        .field_u64("malformed_dropped", stats.malformed_dropped)
+        .end_obj()
+        .field_f64("reactor_over_runtime_p50", rx.p50_us / rt.p50_us, 2)
+        .end_obj();
+    let json = w.finish();
     std::fs::write(&out, &json).expect("write baseline json");
     print!("{json}");
     eprintln!("wrote {out}");

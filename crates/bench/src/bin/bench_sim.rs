@@ -60,6 +60,8 @@
 //! `available_parallelism` load-balance metric.
 
 use dpu_bench::synth::{datagram_soak_sim, delta, populate, FakeEvent, Profile, PROFILES};
+use dpu_bench::JsonWriter;
+use dpu_core::telemetry::HistSummary;
 use dpu_core::time::{Dur, Time};
 use dpu_core::ModuleSpec;
 use dpu_repl::builder::{drive_poisson, group_sim, GroupStackOpts, SwitchLayer};
@@ -99,23 +101,28 @@ fn sim_throughput(kind: SchedKind, n: u32, load: f64) -> (f64, u64) {
 }
 
 fn sim_throughput_once(kind: SchedKind, n: u32, load: f64) -> (f64, u64) {
-    let (wall, stats) = abcast_soak_run(kind, n, load, 1);
+    let (wall, stats, _) = abcast_soak_run(kind, n, load, 1);
     (stats.events as f64 / wall, stats.events)
 }
 
+/// `(wall seconds, stats, unified telemetry report)` of one soak run —
+/// the report carries the delivery-latency histogram the `BENCH_par`
+/// rows surface as percentile columns.
+type SoakRun = (f64, SimStats, dpu_core::telemetry::TelemetryReport);
+
 /// One full Figure-4 sequencer-abcast run (the `sim_scale_soak`
-/// scenario shape): returns wall seconds and the final stats.
-fn abcast_soak_run(kind: SchedKind, n: u32, load: f64, workers: usize) -> (f64, SimStats) {
-    let (wall, stats, _, _) =
+/// scenario shape).
+fn abcast_soak_run(kind: SchedKind, n: u32, load: f64, workers: usize) -> SoakRun {
+    let (wall, stats, sim, _) =
         abcast_soak_sim(dpu_repl::builder::specs::seq(0), kind, n, load, workers);
-    (wall, stats)
+    (wall, stats, sim.telemetry_report())
 }
 
 /// The same soak on the hierarchical abcast variant: per-cluster local
 /// sequencers spread the ordering fan-out over all 16 clusters instead
 /// of funnelling it through one hot shard. After the timed region, the
 /// §5.1 uniform total order is asserted on every stack's delivery log.
-fn hier_soak_run(n: u32, load: f64, workers: usize) -> (f64, SimStats) {
+fn hier_soak_run(n: u32, load: f64, workers: usize) -> SoakRun {
     // The failover timeout sits far above the soak's delivery latency:
     // this measures the steady-state data path, not spurious rotations.
     let hier = ModuleSpec::with_params(
@@ -127,7 +134,8 @@ fn hier_soak_run(n: u32, load: f64, workers: usize) -> (f64, SimStats) {
     );
     let (wall, stats, mut sim, h) = abcast_soak_sim(hier, SchedKind::Calendar, n, load, workers);
     dpu_repl::builder::check_run(&mut sim, &h).assert_ok();
-    (wall, stats)
+    let report = sim.telemetry_report();
+    (wall, stats, report)
 }
 
 /// Shared soak harness: clustered datacenter topology, open-loop
@@ -173,22 +181,31 @@ fn abcast_soak_sim(
 }
 
 /// The timer-driven symmetric datagram soak (see module docs): returns
-/// wall seconds and the final stats.
-fn datagram_soak_run(n: u32, workers: usize) -> (f64, SimStats) {
+/// wall seconds and the final stats. Telemetry is off in this scenario
+/// (it is the capacity baseline), so its report rows carry zero-count
+/// latency columns.
+fn datagram_soak_run(n: u32, workers: usize) -> SoakRun {
     let mut sim = datagram_soak_sim(n, 42, workers);
     let t0 = Instant::now();
     sim.run_until(Time::ZERO + Dur::millis(400));
-    (t0.elapsed().as_secs_f64(), sim.stats())
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = sim.stats();
+    let report = sim.telemetry_report();
+    (wall, stats, report)
 }
 
 /// Best-of-two wall clock for one scenario runner at a worker count;
 /// asserts both runs computed the same stats (determinism) and returns
-/// `(best wall, stats)`.
-fn best_of_two(run: impl Fn(usize) -> (f64, SimStats), workers: usize) -> (f64, SimStats) {
-    let (w1, s1) = run(workers);
-    let (w2, s2) = run(workers);
+/// `(best wall, stats, report)`.
+fn best_of_two(run: impl Fn(usize) -> SoakRun, workers: usize) -> SoakRun {
+    let (w1, s1, r1) = run(workers);
+    let (w2, s2, r2) = run(workers);
     assert_eq!(s1, s2, "same config must produce the same run");
-    (w1.min(w2), s1)
+    assert_eq!(
+        r1.delivery_latency_ns, r2.delivery_latency_ns,
+        "same config must produce the same latency histogram"
+    );
+    (w1.min(w2), s1, r1)
 }
 
 /// Sum-over-max of the per-shard event counts: the load-balance upper
@@ -214,20 +231,37 @@ fn run_par_mode(workers: usize, quick: bool, out: &str) {
              timing"
         );
     }
-    let mut rows = String::new();
+    struct ParRow {
+        kind: &'static str,
+        n: u32,
+        wall_1: f64,
+        wall_n: f64,
+        speedup: f64,
+        avail: f64,
+        stats: SimStats,
+        lat: HistSummary,
+    }
+    let mut rows: Vec<ParRow> = Vec::new();
     let mut headline = 0.0f64;
     let mut headline_n = 0u32;
     for (kind, runner) in [
-        ("datagram_soak", &datagram_soak_run as &dyn Fn(u32, usize) -> (f64, SimStats)),
+        ("datagram_soak", &datagram_soak_run as &dyn Fn(u32, usize) -> SoakRun),
         ("abcast_switch_soak", &|n, w| {
             abcast_soak_run(SchedKind::Calendar, n, 60.0 * (f64::from(n) / 16.0).sqrt(), w)
         }),
         ("abcast_hier_soak", &|n, w| hier_soak_run(n, 60.0 * (f64::from(n) / 16.0).sqrt(), w)),
     ] {
         for &n in sizes {
-            let (wall_1, stats_1) = best_of_two(|w| runner(n, w), 1);
-            let (wall_n, stats_n) = best_of_two(|w| runner(n, w), workers);
+            let (wall_1, stats_1, rep_1) = best_of_two(|w| runner(n, w), 1);
+            let (wall_n, stats_n, rep_n) = best_of_two(|w| runner(n, w), workers);
             assert_eq!(stats_1, stats_n, "{kind} n={n}: parallel run diverged from serial");
+            // The telemetry histograms merge by bucket addition, so the
+            // worker count must not show in the latency distribution
+            // either — the par_equiv property at the telemetry layer.
+            assert_eq!(
+                rep_1.delivery_latency_ns, rep_n.delivery_latency_ns,
+                "{kind} n={n}: parallel latency histogram diverged from serial"
+            );
             let speedup = wall_1 / wall_n;
             let avail = available_parallelism(&stats_n);
             if kind == "datagram_soak" {
@@ -255,44 +289,82 @@ fn run_par_mode(workers: usize, quick: bool, out: &str) {
             }
             eprintln!(
                 "{kind:<20} n={n:<5} serial {wall_1:>6.2}s parallel({workers}) {wall_n:>6.2}s \
-                 ({speedup:.2}x wall, {avail:.1}x available, {} events)",
-                stats_n.events
+                 ({speedup:.2}x wall, {avail:.1}x available, {} events, latency p50 {} ns over \
+                 {} deliveries)",
+                stats_n.events, rep_n.delivery_latency_ns.p50, rep_n.delivery_latency_ns.count
             );
-            if !rows.is_empty() {
-                rows.push_str(",\n");
-            }
-            rows.push_str(&format!(
-                "      {{ \"scenario\": \"{kind}\", \"n\": {n}, \"events\": {}, \"serial_secs\": {wall_1:.3}, \"parallel_secs\": {wall_n:.3}, \"serial_ev_per_sec\": {:.0}, \"parallel_ev_per_sec\": {:.0}, \"wall_speedup\": {speedup:.2}, \"available_parallelism\": {avail:.2} }}",
-                stats_n.events,
-                stats_n.events as f64 / wall_1,
-                stats_n.events as f64 / wall_n,
-            ));
+            rows.push(ParRow {
+                kind,
+                n,
+                wall_1,
+                wall_n,
+                speedup,
+                avail,
+                stats: stats_n,
+                lat: rep_n.delivery_latency_ns,
+            });
         }
     }
-    let warning = if oversubscribed {
-        format!(
-            "\n  \"warning\": \"host undersized: {workers} workers on {host_cores} core(s); \
-             wall-clock columns are not meaningful on this host\","
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_str(
+            "bench",
+            "conservative parallel simulation engine (see crates/bench/src/bin/bench_sim.rs, \
+             --workers mode)",
         )
-    } else {
-        String::new()
-    };
-    let json = format!(
-        r#"{{
-  "bench": "conservative parallel simulation engine (see crates/bench/src/bin/bench_sim.rs, --workers mode)",
-  "workers": {workers},
-  "host_cores": {host_cores},{warning}
-  "note": "wall_speedup needs >= workers physical cores to be meaningful; available_parallelism (per-shard event sum over max) is the host-independent load-balance ceiling; every serial/parallel pair asserted bit-identical",
-  "rows": [
-{rows}
-  ],
-  "headline": {{
-    "metric": "wall-clock speedup, {workers}-worker vs serial, {headline_n}-stack datagram soak on 16 datacenter clusters + WAN backbone",
-    "wall_speedup": {headline:.2}
-  }}
-}}
-"#
-    );
+        .field_u64("workers", workers as u64)
+        .field_u64("host_cores", host_cores as u64);
+    if oversubscribed {
+        w.field_str(
+            "warning",
+            &format!(
+                "host undersized: {workers} workers on {host_cores} core(s); wall-clock columns \
+                 are not meaningful on this host"
+            ),
+        );
+    }
+    w.field_str(
+        "note",
+        "wall_speedup needs >= workers physical cores to be meaningful; available_parallelism \
+         (per-shard event sum over max) is the host-independent load-balance ceiling; every \
+         serial/parallel pair asserted bit-identical, latency histograms included; latency \
+         percentiles are virtual-time delivery latency from the unified telemetry layer \
+         (datagram_soak runs telemetry-off, so its latency columns are zero)",
+    )
+    .key("rows")
+    .begin_arr();
+    for r in &rows {
+        w.elem()
+            .begin_obj()
+            .field_str("scenario", r.kind)
+            .field_u64("n", u64::from(r.n))
+            .field_u64("events", r.stats.events)
+            .field_f64("serial_secs", r.wall_1, 3)
+            .field_f64("parallel_secs", r.wall_n, 3)
+            .field_f64("serial_ev_per_sec", r.stats.events as f64 / r.wall_1, 0)
+            .field_f64("parallel_ev_per_sec", r.stats.events as f64 / r.wall_n, 0)
+            .field_f64("wall_speedup", r.speedup, 2)
+            .field_f64("available_parallelism", r.avail, 2)
+            .field_u64("deliveries", r.lat.count)
+            .field_f64("latency_p50_us", r.lat.p50 as f64 / 1e3, 1)
+            .field_f64("latency_p99_us", r.lat.p99 as f64 / 1e3, 1)
+            .field_f64("latency_p999_us", r.lat.p999 as f64 / 1e3, 1)
+            .end_obj();
+    }
+    w.end_arr()
+        .key("headline")
+        .begin_obj()
+        .field_str(
+            "metric",
+            &format!(
+                "wall-clock speedup, {workers}-worker vs serial, {headline_n}-stack datagram \
+                 soak on 16 datacenter clusters + WAN backbone"
+            ),
+        )
+        .field_f64("wall_speedup", headline, 2)
+        .end_obj()
+        .end_obj();
+    let json = w.finish();
     std::fs::write(out, &json).expect("write parallel baseline json");
     print!("{json}");
     eprintln!("wrote {out}");
@@ -324,8 +396,19 @@ fn main() {
     let sizes = [16u64, 256, 1024];
     let ops = 4_000_000u64;
 
-    let mut sched_rows = String::new();
-    let mut first_row = true;
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_str("bench", "sim scheduler scaling (see crates/bench/src/bin/bench_sim.rs)")
+        .key("sched_microbench")
+        .begin_obj()
+        .field_str(
+            "description",
+            "scheduler push/pop ops/sec on stationary per-class populations (1 step + 1 timer + \
+             1 wake per node, plus per-profile in-flight packets); single heap vs hierarchical \
+             timing wheel (bucket 128 ns)",
+        )
+        .key("rows")
+        .begin_arr();
     let mut ratio_1024_wan = 0.0f64;
     for p in &PROFILES {
         for &n in &sizes {
@@ -339,20 +422,30 @@ fn main() {
                 "sched {:<17} n={n:<5} heap {heap:>9.0}/s wheel {wheel:>9.0}/s ({ratio:.2}x)",
                 p.name
             );
-            if !first_row {
-                sched_rows.push_str(",\n");
-            }
-            first_row = false;
-            sched_rows.push_str(&format!(
-                "      {{ \"profile\": \"{}\", \"n\": {n}, \"population\": {}, \"single_heap\": {heap:.0}, \"calendar\": {wheel:.0}, \"speedup\": {ratio:.2} }}",
-                p.name,
-                (p.packets_per_node + 3) * n
-            ));
+            w.elem()
+                .begin_obj()
+                .field_str("profile", p.name)
+                .field_u64("n", n)
+                .field_u64("population", (p.packets_per_node + 3) * n)
+                .field_f64("single_heap", heap, 0)
+                .field_f64("calendar", wheel, 0)
+                .field_f64("speedup", ratio, 2)
+                .end_obj();
         }
     }
-
-    let mut sim_rows = String::new();
-    for (i, &n) in sizes.iter().enumerate() {
+    w.end_arr()
+        .end_obj()
+        .key("end_to_end")
+        .begin_obj()
+        .field_str(
+            "description",
+            "full Figure-4 sequencer-abcast sim on clustered datacenter topology, open-loop \
+             Poisson, dispatched events per wall second; both schedulers verified to compute \
+             identical runs",
+        )
+        .key("rows")
+        .begin_arr();
+    for &n in sizes.iter() {
         let n = n as u32;
         let load = 60.0 * (f64::from(n) / 16.0).sqrt().max(1.0);
         let (e2e_heap, ev_heap) = sim_throughput(SchedKind::SingleHeap, n, load);
@@ -363,33 +456,28 @@ fn main() {
             "sim end-to-end      n={n:<5} heap {e2e_heap:>9.0} ev/s wheel {e2e_wheel:>9.0} ev/s \
              ({ratio:.2}x, {ev_wheel} events)"
         );
-        sim_rows.push_str(&format!(
-            "      {{ \"n\": {n}, \"events\": {ev_wheel}, \"single_heap_ev_per_sec\": {e2e_heap:.0}, \"calendar_ev_per_sec\": {e2e_wheel:.0}, \"speedup\": {ratio:.2} }}{}\n",
-            if i + 1 < sizes.len() { "," } else { "" }
-        ));
+        w.elem()
+            .begin_obj()
+            .field_u64("n", u64::from(n))
+            .field_u64("events", ev_wheel)
+            .field_f64("single_heap_ev_per_sec", e2e_heap, 0)
+            .field_f64("calendar_ev_per_sec", e2e_wheel, 0)
+            .field_f64("speedup", ratio, 2)
+            .end_obj();
     }
-
-    let json = format!(
-        r#"{{
-  "bench": "sim scheduler scaling (see crates/bench/src/bin/bench_sim.rs)",
-  "sched_microbench": {{
-    "description": "scheduler push/pop ops/sec on stationary per-class populations (1 step + 1 timer + 1 wake per node, plus per-profile in-flight packets); single heap vs hierarchical timing wheel (bucket 128 ns)",
-    "rows": [
-{sched_rows}
-    ]
-  }},
-  "end_to_end": {{
-    "description": "full Figure-4 sequencer-abcast sim on clustered datacenter topology, open-loop Poisson, dispatched events per wall second; both schedulers verified to compute identical runs",
-    "rows": [
-{sim_rows}    ]
-  }},
-  "headline": {{
-    "metric": "scheduler event throughput at n = 1024, wan_sustained profile, calendar wheel vs single heap",
-    "speedup": {ratio_1024_wan:.2}
-  }}
-}}
-"#
-    );
+    w.end_arr()
+        .end_obj()
+        .key("headline")
+        .begin_obj()
+        .field_str(
+            "metric",
+            "scheduler event throughput at n = 1024, wan_sustained profile, calendar wheel vs \
+             single heap",
+        )
+        .field_f64("speedup", ratio_1024_wan, 2)
+        .end_obj()
+        .end_obj();
+    let json = w.finish();
     std::fs::write(&out, &json).expect("write baseline json");
     print!("{json}");
     eprintln!("wrote {out}");

@@ -17,6 +17,7 @@
 
 use bytes::Bytes;
 use dpu_bench::stats::collect_latencies;
+use dpu_bench::JsonWriter;
 use dpu_core::probe::ProbeMsg;
 use dpu_core::time::{Dur, Time};
 use dpu_core::wire::{from_bytes, to_bytes, ScratchStats, WireScratch};
@@ -108,54 +109,50 @@ fn main() {
     const PRE_ENCODE_BATCH: f64 = 1060.1;
     const PRE_DECODE_BATCH: f64 = 1283.2;
 
-    let json = format!(
-        r#"{{
-  "bench": "wire_codec + abcast_roundtrip (see crates/bench/src/bin/bench_wire.rs)",
-  "units": "ns_per_iter unless noted",
-  "pre_refactor_reference": {{
-    "commit": "1f2701e",
-    "encode_probe_msg": {PRE_ENCODE_PROBE},
-    "decode_probe_msg": {PRE_DECODE_PROBE},
-    "encode_consensus_batch_32": {PRE_ENCODE_BATCH},
-    "decode_consensus_batch_32": {PRE_DECODE_BATCH}
-  }},
-  "speedup_vs_pre_refactor": {{
-    "encode_probe_msg": {:.2},
-    "decode_probe_msg": {:.2},
-    "encode_consensus_batch_32": {:.2},
-    "decode_consensus_batch_32": {:.2}
-  }},
-  "encode_probe_msg": {encode_probe:.1},
-  "encode_probe_msg_scratch": {encode_probe_scratch:.1},
-  "decode_probe_msg": {decode_probe:.1},
-  "encode_consensus_batch_32": {encode_batch:.1},
-  "decode_consensus_batch_32": {decode_batch:.1},
-  "microbench_scratch": {{
-    "emitted": {},
-    "reclaimed": {},
-    "allocations": {}
-  }},
-  "abcast_roundtrip": {{
-    "variant": "sequencer, n=3, 50 msg/s x 2 s, pad 32",
-    "deliveries": {delivered},
-    "wire_emitted": {},
-    "wire_reclaimed": {},
-    "wire_allocations": {},
-    "steady_allocs_per_msg": {steady_allocs_per_msg:.5}
-  }}
-}}
-"#,
-        PRE_ENCODE_PROBE / encode_probe,
-        PRE_DECODE_PROBE / decode_probe,
-        PRE_ENCODE_BATCH / encode_batch,
-        PRE_DECODE_BATCH / decode_batch,
-        scratch_stats.emitted,
-        scratch_stats.reclaimed,
-        scratch_stats.allocations,
-        sim_stats.emitted,
-        sim_stats.reclaimed,
-        sim_stats.allocations,
-    );
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_str(
+            "bench",
+            "wire_codec + abcast_roundtrip (see crates/bench/src/bin/bench_wire.rs)",
+        )
+        .field_str("units", "ns_per_iter unless noted")
+        .key("pre_refactor_reference")
+        .begin_obj()
+        .field_str("commit", "1f2701e")
+        .field_f64("encode_probe_msg", PRE_ENCODE_PROBE, 1)
+        .field_f64("decode_probe_msg", PRE_DECODE_PROBE, 1)
+        .field_f64("encode_consensus_batch_32", PRE_ENCODE_BATCH, 1)
+        .field_f64("decode_consensus_batch_32", PRE_DECODE_BATCH, 1)
+        .end_obj()
+        .key("speedup_vs_pre_refactor")
+        .begin_obj()
+        .field_f64("encode_probe_msg", PRE_ENCODE_PROBE / encode_probe, 2)
+        .field_f64("decode_probe_msg", PRE_DECODE_PROBE / decode_probe, 2)
+        .field_f64("encode_consensus_batch_32", PRE_ENCODE_BATCH / encode_batch, 2)
+        .field_f64("decode_consensus_batch_32", PRE_DECODE_BATCH / decode_batch, 2)
+        .end_obj()
+        .field_f64("encode_probe_msg", encode_probe, 1)
+        .field_f64("encode_probe_msg_scratch", encode_probe_scratch, 1)
+        .field_f64("decode_probe_msg", decode_probe, 1)
+        .field_f64("encode_consensus_batch_32", encode_batch, 1)
+        .field_f64("decode_consensus_batch_32", decode_batch, 1)
+        .key("microbench_scratch")
+        .begin_obj()
+        .field_u64("emitted", scratch_stats.emitted)
+        .field_u64("reclaimed", scratch_stats.reclaimed)
+        .field_u64("allocations", scratch_stats.allocations)
+        .end_obj()
+        .key("abcast_roundtrip")
+        .begin_obj()
+        .field_str("variant", "sequencer, n=3, 50 msg/s x 2 s, pad 32")
+        .field_u64("deliveries", delivered as u64)
+        .field_u64("wire_emitted", sim_stats.emitted)
+        .field_u64("wire_reclaimed", sim_stats.reclaimed)
+        .field_u64("wire_allocations", sim_stats.allocations)
+        .field_f64("steady_allocs_per_msg", steady_allocs_per_msg, 5)
+        .end_obj()
+        .end_obj();
+    let json = w.finish();
     std::fs::write(&out, &json).expect("write baseline json");
     print!("{json}");
     eprintln!("wrote {out}");

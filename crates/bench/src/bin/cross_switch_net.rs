@@ -65,6 +65,15 @@ fn parent() {
 
     let d0 = std::fs::read_to_string(rdv.join("digest_0")).expect("digest 0");
     let d1 = std::fs::read_to_string(rdv.join("digest_1")).expect("digest 1");
+    if d0 != d1 {
+        // The postmortem the flight recorder exists for: each child
+        // published its final seconds of life before exiting.
+        for half in 0..2 {
+            if let Ok(dump) = std::fs::read_to_string(rdv.join(format!("flight_{half}"))) {
+                eprint!("--- half {half} flight recorders ---\n{dump}");
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&rdv);
     assert_eq!(d0, d1, "the two OS processes diverged: delivery-log digests differ ({d0} vs {d1})");
     println!(
@@ -114,7 +123,12 @@ fn child(half: u32, rdv: PathBuf) {
     for _ in 0..PROBES {
         send_probe_reactor(&r, StackId(lo + 1), &h);
     }
-    wait_until(half, "phase-1 deliveries", || local_delivered(2 * PROBES as usize));
+    wait_until(
+        half,
+        "phase-1 deliveries",
+        || local_delivered(2 * PROBES as usize),
+        || eprint!("{}", r.dump_flight_recorders()),
+    );
 
     // The live switch: half 1 requests it from stack 5 — a
     // non-sequencer stack whose request must cross the process
@@ -155,6 +169,10 @@ fn child(half: u32, rdv: PathBuf) {
     while !settled() {
         if Instant::now() >= limit {
             dump();
+            // The flight recorders say *when* each stack last delivered
+            // and where its switch lifecycle stalled — the difference
+            // between "stuck" and "why".
+            eprint!("{}", r.dump_flight_recorders());
             panic!("half {half} timed out waiting for switch applied + all deliveries settled");
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -187,6 +205,11 @@ fn child(half: u32, rdv: PathBuf) {
         stats.packets_sent, stats.packets_dropped, transport.retransmissions
     );
 
+    // Publish the flight recorders so the parent can print a real
+    // postmortem if the digests end up differing (by then this process
+    // is gone).
+    write_atomic(&rdv.join(format!("flight_{half}")), &r.dump_flight_recorders());
+
     // Exit barrier: the peer may still be waiting on retransmissions
     // from our stacks (that is the point of the loss model) — keep the
     // reactor alive until both halves have settled.
@@ -195,10 +218,13 @@ fn child(half: u32, rdv: PathBuf) {
     r.shutdown();
 }
 
-fn wait_until(half: u32, what: &str, mut done: impl FnMut() -> bool) {
+fn wait_until(half: u32, what: &str, mut done: impl FnMut() -> bool, on_timeout: impl FnOnce()) {
     let limit = Instant::now() + Duration::from_secs(120);
     while !done() {
-        assert!(Instant::now() < limit, "half {half} timed out waiting for {what}");
+        if Instant::now() >= limit {
+            on_timeout();
+            panic!("half {half} timed out waiting for {what}");
+        }
         std::thread::sleep(Duration::from_millis(10));
     }
 }

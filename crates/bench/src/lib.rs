@@ -22,6 +22,13 @@ pub mod mem;
 pub mod stats;
 pub mod synth;
 
+// The one JSON writer every `BENCH_*.json` emitter uses (re-exported
+// from the telemetry crate, whose reports share the same writer), so
+// the committed baselines stay format-consistent without a serde
+// dependency.
+pub use dpu_core::telemetry::json;
+pub use dpu_core::telemetry::json::JsonWriter;
+
 /// Tiny CLI helper: read `--key value` style options with defaults, plus
 /// a `--quick` switch that the binaries use to shrink sweeps.
 pub struct Args {

@@ -26,12 +26,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct CountingAlloc {
     live: AtomicU64,
     peak: AtomicU64,
+    allocs: AtomicU64,
 }
 
 impl CountingAlloc {
     /// A fresh counter (const so it can be a `#[global_allocator]` static).
     pub const fn new() -> CountingAlloc {
-        CountingAlloc { live: AtomicU64::new(0), peak: AtomicU64::new(0) }
+        CountingAlloc {
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
     }
 
     /// Heap bytes currently allocated and not yet freed.
@@ -51,7 +56,15 @@ impl CountingAlloc {
         self.peak.store(self.live(), Ordering::Relaxed);
     }
 
+    /// Total successful allocation calls since process start (frees not
+    /// subtracted) — the counter steady-state guards difference across a
+    /// measured phase to assert "~0 allocations per operation".
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
     fn add(&self, n: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
         let live = self.live.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
         self.peak.fetch_max(live, Ordering::Relaxed);
     }

@@ -149,14 +149,29 @@ impl Module for LoadGen {
 
 /// The datagram-soak simulation of `BENCH_par.json`: `n` [`LoadGen`]
 /// stacks in 16 datacenter clusters joined by a WAN backbone (15 ms of
-/// lookahead), `workers` worker threads.
+/// lookahead), `workers` worker threads. Telemetry is off — this is the
+/// capacity scenario of `BENCH_scale.json`, whose bytes/stack budget is
+/// quoted without instrumentation; [`datagram_soak_sim_telemetry`]
+/// measures the documented per-stack cost of turning it on.
 pub fn datagram_soak_sim(n: u32, seed: u64, workers: usize) -> Sim {
+    datagram_soak_sim_telemetry(n, seed, workers, dpu_core::TelemetryConfig::off())
+}
+
+/// [`datagram_soak_sim`] with an explicit [`dpu_core::TelemetryConfig`],
+/// for the capacity smoke's telemetry-on budget variant.
+pub fn datagram_soak_sim_telemetry(
+    n: u32,
+    seed: u64,
+    workers: usize,
+    telemetry: dpu_core::TelemetryConfig,
+) -> Sim {
     let cluster_size = (n / 16).max(1);
     let mut cfg =
         SimConfig::clustered(n, seed, cluster_size, NetConfig::datacenter(), NetConfig::wan());
     cfg.trace = false;
     cfg.cpu = CpuConfig::fast();
     cfg.workers = workers;
+    cfg.telemetry = telemetry;
     Sim::new(cfg, move |sc: StackConfig| {
         let node_seed = sc.seed ^ (u64::from(sc.id.0) << 20) ^ 0xA076_1D64_78BD_642F;
         let mut s = Stack::new(sc, FactoryRegistry::new());

@@ -7,8 +7,9 @@
 //! wall clock ~20x); CI runs it as
 //! `cargo test -p dpu-bench --release -- --ignored`.
 
-use dpu_bench::synth::datagram_soak_sim;
+use dpu_bench::synth::{datagram_soak_sim, datagram_soak_sim_telemetry};
 use dpu_core::time::{Dur, Time};
+use dpu_core::TelemetryConfig;
 
 #[test]
 #[ignore = "release-only capacity smoke (65536 stacks); run with --release -- --ignored"]
@@ -35,5 +36,36 @@ fn capacity_smoke_65536_stacks() {
         report.mem.bytes_per_stack < 30_000,
         "structural bytes/stack regressed: {}",
         report.mem.bytes_per_stack
+    );
+}
+
+/// The same soak with telemetry *on*: the documented per-stack budget
+/// is the capacity-off figure plus a fixed ~17 KB of instrumentation
+/// (six 2.4 KB histograms, the 64-event flight ring, timeline
+/// bookkeeping — see ARCHITECTURE.md "Observability"). Fixed means
+/// fixed: the telemetry cost must not scale with n, so the combined
+/// structural bound is the off-mode bound plus 20 KB.
+#[test]
+#[ignore = "release-only capacity smoke (65536 stacks); run with --release -- --ignored"]
+fn capacity_smoke_65536_stacks_telemetry_on() {
+    let n = 65_536;
+    let mut sim = datagram_soak_sim_telemetry(n, 42, 4, TelemetryConfig::on());
+    sim.run_until(Time::ZERO + Dur::millis(10));
+    let report = sim.report();
+    assert!(
+        report.stats.events > u64::from(n),
+        "the soak must run: {} events",
+        report.stats.events
+    );
+    assert!(
+        report.mem.bytes_per_stack < 30_000 + 20_000,
+        "telemetry-on structural bytes/stack blew the documented budget: {}",
+        report.mem.bytes_per_stack
+    );
+    let tel = sim.telemetry_report();
+    assert_eq!(tel.stacks_enabled, n, "every stack must be instrumented");
+    assert!(
+        tel.scratch_occupancy_bytes.count > 0,
+        "instrumented soak must record occupancy samples"
     );
 }

@@ -1,0 +1,70 @@
+//! Steady-state allocation guard for the telemetry record path
+//! (`tests/wire_steady_state.rs` applied to the observability layer).
+//!
+//! Every per-sample operation — histogram record, flight-recorder push,
+//! switch-phase stamp — must be alloc-free once a `StackTelemetry` is
+//! constructed: the histograms are fixed bucket arrays, the flight ring
+//! is pre-sized, and the timeline's recent-switch window is bounded.
+//! A counting global allocator measures the record phase directly; the
+//! budget is zero.
+//!
+//! One test per file: the counting allocator is process-global, so the
+//! measurement must not share its binary with concurrent allocations
+//! from unrelated tests.
+
+use dpu_bench::mem::CountingAlloc;
+use dpu_core::{StackTelemetry, TelemetryConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn record_path_is_allocation_free() {
+    let mut t = StackTelemetry::new(&TelemetryConfig::default());
+    let mut off = StackTelemetry::disabled();
+
+    // Warm-up: exercise every record kind once so any lazily-touched
+    // state is in place before the measured phase.
+    t.note_delivery(1_000, 500);
+    t.cascade_step();
+    t.cascade_end();
+    t.record_scratch_occupancy(4096);
+    t.record_reseq_depth(3);
+    t.switch_requested(2_000);
+    t.switch_flushed(2_500);
+    t.switch_activated(3_000);
+    t.note_delivery(3_500, 700);
+    t.note_retransmit_exhausted(4_000, 9);
+
+    let allocs0 = ALLOC.allocs();
+    for i in 0..100_000u64 {
+        let now = 10_000 + i * 10;
+        t.note_delivery(now, 500 + (i % 1_000));
+        t.cascade_step();
+        t.cascade_step();
+        t.cascade_end();
+        t.record_scratch_occupancy(4096 + (i % 64) * 128);
+        t.record_reseq_depth(i % 8);
+        if i % 10_000 == 0 {
+            // A full switch lifecycle, flight events included, is also
+            // on the zero-allocation path.
+            t.switch_requested(now);
+            t.switch_flushed(now + 1);
+            t.switch_activated(now + 2);
+            t.note_delivery(now + 3, 900);
+        }
+        // The off-mode stub must be free too (it is the 65536-stack
+        // capacity configuration).
+        off.note_delivery(now, 500);
+        off.record_scratch_occupancy(4096);
+    }
+    let new_allocs = ALLOC.allocs() - allocs0;
+    assert_eq!(
+        new_allocs, 0,
+        "telemetry record path allocated {new_allocs} times over 100k samples; \
+         record() must be alloc-free per stack"
+    );
+    assert!(t.is_enabled() && !off.is_enabled());
+    let state = t.state().expect("enabled telemetry has state");
+    assert!(state.delivery_latency.count() > 100_000, "samples must actually land");
+}

@@ -50,6 +50,8 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use dpu_telemetry as telemetry;
+pub use dpu_telemetry::{StackTelemetry, TelemetryConfig};
 pub use host::{ActionSink, HostEvent, StackDriver, Wakeup};
 pub use ids::{ModuleId, ServiceId, StackId, TimerId};
 pub use module::{Call, Module, ModuleSpec, Op, Response, TransportStats};

@@ -180,10 +180,17 @@ impl Module for Probe {
             return;
         }
         if let Ok(msg) = resp.decode::<ProbeMsg>() {
+            let now = ctx.now();
+            // The probe sees every end-to-end delivery, so it is where
+            // latency lands in the telemetry histogram and where a
+            // pending switch record learns its first post-switch
+            // delivery.
+            let latency = now.as_nanos().saturating_sub(msg.sent_at.as_nanos());
+            ctx.telemetry().note_delivery(now.as_nanos(), latency);
             self.delivered.push(DeliveryRecord {
                 msg: msg.id(),
                 sent_at: msg.sent_at,
-                delivered_at: ctx.now(),
+                delivered_at: now,
             });
         }
     }

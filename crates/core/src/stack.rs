@@ -34,6 +34,7 @@ use crate::time::{Dur, Time};
 use crate::trace::{TraceEvent, TraceLog};
 use crate::wire::{Encode, ScratchStats, WireError, WireScratch};
 use bytes::Bytes;
+use dpu_telemetry::{StackTelemetry, TelemetryConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -210,6 +211,11 @@ pub struct StackConfig {
     /// on flat hosts: locality-aware protocols must degenerate to a
     /// single cluster spanning the whole group.
     pub cluster_size: Option<u32>,
+    /// Observability switchboard (histograms, switch timeline, flight
+    /// recorder). On by default like `trace`; capacity-scale hosts pass
+    /// [`TelemetryConfig::off`] to shrink each stack by the telemetry
+    /// block.
+    pub telemetry: TelemetryConfig,
 }
 
 impl StackConfig {
@@ -224,6 +230,7 @@ impl StackConfig {
             seed,
             trace: true,
             cluster_size: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -307,6 +314,10 @@ pub struct Stack {
     /// the steady-state allocation-free path. One scratch per stack means
     /// one per `StackDriver`, whichever host owns the driver.
     scratch: WireScratch,
+    /// Observability state (histograms, switch timeline, flight ring).
+    /// Single-threaded like the rest of the stack, so recording is plain
+    /// integer arithmetic; never feeds back into protocol behaviour.
+    telemetry: StackTelemetry,
 }
 
 impl Stack {
@@ -338,6 +349,7 @@ impl Stack {
             crashed: false,
             net_bridge: ModuleId(0),
             scratch: WireScratch::new(),
+            telemetry: StackTelemetry::new(&cfg.telemetry),
         };
         let bridge = stack.insert_module(Box::new(NetBridge));
         stack.net_bridge = bridge;
@@ -599,6 +611,9 @@ impl Stack {
             return;
         }
         self.now = now;
+        // Sample scratch-pool pressure once per arriving packet — off the
+        // encode hot path, frequent enough to catch retention spikes.
+        self.telemetry.record_scratch_occupancy(self.scratch.mem_bytes() as u64);
         let data = self.scratch.encode(&(src, payload));
         self.enqueue_response(Response {
             service: ServiceId::new(crate::svc::NET),
@@ -630,6 +645,7 @@ impl Stack {
         self.crashed = true;
         self.queue.clear();
         self.waiting.clear();
+        self.telemetry.note_crash(now.as_nanos());
         self.trace.push(now, TraceEvent::Crash { stack: self.id });
     }
 
@@ -642,7 +658,13 @@ impl Stack {
         }
         self.now = now;
         loop {
-            let delivery = self.queue.pop_front()?;
+            let Some(delivery) = self.queue.pop_front() else {
+                // The cascade triggered by the last external input has
+                // drained; record how many steps it took.
+                self.telemetry.cascade_end();
+                return None;
+            };
+            self.telemetry.cascade_step();
             let (to, category) = match &delivery {
                 Delivery::Call { to, .. } => (*to, StepCategory::Call),
                 Delivery::Response { to, .. } => (*to, StepCategory::Response),
@@ -670,8 +692,16 @@ impl Stack {
                 }
             }
             let destroyed = ctx.destroyed_self;
+            if self.queue.is_empty() {
+                // The cascade drained with this step: close it here, so
+                // hosts that only schedule steps while work is pending
+                // (the sim never calls `step` on an empty queue) still
+                // feed the depth histogram.
+                self.telemetry.cascade_end();
+            }
             if destroyed {
                 let kind = module.kind().to_string();
+                self.telemetry.note_module_destroyed(self.now.as_nanos());
                 self.trace.push(
                     self.now,
                     TraceEvent::ModuleDestroyed { stack: self.id, module: to, kind },
@@ -715,6 +745,19 @@ impl Stack {
         self.scratch.stats()
     }
 
+    /// This stack's observability state (hosts fold these into a
+    /// [`dpu_telemetry::TelemetryReport`]).
+    pub fn telemetry(&self) -> &StackTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable observability state: hosts use this to stamp events the
+    /// stack cannot see itself (e.g. end-to-end latencies measured by a
+    /// harness).
+    pub fn telemetry_mut(&mut self) -> &mut StackTelemetry {
+        &mut self.telemetry
+    }
+
     /// Structural estimate of this stack's resident bytes: the struct
     /// itself, each module's concrete state (`size_of_val` through the
     /// trait object), the dispatch/bindings/timers structures, queued
@@ -753,6 +796,7 @@ impl Stack {
         total += self.defaults.len() * size_of::<(ServiceId, crate::module::ModuleSpec)>();
         total += self.trace.mem_bytes();
         total += self.scratch.mem_bytes();
+        total += self.telemetry.mem_bytes();
         total
     }
 
@@ -848,6 +892,14 @@ impl ModuleCtx<'_> {
     /// identical to [`Encode::to_bytes`].
     pub fn encode<T: Encode + ?Sized>(&mut self, value: &T) -> Bytes {
         self.stack.scratch.encode(value)
+    }
+
+    /// The stack's observability state. Modules record protocol-level
+    /// metrics here (switch-phase stamps, resequencing depth, delivery
+    /// latency); every method is a no-op when telemetry is off, and
+    /// nothing recorded ever feeds back into protocol behaviour.
+    pub fn telemetry(&mut self) -> &mut StackTelemetry {
+        &mut self.stack.telemetry
     }
 
     /// Call a service (paper: "service call"). If the service is unbound

@@ -264,7 +264,14 @@ impl Rp2pModule {
             Frame::Data { seq, channel, data } => {
                 let pin = self.inn.entry(src).or_default();
                 if seq >= pin.next_expected {
+                    let out_of_order = seq > pin.next_expected;
                     pin.buffer.insert(seq, (channel, data));
+                    if out_of_order {
+                        // Resequencing pressure: how deep the hole-filling
+                        // buffer runs when frames arrive out of order.
+                        let depth = pin.buffer.len() as u64;
+                        ctx.telemetry().record_reseq_depth(depth);
+                    }
                     // Drain in-order prefix.
                     let mut ready = Vec::new();
                     while let Some(entry) = {
@@ -369,6 +376,10 @@ impl Module for Rp2pModule {
                 pending.push((peer, seq, fr.channel, fr.data.clone()));
                 true
             });
+            if dropped > 0 {
+                let now_ns = ctx.now().as_nanos();
+                ctx.telemetry().note_retransmit_exhausted(now_ns, u64::from(peer.0));
+            }
             self.exhausted += dropped;
         }
         for (peer, seq, channel, data) in pending {

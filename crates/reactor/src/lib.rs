@@ -48,7 +48,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use dpu_core::host::{ActionSink, HostEvent, StackDriver, Wakeup};
 use dpu_core::time::Time;
-use dpu_core::{Stack, StackConfig, StackId};
+use dpu_core::{Stack, StackConfig, StackId, TelemetryConfig};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::io;
@@ -91,6 +91,9 @@ pub struct ReactorConfig {
     pub loss: f64,
     /// Record stack traces.
     pub trace: bool,
+    /// Per-stack observability (histograms, switch timeline, flight
+    /// recorder). On by default like under the other hosts.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ReactorConfig {
@@ -104,6 +107,7 @@ impl ReactorConfig {
             seed: 0,
             loss: 0.0,
             trace: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -382,6 +386,7 @@ impl Reactor {
                 trace: cfg.trace,
                 // Like the live runtime: no topology model.
                 cluster_size: None,
+                telemetry: cfg.telemetry,
             };
             ids.push(id);
             drivers.push(StackDriver::new(mk_stack(sc)));
@@ -485,6 +490,70 @@ impl Reactor {
             total.absorb(self.with_stack(na.id, |s| s.transport_stats()));
         }
         total
+    }
+
+    /// Unified telemetry snapshot across the hosted stacks: the
+    /// histogram families and switch-phase timeline plus wire,
+    /// transport, *and* socket-path counters ([`ReactorStats`] folded
+    /// into the host-agnostic report as its `sockets` block).
+    /// Shape-identical to `Sim::telemetry_report` and
+    /// `Runtime::telemetry_report`.
+    ///
+    /// Must be called from outside the reactor thread.
+    pub fn telemetry_report(&self) -> dpu_core::telemetry::TelemetryReport {
+        let mut agg = dpu_core::telemetry::TelemetryAggregate::new();
+        let mut wire = dpu_core::wire::ScratchStats::default();
+        let mut transport = dpu_core::TransportStats::default();
+        for na in &self.local {
+            let (part, w, t) = self.with_stack(na.id, |s| {
+                let mut part = dpu_core::telemetry::TelemetryAggregate::new();
+                part.absorb(s.telemetry());
+                (part, s.wire_stats(), s.transport_stats())
+            });
+            agg.merge(&part);
+            wire.absorb(w);
+            transport.absorb(t);
+        }
+        let mut report = agg.report("reactor", self.local.len() as u32, self.now().as_nanos());
+        report.wire = dpu_core::telemetry::WireCounters {
+            emitted: wire.emitted,
+            reclaimed: wire.reclaimed,
+            allocations: wire.allocations,
+        };
+        report.transport = dpu_core::telemetry::TransportCounters {
+            retransmissions: transport.retransmissions,
+            exhausted: transport.exhausted,
+            unacked: transport.unacked,
+        };
+        let r = self.stats();
+        report.sockets = Some(dpu_core::telemetry::SocketCounters {
+            packets_sent: r.packets_sent,
+            packets_dropped: r.packets_dropped,
+            unroutable: r.unroutable,
+            send_errors: r.send_errors,
+            malformed_dropped: r.malformed_dropped,
+            misdirected: r.misdirected,
+            packets_received: r.packets_received,
+        });
+        report
+    }
+
+    /// Dump every hosted stack's flight recorder (most recent events,
+    /// oldest first, with drop counts) — the postmortem a failing soak
+    /// or crashed child process prints.
+    ///
+    /// Must be called from outside the reactor thread.
+    pub fn dump_flight_recorders(&self) -> String {
+        let mut out = String::new();
+        for na in &self.local {
+            let chunk = self.with_stack(na.id, move |s| {
+                let mut buf = String::new();
+                s.telemetry().dump_flight(&format!("stack {}", s.id().0), &mut buf);
+                buf
+            });
+            out.push_str(&chunk);
+        }
+        out
     }
 
     /// Stop the loop thread and return the hosted stacks in the order

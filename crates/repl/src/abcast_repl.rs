@@ -264,6 +264,11 @@ impl Module for ReplAbcastModule {
             // Lines 5–6: changeABcast(prot).
             CHANGE_OP => {
                 let Ok(spec) = call.decode::<ModuleSpec>() else { return };
+                // The initiator learns of the switch here; everyone else
+                // when the NewAbcast announcement is adelivered (the
+                // timeline's `requested` stamp is idempotent across both).
+                let now_ns = ctx.now().as_nanos();
+                ctx.telemetry().switch_requested(now_ns);
                 self.abcast(ctx, &ReplPayload::NewAbcast { sn: self.seq_number, spec });
             }
             _ => {}
@@ -281,7 +286,14 @@ impl Module for ReplAbcastModule {
                 if sn != self.seq_number {
                     return; // stale switch request from an old protocol
                 }
+                let now_ns = ctx.now().as_nanos();
+                ctx.telemetry().switch_requested(now_ns);
                 self.seq_number += 1; // line 11
+                                      // Under Repl there is no explicit flush protocol: the
+                                      // total order itself guarantees old-protocol messages are
+                                      // all delivered or reissued, so "flushed" coincides with
+                                      // the unbind of the outgoing provider.
+                ctx.telemetry().switch_flushed(now_ns);
                 ctx.unbind(&self.required); // line 12
                 match ctx.create_module(&spec) {
                     // lines 13–14 (create_module binds the new provider
@@ -295,6 +307,8 @@ impl Module for ReplAbcastModule {
                         panic!("replacement failed on {}: {e}", ctx.stack_id());
                     }
                 }
+                let activated_ns = ctx.now().as_nanos();
+                ctx.telemetry().switch_activated(activated_ns);
                 self.switches_applied += 1;
                 self.last_switch_at = Some(ctx.now());
                 self.switch_times.push(ctx.now());
@@ -313,6 +327,11 @@ impl Module for ReplAbcastModule {
                 }
                 self.undelivered.remove(&id); // lines 19–20
                 self.delivered_count += 1;
+                // Closes the blackout window on the first post-switch
+                // delivery regardless of whether the consumer above
+                // timestamps its messages.
+                let now_ns = ctx.now().as_nanos();
+                ctx.telemetry().note_switch_delivery(now_ns);
                 ctx.respond(&self.provided, ab_ops::ADELIVER, data); // line 21
             }
         }

@@ -299,6 +299,8 @@ impl MaestroSwitcher {
         }
         self.epoch = epoch;
         self.phase = Phase::Flushing;
+        let now_ns = ctx.now().as_nanos();
+        ctx.telemetry().switch_requested(now_ns);
         self.pending_spec = Some(spec);
         self.coordinator = Some(coord);
         self.markers_seen.clear();
@@ -323,6 +325,8 @@ impl MaestroSwitcher {
             return;
         }
         // Old protocol drained: whole-module teardown + rebuild.
+        let now_ns = ctx.now().as_nanos();
+        ctx.telemetry().switch_flushed(now_ns);
         let spec = self.pending_spec.take().expect("spec set at flush");
         if let Some(old) = ctx.bound(&self.required) {
             ctx.destroy_module(old);
@@ -330,6 +334,8 @@ impl MaestroSwitcher {
         if let Err(e) = ctx.create_module(&spec) {
             panic!("maestro rebuild failed on {}: {e}", ctx.stack_id());
         }
+        let now_ns = ctx.now().as_nanos();
+        ctx.telemetry().switch_activated(now_ns);
         self.phase = Phase::WaitResume;
         let coord = self.coordinator.expect("coordinator set at flush");
         let epoch = self.epoch;
@@ -391,6 +397,8 @@ impl Module for MaestroSwitcher {
                 let epoch = self.epoch + 1;
                 let me = ctx.stack_id();
                 self.switch_started = Some(ctx.now());
+                let now_ns = ctx.now().as_nanos();
+                ctx.telemetry().switch_requested(now_ns);
                 for peer in ctx.peers().to_vec() {
                     self.send_coord(
                         ctx,
@@ -409,6 +417,10 @@ impl Module for MaestroSwitcher {
             match env {
                 Envelope::Data { data } => {
                     self.delivered_count += 1;
+                    // First post-switch delivery closes the blackout
+                    // window even without a timestamping consumer.
+                    let now_ns = ctx.now().as_nanos();
+                    ctx.telemetry().note_switch_delivery(now_ns);
                     ctx.respond(&self.provided, ab_ops::ADELIVER, data);
                 }
                 Envelope::Marker { epoch, from } => {

@@ -55,7 +55,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dpu_core::host::{ActionSink, HostEvent, StackDriver, Wakeup};
 use dpu_core::time::{Dur, Time};
-use dpu_core::{Stack, StackConfig, StackId};
+use dpu_core::{Stack, StackConfig, StackId, TelemetryConfig};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -85,13 +85,24 @@ pub struct RuntimeConfig {
     pub delay: Dur,
     /// Record stack traces.
     pub trace: bool,
+    /// Per-stack observability (histograms, switch timeline, flight
+    /// recorder). On by default like under the simulator.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
     /// `n` stacks with no fault injection, shard count picked
     /// automatically.
     pub fn new(n: u32) -> RuntimeConfig {
-        RuntimeConfig { n, shards: 0, seed: 0, loss: 0.0, delay: Dur::ZERO, trace: false }
+        RuntimeConfig {
+            n,
+            shards: 0,
+            seed: 0,
+            loss: 0.0,
+            delay: Dur::ZERO,
+            trace: false,
+            telemetry: TelemetryConfig::default(),
+        }
     }
 
     /// Set the shard-thread count (builder style). Capped to `n` at
@@ -396,6 +407,7 @@ impl Runtime {
                 // The live runtime has no topology model: one flat
                 // cluster, which locality-aware protocols degenerate to.
                 cluster_size: None,
+                telemetry: cfg.telemetry,
             };
             let (ids, drivers) = &mut by_shard[(i as usize) % shards];
             ids.push(StackId(i));
@@ -486,6 +498,60 @@ impl Runtime {
             total.absorb(self.with_stack(StackId(i), |s| s.transport_stats()));
         }
         total
+    }
+
+    /// Unified telemetry snapshot across every stack: delivery-latency /
+    /// cascade-depth / scratch-occupancy / reseq-depth histograms, the
+    /// switch-phase timeline, and wire + transport counter families.
+    /// Shape-identical to `Sim::telemetry_report` and
+    /// `Reactor::telemetry_report`.
+    ///
+    /// Like [`Runtime::with_stack`], must be called from outside the
+    /// shard threads.
+    pub fn telemetry_report(&self) -> dpu_core::telemetry::TelemetryReport {
+        let mut agg = dpu_core::telemetry::TelemetryAggregate::new();
+        let mut wire = dpu_core::wire::ScratchStats::default();
+        let mut transport = dpu_core::TransportStats::default();
+        for i in 0..self.n() {
+            let (part, w, t) = self.with_stack(StackId(i), |s| {
+                let mut part = dpu_core::telemetry::TelemetryAggregate::new();
+                part.absorb(s.telemetry());
+                (part, s.wire_stats(), s.transport_stats())
+            });
+            agg.merge(&part);
+            wire.absorb(w);
+            transport.absorb(t);
+        }
+        let mut report = agg.report("runtime", self.n(), self.now().as_nanos());
+        report.wire = dpu_core::telemetry::WireCounters {
+            emitted: wire.emitted,
+            reclaimed: wire.reclaimed,
+            allocations: wire.allocations,
+        };
+        report.transport = dpu_core::telemetry::TransportCounters {
+            retransmissions: transport.retransmissions,
+            exhausted: transport.exhausted,
+            unacked: transport.unacked,
+        };
+        report
+    }
+
+    /// Dump every stack's flight recorder (most recent events, oldest
+    /// first, with drop counts) — the postmortem a failing soak prints.
+    ///
+    /// Like [`Runtime::with_stack`], must be called from outside the
+    /// shard threads.
+    pub fn dump_flight_recorders(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n() {
+            let chunk = self.with_stack(StackId(i), move |s| {
+                let mut buf = String::new();
+                s.telemetry().dump_flight(&format!("stack {}", s.id().0), &mut buf);
+                buf
+            });
+            out.push_str(&chunk);
+        }
+        out
     }
 
     /// Run a closure against the stack of node `id` (on its owning

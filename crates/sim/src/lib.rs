@@ -75,7 +75,7 @@ use dpu_core::host::{ActionSink, StackDriver};
 use dpu_core::stack::StepCategory;
 use dpu_core::time::{Dur, Time};
 use dpu_core::trace::TraceLog;
-use dpu_core::{Stack, StackConfig, StackId};
+use dpu_core::{Stack, StackConfig, StackId, TelemetryConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sched::Scheduler;
@@ -168,6 +168,11 @@ pub struct SimConfig {
     /// and only clustered topologies have exploitable parallelism; see
     /// the [`par`] module docs.
     pub workers: usize,
+    /// Per-stack observability (histograms, switch timeline, flight
+    /// recorder). On by default like `trace`; capacity runs switch it
+    /// off. Never affects simulation results — telemetry records, it
+    /// does not feed back.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -182,6 +187,7 @@ impl SimConfig {
             sched: SchedConfig::default(),
             topology: None,
             workers: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -632,7 +638,14 @@ impl Sim {
         peers: &Arc<[StackId]>,
         id: StackId,
     ) -> StackConfig {
-        StackConfig { id, peers: Arc::clone(peers), seed: cfg.seed, trace: cfg.trace, cluster_size }
+        StackConfig {
+            id,
+            peers: Arc::clone(peers),
+            seed: cfg.seed,
+            trace: cfg.trace,
+            cluster_size,
+            telemetry: cfg.telemetry,
+        }
     }
 
     #[inline]
@@ -1025,6 +1038,48 @@ impl Sim {
             }
         }
         total
+    }
+
+    /// The unified observability report: per-stack telemetry partials
+    /// (latency/cascade/occupancy histograms, switch timelines, flight
+    /// drops) folded by addition — the same order-independent fold as
+    /// [`Sim::wire_stats`] — plus the wire and transport counter
+    /// families. Shape-identical to `Runtime::telemetry_report` and
+    /// `Reactor::telemetry_report`.
+    pub fn telemetry_report(&self) -> dpu_core::telemetry::TelemetryReport {
+        let mut agg = dpu_core::telemetry::TelemetryAggregate::new();
+        for shard in &self.shards {
+            for driver in shard.nodes.drivers() {
+                agg.absorb(driver.stack().telemetry());
+            }
+        }
+        let mut report = agg.report("sim", self.cfg.n, self.now.as_nanos());
+        let w = self.wire_stats();
+        report.wire = dpu_core::telemetry::WireCounters {
+            emitted: w.emitted,
+            reclaimed: w.reclaimed,
+            allocations: w.allocations,
+        };
+        let t = self.transport_stats();
+        report.transport = dpu_core::telemetry::TransportCounters {
+            retransmissions: t.retransmissions,
+            exhausted: t.exhausted,
+            unacked: t.unacked,
+        };
+        report
+    }
+
+    /// Dump every stack's flight recorder (most recent events, oldest
+    /// first, with drop counts) — the postmortem a failing soak prints.
+    pub fn dump_flight_recorders(&self) -> String {
+        let mut out = String::new();
+        for shard in &self.shards {
+            for driver in shard.nodes.drivers() {
+                let stack = driver.stack();
+                stack.telemetry().dump_flight(&format!("stack {}", stack.id().0), &mut out);
+            }
+        }
+        out
     }
 
     /// Merge and take the traces of all stacks.

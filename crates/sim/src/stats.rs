@@ -239,6 +239,89 @@ mod tests {
         );
     }
 
+    /// Folding is pure addition, so the totals must come out identical
+    /// whichever grouping (or worker count) produced the partials:
+    /// folding three shard partials one-by-one equals folding a
+    /// pre-summed pair plus the remainder, in any order.
+    #[test]
+    fn fold_by_addition_is_grouping_independent() {
+        let partials: Vec<SimStats> = (1..=3u64)
+            .map(|k| SimStats {
+                packets_sent: 10 * k,
+                dropped_loss: k,
+                dropped_partition: 2 * k,
+                packets_delivered: 7 * k,
+                bytes_sent: 100 * k,
+                steps: 5 * k,
+                events: 20 * k,
+                ..SimStats::default()
+            })
+            .collect();
+
+        // One shard at a time, installation order.
+        let mut one_by_one = SimStats::default();
+        for p in &partials {
+            one_by_one.absorb(p);
+        }
+
+        // Pre-summed pair (as a two-worker engine would hand back),
+        // then the straggler, reversed order.
+        let mut pair = SimStats::default();
+        pair.absorb(&partials[2]);
+        pair.absorb(&partials[1]);
+        let mut grouped = SimStats::default();
+        grouped.absorb(&pair);
+        grouped.absorb(&partials[0]);
+
+        assert_eq!(one_by_one, grouped);
+        assert_eq!(one_by_one.packets_sent, 60);
+        assert_eq!(one_by_one.packets_dropped(), 18);
+        assert_eq!(one_by_one.events, 120);
+    }
+
+    /// Golden snapshot of the full `Display` output: format changes
+    /// must be deliberate (update this string when they are).
+    #[test]
+    fn report_display_golden_snapshot() {
+        let stats = SimStats {
+            packets_sent: 120,
+            dropped_loss: 3,
+            dropped_partition: 1,
+            packets_delivered: 116,
+            bytes_sent: 7680,
+            steps: 240,
+            events: 500,
+            per_shard: vec![
+                ShardStats { events: 260, packets_delivered: 60, steps: 130 },
+                ShardStats { events: 230, packets_delivered: 56, steps: 110 },
+            ],
+            workloads: vec![WorkloadStats {
+                name: "bursty".into(),
+                injected: 64,
+                bursts: 4,
+                ..WorkloadStats::default()
+            }],
+        };
+        let report = SimReport {
+            n: 8,
+            now: dpu_core::time::Time(2_500_000_000),
+            stats,
+            wire: ScratchStats { emitted: 120, reclaimed: 120, allocations: 6 },
+            transport: TransportStats { retransmissions: 2, exhausted: 0, unacked: 1 },
+            mem: MemStats { bytes_total: 160_000, bytes_per_stack: 20_000 },
+        };
+        let expected = "\
+# sim report: n = 8, t = 2500.000ms
+packets: sent 120 delivered 116 dropped 4 (loss 3 / partition 1), 7680 payload bytes
+dispatch: 500 events, 240 stack steps
+shards (events/delivered/steps): [0] 260/60/130 [1] 230/56/110
+workload bursty       injected 64, bursts 4
+wire: 120 emitted, 120 reclaimed, 6 allocations
+transport: 2 retransmissions, 0 exhausted, 1 unacked
+memory: ~20000 bytes/stack structural (160000 total)";
+        assert_eq!(report.to_string(), expected);
+    }
+
     #[test]
     fn report_renders_one_summary() {
         let stats = SimStats {

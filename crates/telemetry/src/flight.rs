@@ -1,0 +1,183 @@
+//! Crash flight recorder: a fixed-capacity ring of the last N telemetry
+//! events per stack.
+//!
+//! The recorder exists for the moment a soak assertion trips or a
+//! `cross_switch_net` child dies: instead of an opaque digest mismatch,
+//! the harness dumps each stack's final seconds of life — deliveries,
+//! switch phases, crashes, module teardown — in event order. Capacity
+//! is fixed at construction; once full, each push evicts the oldest
+//! entry and bumps `dropped`, so the dump always says how much history
+//! it is missing. Pushing is alloc-free: the ring is pre-sized and
+//! events are plain `Copy` records.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default ring capacity (events retained per stack).
+pub const FLIGHT_CAPACITY: usize = 64;
+
+/// What happened, for the dump reader. Kinds mirror the trace event
+/// vocabulary but stay a closed enum so the recorder needs no strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A message reached its final consumer (probe/application layer).
+    Delivery,
+    /// A protocol switch was requested on this stack.
+    SwitchRequested,
+    /// The outgoing module finished flushing and was unbound.
+    SwitchFlushed,
+    /// The replacement module was created and bound.
+    SwitchActivated,
+    /// First post-activation delivery — the blackout window closed.
+    SwitchFirstDelivery,
+    /// The stack crashed (fail-stop).
+    Crash,
+    /// A module destroyed itself (`ctx.destroy_self`).
+    ModuleDestroyed,
+    /// rp2p gave up on a peer after exhausting retransmissions.
+    RetransmitExhausted,
+}
+
+impl fmt::Display for FlightKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlightKind::Delivery => "delivery",
+            FlightKind::SwitchRequested => "switch-requested",
+            FlightKind::SwitchFlushed => "switch-flushed",
+            FlightKind::SwitchActivated => "switch-activated",
+            FlightKind::SwitchFirstDelivery => "switch-first-delivery",
+            FlightKind::Crash => "crash",
+            FlightKind::ModuleDestroyed => "module-destroyed",
+            FlightKind::RetransmitExhausted => "retransmit-exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One flight-recorder entry: when, what, and one kind-specific detail
+/// word (switch sequence number, latency, peer id — the dump labels it
+/// generically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Stack-local time in nanoseconds.
+    pub at_ns: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Kind-specific detail (0 when the kind has none).
+    pub detail: u64,
+}
+
+/// Fixed-capacity ring of the most recent [`FlightEvent`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightRecorder {
+    ring: VecDeque<FlightEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events. The ring is
+    /// allocated up front so pushes never allocate.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { ring: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Append an event, evicting (and counting) the oldest when full.
+    #[inline]
+    pub fn push(&mut self, at_ns: u64, kind: FlightKind, detail: u64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(FlightEvent { at_ns, kind, detail });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    /// Events evicted to make room (history the dump is missing).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Heap bytes behind the ring (the struct itself is counted by its
+    /// embedder).
+    pub fn mem_bytes(&self) -> usize {
+        self.ring.capacity() * std::mem::size_of::<FlightEvent>()
+    }
+
+    /// Render the ring as postmortem lines, one event per line, prefixed
+    /// with `label` (typically the stack id). Used by soak harnesses and
+    /// the cross-process demo on failure.
+    pub fn dump(&self, label: &str, out: &mut String) {
+        use fmt::Write;
+        let _ = writeln!(
+            out,
+            "[{label}] flight recorder: {} events retained, {} dropped",
+            self.ring.len(),
+            self.dropped
+        );
+        for ev in &self.ring {
+            let _ = writeln!(
+                out,
+                "[{label}]   t={:>12}ns  {:<22} detail={}",
+                ev.at_ns,
+                ev.kind.to_string(),
+                ev.detail
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.push(i, FlightKind::Delivery, i);
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.dropped(), 6);
+        let kept: Vec<u64> = fr.events().map(|e| e.at_ns).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest evicted first");
+    }
+
+    #[test]
+    fn push_never_reallocates() {
+        let mut fr = FlightRecorder::new(8);
+        let cap0 = fr.ring.capacity();
+        for i in 0..1000u64 {
+            fr.push(i, FlightKind::Crash, 0);
+        }
+        assert_eq!(fr.ring.capacity(), cap0, "ring must stay at its pre-sized capacity");
+    }
+
+    #[test]
+    fn dump_mentions_drops_and_every_event() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(10, FlightKind::SwitchRequested, 1);
+        fr.push(20, FlightKind::SwitchActivated, 1);
+        fr.push(30, FlightKind::SwitchFirstDelivery, 1);
+        let mut out = String::new();
+        fr.dump("s3", &mut out);
+        assert!(out.contains("1 dropped"), "{out}");
+        assert!(out.contains("switch-activated"), "{out}");
+        assert!(out.contains("switch-first-delivery"), "{out}");
+        assert!(!out.contains("switch-requested"), "evicted event must not appear: {out}");
+    }
+}

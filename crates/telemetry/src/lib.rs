@@ -1,0 +1,358 @@
+//! Unified observability for the DPU stacks: lock-free log-linear
+//! histograms, a switch-phase timeline, and a crash flight recorder —
+//! one [`TelemetryReport`] shape across all three hosts.
+//!
+//! The paper's claim is that a dynamic protocol update is *cheap under
+//! live traffic*; the repo could previously only assert it was *safe*
+//! (digests, conformance matrices). This crate measures what an
+//! operator would actually watch during a switch:
+//!
+//! - **delivery latency** — end-to-end probe send → adeliver, per
+//!   stack, as a [`Histogram`] whose p999 survives bursty workloads
+//!   that averages hide;
+//! - **switch blackout** — a [`SwitchTimeline`] stamping every switch's
+//!   requested / flushed / activated / first-delivery instants, so
+//!   benches report "how long did clients go dark" per variant;
+//! - **queue pressure** — dispatch-cascade depth and scratch-pool
+//!   occupancy histograms;
+//! - **postmortems** — a fixed-capacity [`FlightRecorder`] per stack
+//!   that failing soaks dump instead of an opaque digest mismatch.
+//!
+//! # Overhead discipline
+//!
+//! Every stack embeds one [`StackTelemetry`]. Recording is alloc-free
+//! and wait-free: a stack is single-threaded by construction (exactly
+//! like its `WireScratch` pool), so counters are plain integers —
+//! no locks, no atomics — and hosts aggregate by merge-by-addition,
+//! which is order-independent and therefore cannot perturb the
+//! `par_equiv` serial/parallel bit-equality. Telemetry never feeds back
+//! into protocol behaviour, so the golden trace fingerprint is
+//! untouched by construction. [`TelemetryConfig::off()`] leaves the
+//! state unallocated: every record call is then a single
+//! `Option` branch, and the per-stack cost is one pointer — the mode
+//! the 65536-stack capacity smoke runs in. Enabled, the state is one
+//! boxed block of fixed-size histograms plus the flight ring
+//! (~17 KB/stack; see ARCHITECTURE.md "Observability" for the budget).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod timeline;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FLIGHT_CAPACITY};
+pub use hist::{HistSummary, Histogram};
+pub use report::{
+    SocketCounters, SwitchSummary, TelemetryAggregate, TelemetryReport, TransportCounters,
+    WireCounters,
+};
+pub use timeline::{SwitchRecord, SwitchTimeline};
+
+/// Per-stack telemetry switchboard, set at stack construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. Off = no state allocated, every record call is a
+    /// single branch on a `None`.
+    pub enabled: bool,
+    /// Flight-recorder ring capacity (events retained per stack).
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    /// On, with the default flight capacity — matching the repo's
+    /// trace-on-by-default convention for tests and examples.
+    fn default() -> Self {
+        TelemetryConfig { enabled: true, flight_capacity: FLIGHT_CAPACITY }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully disabled: one pointer of per-stack cost, record
+    /// calls compile to a branch. The capacity smokes run this.
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig { enabled: false, flight_capacity: 0 }
+    }
+
+    /// Telemetry on with default capacities.
+    pub fn on() -> TelemetryConfig {
+        TelemetryConfig::default()
+    }
+}
+
+/// The allocated half of a [`StackTelemetry`]: fixed-size histograms,
+/// the switch timeline, and the flight ring. One heap block per
+/// instrumented stack; nothing here grows during a run.
+#[derive(Debug)]
+pub struct TelemetryState {
+    /// End-to-end delivery latency, nanoseconds.
+    pub delivery_latency: Histogram,
+    /// Dispatch-cascade depth (stack steps per external trigger).
+    pub cascade_depth: Histogram,
+    /// Scratch-pool occupancy at packet arrival, bytes.
+    pub scratch_occupancy: Histogram,
+    /// rp2p resequencing-buffer depth at out-of-order insert.
+    pub reseq_depth: Histogram,
+    /// Switch-phase timeline.
+    pub switches: SwitchTimeline,
+    /// Crash flight recorder.
+    pub flight: FlightRecorder,
+    /// Steps taken in the cascade currently being dispatched.
+    cascade_run: u32,
+}
+
+/// One stack's telemetry: embedded in every `Stack`, single-threaded
+/// like the rest of the stack's state. All record methods are `#[inline]`
+/// and reduce to one branch when telemetry is off.
+#[derive(Debug, Default)]
+pub struct StackTelemetry {
+    state: Option<Box<TelemetryState>>,
+}
+
+impl StackTelemetry {
+    /// Build per the config: `None` state when disabled.
+    pub fn new(cfg: &TelemetryConfig) -> StackTelemetry {
+        if !cfg.enabled {
+            return StackTelemetry { state: None };
+        }
+        StackTelemetry {
+            state: Some(Box::new(TelemetryState {
+                delivery_latency: Histogram::new(),
+                cascade_depth: Histogram::new(),
+                scratch_occupancy: Histogram::new(),
+                reseq_depth: Histogram::new(),
+                switches: SwitchTimeline::new(),
+                flight: FlightRecorder::new(cfg.flight_capacity),
+                cascade_run: 0,
+            })),
+        }
+    }
+
+    /// A disabled instance (what `Default` also gives).
+    pub fn disabled() -> StackTelemetry {
+        StackTelemetry { state: None }
+    }
+
+    /// Whether this stack records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The allocated state, if enabled (aggregation and dumps).
+    pub fn state(&self) -> Option<&TelemetryState> {
+        self.state.as_deref()
+    }
+
+    /// An end-to-end delivery: records latency, closes a pending switch
+    /// record if the new module is active, and logs a flight event.
+    #[inline]
+    pub fn note_delivery(&mut self, now_ns: u64, latency_ns: u64) {
+        let Some(s) = &mut self.state else { return };
+        s.delivery_latency.record(latency_ns);
+        s.flight.push(now_ns, FlightKind::Delivery, latency_ns);
+        if let Some(done) = s.switches.note_delivery(now_ns) {
+            s.flight.push(now_ns, FlightKind::SwitchFirstDelivery, done.ordinal);
+        }
+    }
+
+    /// An upward delivery with no latency sample attached — the switch
+    /// layer calls this for every `ADELIVER` it forwards, so the
+    /// blackout window closes even on stacks whose consumers do not
+    /// timestamp their messages (a replicated service, say, rather
+    /// than a probe). Only the timeline moves; the latency histogram
+    /// is fed solely by [`Self::note_delivery`].
+    #[inline]
+    pub fn note_switch_delivery(&mut self, now_ns: u64) {
+        let Some(s) = &mut self.state else { return };
+        if let Some(done) = s.switches.note_delivery(now_ns) {
+            s.flight.push(now_ns, FlightKind::SwitchFirstDelivery, done.ordinal);
+        }
+    }
+
+    /// One stack step dispatched inside the current cascade.
+    #[inline]
+    pub fn cascade_step(&mut self) {
+        if let Some(s) = &mut self.state {
+            s.cascade_run += 1;
+        }
+    }
+
+    /// The cascade drained: record its depth and reset.
+    #[inline]
+    pub fn cascade_end(&mut self) {
+        let Some(s) = &mut self.state else { return };
+        if s.cascade_run > 0 {
+            s.cascade_depth.record(u64::from(s.cascade_run));
+            s.cascade_run = 0;
+        }
+    }
+
+    /// Scratch-pool occupancy sample (bytes), taken at packet arrival.
+    #[inline]
+    pub fn record_scratch_occupancy(&mut self, bytes: u64) {
+        if let Some(s) = &mut self.state {
+            s.scratch_occupancy.record(bytes);
+        }
+    }
+
+    /// rp2p resequencing-buffer depth after an out-of-order insert.
+    #[inline]
+    pub fn record_reseq_depth(&mut self, depth: u64) {
+        if let Some(s) = &mut self.state {
+            s.reseq_depth.record(depth);
+        }
+    }
+
+    /// The stack learned a protocol switch is coming (idempotent while
+    /// one is pending).
+    #[inline]
+    pub fn switch_requested(&mut self, now_ns: u64) {
+        let Some(s) = &mut self.state else { return };
+        let fresh = s.switches.pending().is_none();
+        s.switches.requested(now_ns);
+        if fresh {
+            let ordinal = s.switches.pending().map_or(0, |r| r.ordinal);
+            s.flight.push(now_ns, FlightKind::SwitchRequested, ordinal);
+        }
+    }
+
+    /// The outgoing module flushed and was unbound.
+    #[inline]
+    pub fn switch_flushed(&mut self, now_ns: u64) {
+        let Some(s) = &mut self.state else { return };
+        s.switches.flushed(now_ns);
+        let ordinal = s.switches.pending().map_or(0, |r| r.ordinal);
+        s.flight.push(now_ns, FlightKind::SwitchFlushed, ordinal);
+    }
+
+    /// The replacement module was created and bound.
+    #[inline]
+    pub fn switch_activated(&mut self, now_ns: u64) {
+        let Some(s) = &mut self.state else { return };
+        s.switches.activated(now_ns);
+        let ordinal = s.switches.pending().map_or(0, |r| r.ordinal);
+        s.flight.push(now_ns, FlightKind::SwitchActivated, ordinal);
+    }
+
+    /// The stack crashed (fail-stop).
+    #[inline]
+    pub fn note_crash(&mut self, now_ns: u64) {
+        if let Some(s) = &mut self.state {
+            s.flight.push(now_ns, FlightKind::Crash, 0);
+        }
+    }
+
+    /// A module destroyed itself.
+    #[inline]
+    pub fn note_module_destroyed(&mut self, now_ns: u64) {
+        if let Some(s) = &mut self.state {
+            s.flight.push(now_ns, FlightKind::ModuleDestroyed, 0);
+        }
+    }
+
+    /// rp2p exhausted retransmissions toward `peer`.
+    #[inline]
+    pub fn note_retransmit_exhausted(&mut self, now_ns: u64, peer: u64) {
+        if let Some(s) = &mut self.state {
+            s.flight.push(now_ns, FlightKind::RetransmitExhausted, peer);
+        }
+    }
+
+    /// Render this stack's flight ring as postmortem lines (no-op when
+    /// disabled).
+    pub fn dump_flight(&self, label: &str, out: &mut String) {
+        if let Some(s) = &self.state {
+            s.flight.dump(label, out);
+        }
+    }
+
+    /// Resident bytes of the telemetry state: the boxed block plus the
+    /// heap behind each component (0 when disabled). The pointer-sized
+    /// handle itself is counted by the stack that embeds it.
+    pub fn mem_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| {
+            std::mem::size_of::<TelemetryState>()
+                + s.delivery_latency.mem_bytes()
+                + s.cascade_depth.mem_bytes()
+                + s.scratch_occupancy.mem_bytes()
+                + s.reseq_depth.mem_bytes()
+                + s.switches.mem_bytes()
+                + s.flight.mem_bytes()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_allocates_nothing_and_records_nowhere() {
+        let mut t = StackTelemetry::new(&TelemetryConfig::off());
+        assert!(!t.is_enabled());
+        t.note_delivery(10, 5);
+        t.cascade_step();
+        t.cascade_end();
+        t.record_scratch_occupancy(100);
+        t.switch_requested(1);
+        t.switch_activated(2);
+        t.note_delivery(3, 1);
+        assert!(t.state().is_none());
+        assert_eq!(t.mem_bytes(), 0);
+        assert_eq!(std::mem::size_of::<StackTelemetry>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn cascade_depth_counts_steps_per_drain() {
+        let mut t = StackTelemetry::new(&TelemetryConfig::default());
+        for _ in 0..3 {
+            t.cascade_step();
+        }
+        t.cascade_end();
+        t.cascade_step();
+        t.cascade_end();
+        t.cascade_end(); // empty drains record nothing
+        let s = t.state().unwrap();
+        assert_eq!(s.cascade_depth.count(), 2);
+        assert_eq!(s.cascade_depth.max(), 3);
+        assert_eq!(s.cascade_depth.min(), 1);
+    }
+
+    #[test]
+    fn delivery_closes_switch_and_logs_flight_trail() {
+        let mut t = StackTelemetry::new(&TelemetryConfig::default());
+        t.switch_requested(100);
+        t.switch_requested(150); // announcement after CHANGE_OP: no second flight event
+        t.switch_flushed(200);
+        t.switch_activated(250);
+        t.note_delivery(400, 42);
+        let s = t.state().unwrap();
+        assert_eq!(s.switches.completed(), 1);
+        assert_eq!(s.switches.blackout().max(), 300);
+        let kinds: Vec<FlightKind> = s.flight.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlightKind::SwitchRequested,
+                FlightKind::SwitchFlushed,
+                FlightKind::SwitchActivated,
+                FlightKind::Delivery,
+                FlightKind::SwitchFirstDelivery,
+            ]
+        );
+    }
+
+    #[test]
+    fn enabled_mem_budget_is_documented() {
+        let t = StackTelemetry::new(&TelemetryConfig::default());
+        let bytes = t.mem_bytes();
+        // The ARCHITECTURE.md budget: fixed, and comfortably under 20 KB
+        // per instrumented stack (4 + 2 histograms ≈ 2.4 KB each, a
+        // 64-event flight ring, the timeline bookkeeping).
+        assert!(bytes > 10_000, "suspiciously small: {bytes}");
+        assert!(bytes < 20_000, "telemetry state grew past its budget: {bytes}");
+    }
+}

@@ -1,0 +1,386 @@
+//! The unified `TelemetryReport`: one shape, emitted by all three
+//! hosts.
+//!
+//! `Sim::telemetry_report()`, `Runtime::telemetry_report()`, and
+//! `Reactor::telemetry_report()` all fold their per-stack
+//! [`crate::StackTelemetry`] partials through a [`TelemetryAggregate`]
+//! and emit this struct — so an operator (or a bench harness) reads the
+//! same fields whatever host ran the stacks. The host-specific counter
+//! families the repo used to print ad hoc — `ScratchStats`,
+//! `TransportStats`, `ReactorStats` — arrive here as plain counter
+//! mirrors ([`WireCounters`], [`TransportCounters`], [`SocketCounters`])
+//! so this crate stays below `dpu-core` in the dependency graph.
+//!
+//! `Display` renders the human block; [`TelemetryReport::to_json`]
+//! renders the machine form through [`crate::json::JsonWriter`].
+
+use crate::hist::{HistSummary, Histogram};
+use crate::json::JsonWriter;
+use crate::timeline::SwitchTimeline;
+use crate::StackTelemetry;
+use std::fmt;
+
+/// Mirror of `dpu_core::wire::ScratchStats` (per-stack scratch pools,
+/// folded by addition).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Messages encoded through the scratch pools.
+    pub emitted: u64,
+    /// Messages whose backing buffer was reclaimed.
+    pub reclaimed: u64,
+    /// Messages that required a new backing allocation.
+    pub allocations: u64,
+}
+
+/// Mirror of `dpu_core::module::TransportStats` (rp2p reliability,
+/// folded by addition).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Data frames retransmitted.
+    pub retransmissions: u64,
+    /// Frames dropped after exhausting the retransmit cap.
+    pub exhausted: u64,
+    /// Frames currently awaiting acknowledgement.
+    pub unacked: u64,
+}
+
+/// Mirror of `dpu_reactor::ReactorStats` (OS-socket edge; zero and
+/// absent from Display on the in-memory hosts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketCounters {
+    /// Frames handed to the send path.
+    pub packets_sent: u64,
+    /// Frames dropped by the injected loss model.
+    pub packets_dropped: u64,
+    /// Frames with no peer-table route.
+    pub unroutable: u64,
+    /// `send_to` errors.
+    pub send_errors: u64,
+    /// Malformed datagrams dropped on receive.
+    pub malformed_dropped: u64,
+    /// Well-formed frames for stacks not hosted here.
+    pub misdirected: u64,
+    /// Datagrams received and decoded.
+    pub packets_received: u64,
+}
+
+/// Percentile view of the switch-phase timeline across all stacks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SwitchSummary {
+    /// Completed switches (summed over stacks).
+    pub completed: u64,
+    /// Blackout window (`first_delivery − requested`), nanoseconds.
+    pub blackout_ns: HistSummary,
+    /// Flush→activate gap, nanoseconds.
+    pub swap_gap_ns: HistSummary,
+}
+
+/// Host-side fold of per-stack [`StackTelemetry`] partials.
+///
+/// Built by each host's report path the same way `Sim::wire_stats`
+/// folds `ScratchStats`: iterate the stacks, [`absorb`](Self::absorb)
+/// each one. Every constituent merges by addition, so the fold is
+/// order-independent — shard or worker iteration order cannot change
+/// the report.
+#[derive(Debug, Default)]
+pub struct TelemetryAggregate {
+    /// Stacks with telemetry enabled that were folded in.
+    pub stacks_enabled: u32,
+    /// End-to-end delivery latency, nanoseconds.
+    pub delivery_latency: Histogram,
+    /// Dispatch-cascade depth (steps per externally-triggered cascade).
+    pub cascade_depth: Histogram,
+    /// Scratch-pool occupancy at packet arrival, bytes.
+    pub scratch_occupancy: Histogram,
+    /// rp2p resequencing-buffer depth at out-of-order insert.
+    pub reseq_depth: Histogram,
+    /// Merged switch timelines.
+    pub switches: SwitchTimeline,
+    /// Flight-recorder events evicted across all stacks.
+    pub flight_dropped: u64,
+}
+
+impl TelemetryAggregate {
+    /// An empty aggregate.
+    pub fn new() -> TelemetryAggregate {
+        TelemetryAggregate::default()
+    }
+
+    /// Fold one stack's telemetry in (no-op for disabled stacks).
+    pub fn absorb(&mut self, t: &StackTelemetry) {
+        let Some(state) = t.state() else { return };
+        self.stacks_enabled += 1;
+        self.delivery_latency.merge(&state.delivery_latency);
+        self.cascade_depth.merge(&state.cascade_depth);
+        self.scratch_occupancy.merge(&state.scratch_occupancy);
+        self.reseq_depth.merge(&state.reseq_depth);
+        self.switches.merge(&state.switches);
+        self.flight_dropped += state.flight.dropped();
+    }
+
+    /// Fold another aggregate into this one (hosts that visit stacks
+    /// through per-shard control channels fold one partial per stack).
+    pub fn merge(&mut self, other: &TelemetryAggregate) {
+        self.stacks_enabled += other.stacks_enabled;
+        self.delivery_latency.merge(&other.delivery_latency);
+        self.cascade_depth.merge(&other.cascade_depth);
+        self.scratch_occupancy.merge(&other.scratch_occupancy);
+        self.reseq_depth.merge(&other.reseq_depth);
+        self.switches.merge(&other.switches);
+        self.flight_dropped += other.flight_dropped;
+    }
+
+    /// Condense into the report a host hands to callers.
+    pub fn report(&self, host: &'static str, stacks: u32, now_ns: u64) -> TelemetryReport {
+        TelemetryReport {
+            host,
+            stacks,
+            stacks_enabled: self.stacks_enabled,
+            now_ns,
+            delivery_latency_ns: self.delivery_latency.summary(),
+            cascade_depth: self.cascade_depth.summary(),
+            scratch_occupancy_bytes: self.scratch_occupancy.summary(),
+            reseq_depth: self.reseq_depth.summary(),
+            switches: SwitchSummary {
+                completed: self.switches.completed(),
+                blackout_ns: self.switches.blackout().summary(),
+                swap_gap_ns: self.switches.swap_gap().summary(),
+            },
+            flight_dropped: self.flight_dropped,
+            wire: WireCounters::default(),
+            transport: TransportCounters::default(),
+            sockets: None,
+        }
+    }
+}
+
+/// The unified observability report — same shape from Sim, Runtime,
+/// and Reactor. Histogram fields are percentile summaries; counter
+/// families mirror the host-side stats structs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryReport {
+    /// Which host produced this: `"sim"`, `"runtime"`, or `"reactor"`.
+    pub host: &'static str,
+    /// Stacks the host drives.
+    pub stacks: u32,
+    /// Stacks that had telemetry enabled (0 = report is counters-only).
+    pub stacks_enabled: u32,
+    /// Host clock at report time, nanoseconds (virtual on sim).
+    pub now_ns: u64,
+    /// End-to-end delivery latency (probe send → adeliver), ns.
+    pub delivery_latency_ns: HistSummary,
+    /// Dispatch-cascade depth (stack steps per external trigger).
+    pub cascade_depth: HistSummary,
+    /// Scratch-pool occupancy sampled at packet arrival, bytes.
+    pub scratch_occupancy_bytes: HistSummary,
+    /// rp2p resequencing-buffer depth at out-of-order insert.
+    pub reseq_depth: HistSummary,
+    /// Switch-phase timeline percentiles.
+    pub switches: SwitchSummary,
+    /// Flight-recorder events evicted across all stacks.
+    pub flight_dropped: u64,
+    /// Scratch-pool counters (`ScratchStats` fold).
+    pub wire: WireCounters,
+    /// rp2p reliability counters (`TransportStats` fold).
+    pub transport: TransportCounters,
+    /// OS-socket counters; `None` on the in-memory hosts.
+    pub sockets: Option<SocketCounters>,
+}
+
+fn write_hist(w: &mut JsonWriter, key: &str, h: &HistSummary) {
+    w.key(key)
+        .begin_obj()
+        .field_u64("count", h.count)
+        .field_u64("min", h.min)
+        .field_f64("mean", h.mean, 1)
+        .field_u64("p50", h.p50)
+        .field_u64("p90", h.p90)
+        .field_u64("p99", h.p99)
+        .field_u64("p999", h.p999)
+        .field_u64("max", h.max)
+        .end_obj();
+}
+
+impl TelemetryReport {
+    /// Render the machine-readable form (the shape `BENCH_telemetry.json`
+    /// rows embed).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Write this report as a JSON object into an open writer (so bench
+    /// rows can embed it under a key).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj()
+            .field_str("host", self.host)
+            .field_u64("stacks", u64::from(self.stacks))
+            .field_u64("stacks_enabled", u64::from(self.stacks_enabled))
+            .field_u64("now_ns", self.now_ns);
+        write_hist(w, "delivery_latency_ns", &self.delivery_latency_ns);
+        write_hist(w, "cascade_depth", &self.cascade_depth);
+        write_hist(w, "scratch_occupancy_bytes", &self.scratch_occupancy_bytes);
+        write_hist(w, "reseq_depth", &self.reseq_depth);
+        w.key("switches").begin_obj().field_u64("completed", self.switches.completed);
+        write_hist(w, "blackout_ns", &self.switches.blackout_ns);
+        write_hist(w, "swap_gap_ns", &self.switches.swap_gap_ns);
+        w.end_obj();
+        w.field_u64("flight_dropped", self.flight_dropped);
+        w.key("wire")
+            .begin_obj()
+            .field_u64("emitted", self.wire.emitted)
+            .field_u64("reclaimed", self.wire.reclaimed)
+            .field_u64("allocations", self.wire.allocations)
+            .end_obj();
+        w.key("transport")
+            .begin_obj()
+            .field_u64("retransmissions", self.transport.retransmissions)
+            .field_u64("exhausted", self.transport.exhausted)
+            .field_u64("unacked", self.transport.unacked)
+            .end_obj();
+        if let Some(s) = &self.sockets {
+            w.key("sockets")
+                .begin_obj()
+                .field_u64("packets_sent", s.packets_sent)
+                .field_u64("packets_dropped", s.packets_dropped)
+                .field_u64("unroutable", s.unroutable)
+                .field_u64("send_errors", s.send_errors)
+                .field_u64("malformed_dropped", s.malformed_dropped)
+                .field_u64("misdirected", s.misdirected)
+                .field_u64("packets_received", s.packets_received)
+                .end_obj();
+        }
+        w.end_obj();
+    }
+}
+
+fn fmt_hist(f: &mut fmt::Formatter<'_>, name: &str, unit: &str, h: &HistSummary) -> fmt::Result {
+    writeln!(
+        f,
+        "  {name:<24} n={:<9} p50={} p90={} p99={} p999={} max={} {unit}",
+        h.count, h.p50, h.p90, h.p99, h.p999, h.max
+    )
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry [{}]: {} stacks ({} instrumented), t={} ns",
+            self.host, self.stacks, self.stacks_enabled, self.now_ns
+        )?;
+        fmt_hist(f, "delivery latency", "ns", &self.delivery_latency_ns)?;
+        fmt_hist(f, "cascade depth", "steps", &self.cascade_depth)?;
+        fmt_hist(f, "scratch occupancy", "B", &self.scratch_occupancy_bytes)?;
+        fmt_hist(f, "reseq depth", "msgs", &self.reseq_depth)?;
+        writeln!(f, "  switches                 completed={}", self.switches.completed)?;
+        fmt_hist(f, "  blackout window", "ns", &self.switches.blackout_ns)?;
+        fmt_hist(f, "  flush\u{2192}activate gap", "ns", &self.switches.swap_gap_ns)?;
+        writeln!(
+            f,
+            "  wire                     emitted={} reclaimed={} allocations={}",
+            self.wire.emitted, self.wire.reclaimed, self.wire.allocations
+        )?;
+        writeln!(
+            f,
+            "  transport                retransmissions={} exhausted={} unacked={}",
+            self.transport.retransmissions, self.transport.exhausted, self.transport.unacked
+        )?;
+        if let Some(s) = &self.sockets {
+            writeln!(
+                f,
+                "  sockets                  sent={} recv={} dropped={} unroutable={} \
+                 send_errors={} malformed={} misdirected={}",
+                s.packets_sent,
+                s.packets_received,
+                s.packets_dropped,
+                s.unroutable,
+                s.send_errors,
+                s.malformed_dropped,
+                s.misdirected
+            )?;
+        }
+        if self.flight_dropped > 0 {
+            writeln!(f, "  flight recorder          {} events dropped", self.flight_dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+
+    fn sample_report() -> TelemetryReport {
+        let mut a = StackTelemetry::new(&TelemetryConfig::default());
+        let mut b = StackTelemetry::new(&TelemetryConfig::default());
+        for i in 1..=100u64 {
+            a.note_delivery(i * 1_000, i * 500);
+            b.note_delivery(i * 1_000, i * 700);
+        }
+        a.switch_requested(10_000);
+        a.switch_flushed(12_000);
+        a.switch_activated(13_000);
+        a.note_delivery(20_000, 400);
+        let mut agg = TelemetryAggregate::new();
+        agg.absorb(&a);
+        agg.absorb(&b);
+        let mut report = agg.report("sim", 2, 200_000);
+        report.wire = WireCounters { emitted: 10, reclaimed: 8, allocations: 2 };
+        report.transport = TransportCounters { retransmissions: 1, exhausted: 0, unacked: 3 };
+        report
+    }
+
+    #[test]
+    fn aggregate_folds_both_stacks() {
+        let r = sample_report();
+        assert_eq!(r.stacks_enabled, 2);
+        assert_eq!(r.delivery_latency_ns.count, 201);
+        assert_eq!(r.switches.completed, 1);
+        assert_eq!(r.switches.blackout_ns.count, 1);
+        assert_eq!(r.switches.blackout_ns.max, 10_000);
+    }
+
+    #[test]
+    fn disabled_stacks_do_not_count() {
+        let off = StackTelemetry::new(&TelemetryConfig::off());
+        let mut agg = TelemetryAggregate::new();
+        agg.absorb(&off);
+        let r = agg.report("runtime", 1, 0);
+        assert_eq!(r.stacks_enabled, 0);
+        assert_eq!(r.delivery_latency_ns.count, 0);
+    }
+
+    #[test]
+    fn json_has_every_section_and_parity_on_sockets() {
+        let mut r = sample_report();
+        let j = r.to_json();
+        for key in [
+            "\"host\": \"sim\"",
+            "\"delivery_latency_ns\"",
+            "\"cascade_depth\"",
+            "\"scratch_occupancy_bytes\"",
+            "\"reseq_depth\"",
+            "\"switches\"",
+            "\"blackout_ns\"",
+            "\"wire\"",
+            "\"transport\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(!j.contains("\"sockets\""), "in-memory host must omit sockets");
+        r.sockets = Some(SocketCounters { packets_sent: 5, ..SocketCounters::default() });
+        assert!(r.to_json().contains("\"sockets\""));
+    }
+
+    #[test]
+    fn display_mentions_the_headline_numbers() {
+        let text = sample_report().to_string();
+        assert!(text.contains("telemetry [sim]: 2 stacks (2 instrumented)"), "{text}");
+        assert!(text.contains("delivery latency"), "{text}");
+        assert!(text.contains("blackout window"), "{text}");
+        assert!(text.contains("completed=1"), "{text}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Switch-phase timeline: per-stack lifecycle stamps for every
+//! protocol switch.
+//!
+//! A switch, as a stack experiences it, has four observable instants:
+//!
+//! 1. **requested** — the stack learns a switch is coming (the
+//!    initiator's `CHANGE_OP` call, or delivery of the totally-ordered
+//!    `NewAbcast` announcement elsewhere).
+//! 2. **flushed** — the outgoing module has drained and is unbound.
+//! 3. **activated** — the replacement module is created and bound.
+//! 4. **first_delivery** — the first message the *new* module delivers
+//!    end-to-end.
+//!
+//! The *blackout window* is `first_delivery − requested`: how long a
+//! client at this stack goes without deliveries because of the switch.
+//! Deliveries that land between `requested` and `activated` came from
+//! the old module, so they do not close the record — only a
+//! post-activation delivery does. `requested` is idempotent while a
+//! record is pending (a stack can both initiate a switch and later see
+//! its announcement).
+//!
+//! Completed records fold into two histograms (blackout and
+//! flush→activate gap) plus a bounded list of raw records for the
+//! flight dump, so the memory footprint is fixed no matter how many
+//! switches a soak performs.
+
+use crate::hist::Histogram;
+
+/// Raw switch records retained (beyond this, only histograms grow).
+const RETAINED_RECORDS: usize = 16;
+
+/// One completed (or in-flight) switch on one stack. Times are
+/// stack-local nanoseconds; `u64::MAX` marks a stamp not yet taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Monotonic per-stack switch ordinal (1-based).
+    pub ordinal: u64,
+    /// When the stack learned of the switch.
+    pub requested_ns: u64,
+    /// When the outgoing module finished flushing (unbound).
+    pub flushed_ns: u64,
+    /// When the replacement module was created and bound.
+    pub activated_ns: u64,
+    /// First delivery by the new module (closes the record).
+    pub first_delivery_ns: u64,
+}
+
+const UNSET: u64 = u64::MAX;
+
+impl SwitchRecord {
+    fn new(ordinal: u64, requested_ns: u64) -> SwitchRecord {
+        SwitchRecord {
+            ordinal,
+            requested_ns,
+            flushed_ns: UNSET,
+            activated_ns: UNSET,
+            first_delivery_ns: UNSET,
+        }
+    }
+
+    /// Blackout window (`first_delivery − requested`), if complete.
+    pub fn blackout_ns(&self) -> Option<u64> {
+        (self.first_delivery_ns != UNSET)
+            .then(|| self.first_delivery_ns.saturating_sub(self.requested_ns))
+    }
+
+    /// Flush→activate gap, if both stamps were taken.
+    pub fn swap_gap_ns(&self) -> Option<u64> {
+        (self.flushed_ns != UNSET && self.activated_ns != UNSET)
+            .then(|| self.activated_ns.saturating_sub(self.flushed_ns))
+    }
+}
+
+/// Per-stack switch timeline: at most one pending record, fixed-size
+/// history, histograms for the two derived windows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchTimeline {
+    pending: Option<SwitchRecord>,
+    completed: u64,
+    recent: Vec<SwitchRecord>,
+    /// `first_delivery − requested` of completed switches.
+    blackout: Histogram,
+    /// `activated − flushed` of completed switches.
+    swap_gap: Histogram,
+}
+
+impl Default for SwitchTimeline {
+    fn default() -> Self {
+        SwitchTimeline::new()
+    }
+}
+
+impl SwitchTimeline {
+    /// An empty timeline.
+    pub fn new() -> SwitchTimeline {
+        SwitchTimeline {
+            pending: None,
+            completed: 0,
+            recent: Vec::with_capacity(RETAINED_RECORDS),
+            blackout: Histogram::new(),
+            swap_gap: Histogram::new(),
+        }
+    }
+
+    /// Stamp "the stack learned of a switch". Idempotent while a record
+    /// is pending: the initiator calls this at `CHANGE_OP` and again
+    /// when the totally-ordered announcement comes back.
+    pub fn requested(&mut self, now_ns: u64) {
+        if self.pending.is_none() {
+            let ordinal = self.completed + 1;
+            self.pending = Some(SwitchRecord::new(ordinal, now_ns));
+        }
+    }
+
+    /// Stamp "old module flushed and unbound".
+    pub fn flushed(&mut self, now_ns: u64) {
+        if let Some(rec) = &mut self.pending {
+            if rec.flushed_ns == UNSET {
+                rec.flushed_ns = now_ns;
+            }
+        }
+    }
+
+    /// Stamp "replacement module created and bound".
+    pub fn activated(&mut self, now_ns: u64) {
+        if let Some(rec) = &mut self.pending {
+            if rec.activated_ns == UNSET {
+                rec.activated_ns = now_ns;
+            }
+        }
+    }
+
+    /// Note an end-to-end delivery. Closes the pending record — and
+    /// returns the completed record — only if the new module is already
+    /// active; pre-activation deliveries came from the old module and
+    /// leave the record open.
+    pub fn note_delivery(&mut self, now_ns: u64) -> Option<SwitchRecord> {
+        let rec = self.pending.as_mut()?;
+        if rec.activated_ns == UNSET {
+            return None;
+        }
+        rec.first_delivery_ns = now_ns;
+        let done = self.pending.take().expect("checked above");
+        self.completed += 1;
+        if let Some(b) = done.blackout_ns() {
+            self.blackout.record(b);
+        }
+        if let Some(g) = done.swap_gap_ns() {
+            self.swap_gap.record(g);
+        }
+        if self.recent.len() < RETAINED_RECORDS {
+            self.recent.push(done);
+        }
+        Some(done)
+    }
+
+    /// Completed switches on this stack.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The in-flight record, if a switch is underway.
+    pub fn pending(&self) -> Option<&SwitchRecord> {
+        self.pending.as_ref()
+    }
+
+    /// First few completed records, oldest first (bounded).
+    pub fn recent(&self) -> &[SwitchRecord] {
+        &self.recent
+    }
+
+    /// Blackout-window histogram (`first_delivery − requested`, ns).
+    pub fn blackout(&self) -> &Histogram {
+        &self.blackout
+    }
+
+    /// Flush→activate gap histogram (ns).
+    pub fn swap_gap(&self) -> &Histogram {
+        &self.swap_gap
+    }
+
+    /// Fold another stack's timeline into this aggregate: histogram
+    /// addition plus counter sums; raw records merge up to the retained
+    /// cap. Order-independent on the histogram side.
+    pub fn merge(&mut self, other: &SwitchTimeline) {
+        self.completed += other.completed;
+        self.blackout.merge(&other.blackout);
+        self.swap_gap.merge(&other.swap_gap);
+        for rec in &other.recent {
+            if self.recent.len() == RETAINED_RECORDS {
+                break;
+            }
+            self.recent.push(*rec);
+        }
+    }
+
+    /// Heap bytes behind the timeline (the struct itself is counted by
+    /// its embedder).
+    pub fn mem_bytes(&self) -> usize {
+        self.recent.capacity() * std::mem::size_of::<SwitchRecord>()
+            + self.blackout.mem_bytes()
+            + self.swap_gap.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lifecycle_produces_blackout_and_gap() {
+        let mut tl = SwitchTimeline::new();
+        tl.requested(1_000);
+        tl.flushed(4_000);
+        tl.activated(5_000);
+        let done = tl.note_delivery(9_000).expect("record should close");
+        assert_eq!(done.blackout_ns(), Some(8_000));
+        assert_eq!(done.swap_gap_ns(), Some(1_000));
+        assert_eq!(tl.completed(), 1);
+        assert_eq!(tl.blackout().count(), 1);
+        assert_eq!(tl.swap_gap().count(), 1);
+    }
+
+    #[test]
+    fn pre_activation_deliveries_do_not_close_the_record() {
+        let mut tl = SwitchTimeline::new();
+        tl.requested(100);
+        assert!(tl.note_delivery(200).is_none(), "old-module delivery must not close");
+        tl.flushed(300);
+        assert!(tl.note_delivery(400).is_none(), "still not activated");
+        tl.activated(500);
+        let done = tl.note_delivery(600).expect("post-activation delivery closes");
+        assert_eq!(done.blackout_ns(), Some(500));
+    }
+
+    #[test]
+    fn requested_is_idempotent_while_pending() {
+        let mut tl = SwitchTimeline::new();
+        tl.requested(100);
+        tl.requested(250); // announcement arrives after the initiator's CHANGE_OP
+        tl.activated(300);
+        let done = tl.note_delivery(400).unwrap();
+        assert_eq!(done.requested_ns, 100, "first stamp wins");
+        // A new switch may start afresh once the previous one closed.
+        tl.requested(1_000);
+        assert_eq!(tl.pending().unwrap().requested_ns, 1_000);
+        assert_eq!(tl.pending().unwrap().ordinal, 2);
+    }
+
+    #[test]
+    fn deliveries_with_no_pending_switch_are_ignored() {
+        let mut tl = SwitchTimeline::new();
+        assert!(tl.note_delivery(50).is_none());
+        assert_eq!(tl.completed(), 0);
+    }
+
+    #[test]
+    fn merge_sums_histograms_and_counts() {
+        let mut a = SwitchTimeline::new();
+        a.requested(0);
+        a.activated(10);
+        a.note_delivery(30);
+        let mut b = SwitchTimeline::new();
+        b.requested(0);
+        b.activated(40);
+        b.note_delivery(100);
+        let mut agg = SwitchTimeline::new();
+        agg.merge(&a);
+        agg.merge(&b);
+        assert_eq!(agg.completed(), 2);
+        assert_eq!(agg.blackout().count(), 2);
+        assert_eq!(agg.blackout().max(), 100);
+        assert_eq!(agg.recent().len(), 2);
+    }
+}
