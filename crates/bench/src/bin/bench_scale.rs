@@ -1,6 +1,7 @@
 //! Generates `BENCH_scale.json`: the capacity baseline — *measured*
-//! heap bytes per stack and events/sec at n = 16384 and 65536, the
-//! ROADMAP's million-stack trajectory made visible in-tree.
+//! heap bytes per stack and events/sec from n = 16384 up to the full
+//! 1,048,576-stack row, the ROADMAP's million-stack target made
+//! visible in-tree.
 //!
 //! Unlike the structural `bytes/stack` estimate in `SimReport`, the
 //! numbers here come from a counting `GlobalAlloc`
@@ -23,7 +24,9 @@
 //!
 //! Usage: `cargo run --release -p dpu-bench --bin bench_scale [--quick]
 //! [--workers N] [out.json]` (default out `BENCH_scale.json`; `--quick`
-//! shrinks to n = 4096 for CI).
+//! shrinks to n = 4096 and 262144 for CI — the quarter-million row is
+//! cheap enough to regression-gate on every push, the million row is
+//! the `million_smoke` ignored test's job).
 
 use dpu_bench::mem::CountingAlloc;
 use dpu_bench::synth::datagram_soak_sim;
@@ -99,7 +102,7 @@ fn main() {
             !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--workers")
         })
         .map_or("BENCH_scale.json", |(_, a)| a.as_str());
-    let sizes: &[u32] = if quick { &[4096] } else { &[16384, 65536] };
+    let sizes: &[u32] = if quick { &[4096, 262144] } else { &[16384, 65536, 262144, 1_048_576] };
     let window = Dur::millis(50);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
 

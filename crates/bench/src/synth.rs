@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use dpu_core::stack::{net_ops, FactoryRegistry, ModuleCtx};
 use dpu_core::time::{Dur, Time};
+use dpu_core::wire::{self, LenPrefixed};
 use dpu_core::{Call, Module, Response, ServiceId, Stack, StackConfig, StackId, TimerId};
 use dpu_sim::sched::{SchedConfig, SchedKind, Scheduler};
 use dpu_sim::{CpuConfig, NetConfig, Sim, SimConfig};
@@ -116,14 +117,24 @@ impl Module for LoadGen {
         ctx.set_timer(stagger, 1);
     }
     fn on_call(&mut self, _: &mut ModuleCtx<'_>, _: Call) {}
-    fn on_response(&mut self, _: &mut ModuleCtx<'_>, resp: Response) {
+    fn on_response(&mut self, ctx: &mut ModuleCtx<'_>, resp: Response) {
         if resp.op == net_ops::RECV {
             self.received += 1;
+            // The payload carries its send time (virtual-clock ns):
+            // stamp the end-to-end delivery latency. A no-op branch when
+            // telemetry is off — the capacity runs pay only the decode.
+            if let Ok((_src, payload)) = resp.decode::<(StackId, Bytes)>() {
+                if let Ok((send_ns, _pad)) = wire::from_bytes::<(u64, Bytes)>(&payload) {
+                    let now_ns = ctx.now().as_nanos();
+                    ctx.telemetry().note_delivery(now_ns, now_ns.saturating_sub(send_ns));
+                }
+            }
         }
     }
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, _: TimerId, _: u64) {
         let n = ctx.peers().len() as u64;
         let me = ctx.stack_id();
+        let send_ns = ctx.now().as_nanos();
         for _ in 0..self.burst {
             let r = splitmix(&mut self.rng);
             // 7/8 of the traffic stays on the local fabric, 1/8 crosses
@@ -139,7 +150,12 @@ impl Module for LoadGen {
             if dst != me {
                 // Scratch-pool encode (PR 3): the soak must charge the
                 // epoch machinery, not one fresh allocation per datagram.
-                let data = ctx.encode(&(dst, Bytes::from_static(&[0x5A; 32])));
+                // The datagram body is a send-time stamp plus padding,
+                // nested via `LenPrefixed` so the whole frame is written
+                // in one scratch pass (no per-datagram payload alloc);
+                // the receiver stamps delivery latency from it.
+                let data =
+                    ctx.encode(&(dst, LenPrefixed(&(send_ns, Bytes::from_static(&[0x5A; 21])))));
                 ctx.call(&ServiceId::new(dpu_core::svc::NET), net_ops::SEND, data);
             }
         }

@@ -1,0 +1,89 @@
+//! Churn at capacity scale: crash/restart cycles at 262,144 stacks
+//! must leave live bytes/stack flat. The small churn test
+//! (`churn_capacity.rs`, n=64) pins the restart path itself; this one
+//! pins the interactions that only appear at scale — slab slot
+//! recycling inside a million-entry arena, shard scratch-pool
+//! absorption of a retiring incarnation's wire buffers, and the
+//! exact-growth maps not ratcheting when a rebuilt stack re-registers
+//! its modules.
+//!
+//! `#[ignore]`d: at this size a debug run takes minutes; CI runs it in
+//! release via
+//! `cargo test --release -p dpu-bench --test churn_capacity_large -- --ignored`.
+//!
+//! One test per file: the counting allocator is process-global.
+
+use dpu_bench::mem::CountingAlloc;
+use dpu_bench::synth::LoadGen;
+use dpu_core::stack::FactoryRegistry;
+use dpu_core::time::{Dur, Time};
+use dpu_core::{Stack, StackConfig, StackId};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const N: u32 = 1 << 18; // 262,144
+
+// The restart factory must rebuild exactly what the soak's boot factory
+// built (same LoadGen parameters as `datagram_soak_sim`), or the churn
+// comparison would measure scenario drift instead of leaks.
+fn mk_stack(sc: StackConfig) -> Stack {
+    let node_seed = sc.seed ^ (u64::from(sc.id.0) << 20) ^ 0xA076_1D64_78BD_642F;
+    let mut s = Stack::new(sc, FactoryRegistry::new());
+    s.add_module(Box::new(LoadGen::new(Dur::millis(5), 8, N / 16, node_seed)));
+    s
+}
+
+#[test]
+#[ignore = "release-only capacity churn (262144 stacks); run with --release -- --ignored"]
+fn restarts_at_capacity_keep_live_bytes_per_stack_flat() {
+    let mut sim = dpu_bench::synth::datagram_soak_sim(N, 42, 1);
+
+    // Warm up to the standing population high-water mark so churn-phase
+    // growth cannot hide behind first-use allocations (scratch pools,
+    // wheel buckets, per-stack queue capacity). The WAN backbone adds
+    // ~15 ms of cross-cluster latency, so the in-flight population only
+    // reaches steady state after a couple of backbone round trips —
+    // baseline too early and normal fill-up masquerades as a leak.
+    sim.run_until(Time::ZERO + Dur::millis(40));
+    let live_before = ALLOC.live();
+    let structural_before = sim.mem_stats().bytes_per_stack;
+
+    let mut deadline = Time::ZERO + Dur::millis(40);
+    for round in 0..32u32 {
+        // Spread victims across shards so every restart exercises a
+        // different slab neighborhood and scratch pool.
+        let victim = StackId((round * 8191) % N);
+        sim.restart_node_with(victim, mk_stack);
+        deadline += Dur::micros(500);
+        sim.run_until(deadline);
+    }
+    sim.run_until(deadline + Dur::millis(5));
+    let live_after = ALLOC.live();
+    let structural_after = sim.mem_stats().bytes_per_stack;
+
+    // "Flat" = no per-restart growth. A retained incarnation is ~2 KB,
+    // so even a one-per-restart leak would add ~64 KB; the slack is
+    // sized for allocator noise across a quarter-million stacks still
+    // ratcheting queue capacities toward their high-water marks
+    // (~8 B/stack), not for leaks.
+    let slack = 2 * 1024 * 1024;
+    assert!(
+        live_after <= live_before + slack,
+        "live bytes grew across capacity churn: {live_before} -> {live_after} \
+         (> {slack} slack; ~{} per restart)",
+        (live_after.saturating_sub(live_before)) / 32,
+    );
+    // The structural estimate must agree: recycled slots, not new ones.
+    assert!(
+        structural_after <= structural_before + structural_before / 20,
+        "structural bytes/stack grew across capacity churn: \
+         {structural_before} -> {structural_after}"
+    );
+    assert!(structural_after > 500, "structural audit imploded: {structural_after}");
+    eprintln!(
+        "capacity churn: live {live_before} -> {live_after} B \
+         ({} B/stack structural)",
+        structural_after
+    );
+}

@@ -1,0 +1,69 @@
+//! The tentpole acceptance test: a 1,048,576-stack datagram soak must
+//! build on a dev machine in single-digit seconds and hold its
+//! steady-state footprint under 2.5 KB per stack, telemetry off, as
+//! measured by a counting allocator (not just the structural audit).
+//! This is the claim `BENCH_scale.json`'s million row commits to;
+//! the test keeps it honest on every capacity CI run.
+//!
+//! `#[ignore]`d because it only makes sense in release (debug builds
+//! multiply the wall clock ~20x and the build budget is a release
+//! number); CI runs it via
+//! `cargo test --release -p dpu-bench --test million_smoke -- --ignored`.
+//!
+//! One test per file: the counting allocator is process-global.
+
+use std::time::Instant;
+
+use dpu_bench::mem::CountingAlloc;
+use dpu_bench::synth::datagram_soak_sim;
+use dpu_core::time::{Dur, Time};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+#[ignore = "release-only million-stack smoke; run with --release -- --ignored"]
+fn million_smoke() {
+    let n: u32 = 1 << 20;
+    let live0 = ALLOC.live();
+
+    let t0 = Instant::now();
+    let mut sim = datagram_soak_sim(n, 42, 1);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let built_per_stack = (ALLOC.live() - live0) / u64::from(n);
+
+    // Build budget: the pre-refactor boxed layout took 125 s to build
+    // 65536 stacks; the slab/SoA layout with the shared peer table must
+    // assemble sixteen times as many in single-digit seconds.
+    assert!(build_secs < 10.0, "million-stack build took {build_secs:.1} s (budget 10 s)");
+
+    let run0 = Instant::now();
+    sim.run_until(Time::ZERO + Dur::millis(5));
+    let run_secs = run0.elapsed().as_secs_f64();
+    let run_per_stack = (ALLOC.live() - live0) / u64::from(n);
+
+    let report = sim.report();
+    assert!(
+        report.stats.events > u64::from(n),
+        "the soak must actually run: {} events",
+        report.stats.events
+    );
+    assert!(report.stats.packets_delivered > 0, "the soak must deliver traffic");
+    // The headline bound: steady-state allocator-measured heap, per
+    // stack, telemetry off. Shard scratch pools, exact-growth maps and
+    // interned service names are what hold this under 2.5 KB.
+    assert!(
+        run_per_stack <= 2_560,
+        "steady-state bytes/stack blew the 2.5 KB budget: {run_per_stack} \
+         (built {built_per_stack})"
+    );
+    // Generous wall guard so a pathological slowdown (quadratic scan,
+    // lost batching) fails loudly instead of hanging the CI job.
+    assert!(run_secs < 600.0, "5 ms window took {run_secs:.0} s of wall clock");
+
+    eprintln!(
+        "million smoke: built in {build_secs:.2} s at {built_per_stack} B/stack, \
+         ran {} events in {run_secs:.1} s at {run_per_stack} B/stack steady state",
+        report.stats.events
+    );
+}

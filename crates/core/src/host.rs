@@ -215,6 +215,19 @@ impl StackDriver {
         &mut self.stack
     }
 
+    /// Swap the stack's scratch pool with a host-owned one — the
+    /// shard-pool loan handoff (see [`Stack::swap_scratch`]). Call
+    /// before and after any encode-capable driver entry point.
+    pub fn swap_scratch(&mut self, pool: &mut crate::wire::WireScratch) {
+        self.stack.swap_scratch(pool);
+    }
+
+    /// Loan-handoff passthrough for the shard's dispatch buffer (see
+    /// [`Stack::swap_queue`]).
+    pub fn swap_queue(&mut self, buf: &mut crate::stack::DispatchBuf) {
+        self.stack.swap_queue(buf);
+    }
+
     /// Unwrap, discarding pending events and armed timers.
     pub fn into_stack(self) -> Stack {
         self.stack

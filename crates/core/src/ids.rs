@@ -67,8 +67,26 @@ pub struct ServiceId(Arc<str>);
 
 impl ServiceId {
     /// Create a service id from a name.
+    ///
+    /// Names are interned in a process-wide pool: every `ServiceId` for
+    /// the same name shares one `Arc<str>` allocation. Without this,
+    /// each stack's module slots retain their own copies of "net",
+    /// "abcast", "r-abcast", … — a hundred-odd bytes per stack that a
+    /// million-stack simulation cannot afford. The pool grows with the
+    /// number of *distinct* service names in the process (a handful),
+    /// never with stack count or message volume.
     pub fn new(name: impl AsRef<str>) -> ServiceId {
-        ServiceId(Arc::from(name.as_ref()))
+        use std::collections::BTreeMap;
+        use std::sync::{Mutex, OnceLock};
+        static POOL: OnceLock<Mutex<BTreeMap<Arc<str>, ()>>> = OnceLock::new();
+        let name = name.as_ref();
+        let mut pool = POOL.get_or_init(Default::default).lock().unwrap();
+        if let Some((arc, ())) = pool.get_key_value(name) {
+            return ServiceId(arc.clone());
+        }
+        let arc: Arc<str> = Arc::from(name);
+        pool.insert(arc.clone(), ());
+        ServiceId(arc)
     }
 
     /// The service name.

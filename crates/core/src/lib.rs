@@ -48,6 +48,7 @@ pub mod props;
 pub mod stack;
 pub mod time;
 pub mod trace;
+pub mod vecmap;
 pub mod wire;
 
 pub use dpu_telemetry as telemetry;

@@ -32,6 +32,7 @@ use crate::ids::{ModuleId, ServiceId, StackId, TimerId};
 use crate::module::{Call, Module, ModuleSpec, Op, Response};
 use crate::time::{Dur, Time};
 use crate::trace::{TraceEvent, TraceLog};
+use crate::vecmap::VecMap;
 use crate::wire::{Encode, ScratchStats, WireError, WireScratch};
 use bytes::Bytes;
 use dpu_telemetry::{StackTelemetry, TelemetryConfig};
@@ -256,6 +257,31 @@ struct ModuleSlot {
     requires: Vec<ServiceId>,
 }
 
+/// Shard-owned dispatch-queue capacity, loaned to stacks around
+/// dispatch via [`Stack::swap_queue`]. A dispatch cascade's enqueue
+/// burst (a timer handler fanning out calls, a packet fanning out
+/// responses) ratchets a queue's capacity to its peak; with the loan,
+/// that capacity is paid once per shard instead of once per stack —
+/// at a million stacks the difference is the better part of a
+/// kilobyte each. The buffer is empty between loans apart from the
+/// capacity it holds.
+#[derive(Default)]
+pub struct DispatchBuf {
+    queue: VecDeque<Delivery>,
+}
+
+impl DispatchBuf {
+    /// An empty buffer; capacity grows to the shard's peak cascade.
+    pub fn new() -> DispatchBuf {
+        DispatchBuf::default()
+    }
+
+    /// Heap bytes held (capacity, matching the allocator's view).
+    pub fn mem_bytes(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<Delivery>()
+    }
+}
+
 /// The built-in module bound to the `net` service: it turns `net.SEND`
 /// calls into [`HostAction::NetSend`]. Packet arrivals are injected by the
 /// host via [`Stack::packet_in`] and fan out as `net.RECV` responses.
@@ -292,18 +318,18 @@ pub struct Stack {
     peers: Arc<[StackId]>,
     cluster_size: Option<u32>,
     now: Time,
-    modules: BTreeMap<ModuleId, ModuleSlot>,
-    bindings: BTreeMap<ServiceId, ModuleId>,
+    modules: VecMap<ModuleId, ModuleSlot>,
+    bindings: VecMap<ServiceId, ModuleId>,
     /// Modules requiring each service, in registration order — the
     /// response fan-out set.
-    requirers: BTreeMap<ServiceId, Vec<ModuleId>>,
+    requirers: VecMap<ServiceId, Vec<ModuleId>>,
     /// Calls blocked on an unbound service (weak stack-well-formedness).
-    waiting: BTreeMap<ServiceId, VecDeque<Call>>,
+    waiting: VecMap<ServiceId, VecDeque<Call>>,
     queue: VecDeque<Delivery>,
     actions: Vec<HostAction>,
-    timers: BTreeMap<TimerId, (ModuleId, u64)>,
+    timers: VecMap<TimerId, (ModuleId, u64)>,
     factory: FactoryRegistry,
-    defaults: BTreeMap<ServiceId, ModuleSpec>,
+    defaults: VecMap<ServiceId, ModuleSpec>,
     trace: TraceLog,
     next_module: u64,
     next_timer: u64,
@@ -331,15 +357,15 @@ impl Stack {
             peers: cfg.peers,
             cluster_size: cfg.cluster_size,
             now: Time::ZERO,
-            modules: BTreeMap::new(),
-            bindings: BTreeMap::new(),
-            requirers: BTreeMap::new(),
-            waiting: BTreeMap::new(),
+            modules: VecMap::new(),
+            bindings: VecMap::new(),
+            requirers: VecMap::new(),
+            waiting: VecMap::new(),
             queue: VecDeque::new(),
             actions: Vec::new(),
-            timers: BTreeMap::new(),
+            timers: VecMap::new(),
             factory,
-            defaults: BTreeMap::new(),
+            defaults: VecMap::new(),
             trace,
             next_module: 1,
             next_timer: 1,
@@ -479,7 +505,7 @@ impl Stack {
         let provides = module.provides();
         let requires = module.requires();
         for svc in &requires {
-            self.requirers.entry(svc.clone()).or_default().push(id);
+            self.requirers.get_mut_or_default(svc.clone()).push(id);
         }
         self.modules.insert(
             id,
@@ -577,7 +603,7 @@ impl Stack {
                         from: call.from,
                     },
                 );
-                self.waiting.entry(call.service.clone()).or_default().push_back(call);
+                self.waiting.get_mut_or_default(call.service.clone()).push_back(call);
             }
         }
     }
@@ -741,8 +767,45 @@ impl Stack {
     }
 
     /// Counters of this stack's scratch pool (see [`ScratchStats`]).
+    ///
+    /// Under a shard-level pool (see [`Stack::swap_scratch`]) every
+    /// encode happens while the shard's pool is loaned in, so the
+    /// resident scratch stays empty and this returns zeros — the host
+    /// reports the pool's counters instead.
     pub fn wire_stats(&self) -> ScratchStats {
         self.scratch.stats()
+    }
+
+    /// Swap this stack's [`WireScratch`] with `other` — the shard-pool
+    /// loan handoff. Hosts that own a shard-level pool call this before
+    /// driving any encode-capable entry point (packet injection,
+    /// dispatch, host closures) and again after, so retained encode
+    /// buffers live in one pool per shard instead of one per stack.
+    /// The swap moves the retained buffers *and* the counters, so stats
+    /// accumulated during the loan stay with the pool; it is a pure
+    /// representation change — encoded bytes are identical either way.
+    pub fn swap_scratch(&mut self, other: &mut WireScratch) {
+        std::mem::swap(&mut self.scratch, other);
+    }
+
+    /// Swap this stack's dispatch queue with a shard-owned
+    /// [`DispatchBuf`] — the second half of the shard-pool loan. The
+    /// burst capacity a dispatch cascade ratchets up (a timer handler
+    /// fanning out dozens of calls) then lives in one buffer per shard
+    /// instead of one per stack. Deliveries pending on either side are
+    /// carried across the swap in FIFO order, so the handoff is
+    /// observationally invisible: a delivery enqueued outside a loan
+    /// (a packet parked until its step, a due timer) rides along.
+    pub fn swap_queue(&mut self, buf: &mut DispatchBuf) {
+        std::mem::swap(&mut self.queue, &mut buf.queue);
+        // Carry pending deliveries with exact capacity: between loans a
+        // stack parks at most a delivery or two (a packet waiting for
+        // its step, a fired timer), and `VecDeque`'s minimum growth
+        // would pin four 64-byte slots per stack for them.
+        self.queue.reserve_exact(buf.queue.len());
+        while let Some(d) = buf.queue.pop_front() {
+            self.queue.push_back(d);
+        }
     }
 
     /// This stack's observability state (hosts fold these into a
@@ -760,22 +823,23 @@ impl Stack {
 
     /// Structural estimate of this stack's resident bytes: the struct
     /// itself, each module's concrete state (`size_of_val` through the
-    /// trait object), the dispatch/bindings/timers structures, queued
-    /// work, the trace log and the scratch pool's retained buffers.
+    /// trait object), the dispatch/bindings/timers vec-maps (at their
+    /// *capacity*, matching what the allocator actually holds), queued
+    /// work, the trace log, the scratch pool's retained buffers, and an
+    /// amortized share of the host-shared peer table.
     ///
     /// Allocations *inside* module state (boxed fields, collected
-    /// payload `Bytes`) and per-node `BTreeMap` overhead are invisible
-    /// from here, so treat the number as a floor — it is meant for
-    /// capacity planning (bytes/stack across a large simulation), not
-    /// as an allocator-accurate measurement. The shared peer table is
-    /// deliberately excluded: it is one allocation per *host*, and
-    /// charging it to every stack would re-introduce on paper the
-    /// O(n²) cost the sharing removed.
+    /// payload `Bytes`) are invisible from here, so treat the number as
+    /// a floor — `tests/mem_audit.rs` pins how closely it tracks the
+    /// allocator-measured `CountingAlloc` figure. The peer table is one
+    /// `Arc<[StackId]>` per *host* shared by all `n` stacks; charging
+    /// each stack its `1/n` share keeps the audit honest without
+    /// re-introducing on paper the O(n²) cost the sharing removed.
     pub fn mem_bytes(&self) -> usize {
         use std::mem::{size_of, size_of_val};
         let mut total = size_of::<Stack>();
+        total += self.modules.mem_bytes();
         for slot in self.modules.values() {
-            total += size_of::<ModuleId>() + size_of::<ModuleSlot>();
             total += slot.kind.capacity();
             total += slot.provides.capacity() * size_of::<ServiceId>();
             total += slot.requires.capacity() * size_of::<ServiceId>();
@@ -783,20 +847,27 @@ impl Stack {
                 total += size_of_val(m);
             }
         }
-        total += self.bindings.len() * size_of::<(ServiceId, ModuleId)>();
+        total += self.bindings.mem_bytes();
+        total += self.requirers.mem_bytes();
         for reqs in self.requirers.values() {
-            total += size_of::<ServiceId>() + reqs.capacity() * size_of::<ModuleId>();
+            total += reqs.capacity() * size_of::<ModuleId>();
         }
+        total += self.waiting.mem_bytes();
         for queue in self.waiting.values() {
-            total += size_of::<ServiceId>() + queue.capacity() * size_of::<Call>();
+            total += queue.capacity() * size_of::<Call>();
         }
         total += self.queue.capacity() * size_of::<Delivery>();
         total += self.actions.capacity() * size_of::<HostAction>();
-        total += self.timers.len() * size_of::<(TimerId, (ModuleId, u64))>();
-        total += self.defaults.len() * size_of::<(ServiceId, crate::module::ModuleSpec)>();
+        total += self.timers.mem_bytes();
+        total += self.defaults.mem_bytes();
         total += self.trace.mem_bytes();
         total += self.scratch.mem_bytes();
         total += self.telemetry.mem_bytes();
+        // Amortized peer-table share: the shared allocation holds
+        // `peers.len()` ids (plus the Arc refcount header) and is held
+        // by `peers.len()` stacks.
+        let peer_alloc = self.peers.len() * size_of::<StackId>() + 2 * size_of::<usize>();
+        total += peer_alloc.div_ceil(self.peers.len().max(1));
         total
     }
 

@@ -555,9 +555,9 @@ impl ScratchStats {
     }
 }
 
-/// How many emitted buffers a [`WireScratch`] keeps a handle to for
-/// reclaim. Bounds both the scan cost per encode and the retained memory
-/// (entries whose consumers are long-lived rotate out).
+/// How many emitted buffers a per-stack [`WireScratch`] keeps a handle
+/// to for reclaim. Bounds both the scan cost per encode and the retained
+/// memory (entries whose consumers are long-lived rotate out).
 const SCRATCH_RETAIN: usize = 32;
 
 /// Largest message a [`WireScratch`] will retain for reclaim. Messages
@@ -567,6 +567,25 @@ const SCRATCH_RETAIN: usize = 32;
 /// process, that ratchet would be gigabytes of dead encode buffers.
 const SCRATCH_RETAIN_MAX_BYTES: usize = 64 * 1024;
 
+/// Entry budget of a shard-level pool ([`WireScratch::shard_pool`]). A
+/// shard-level pool serves *every* stack of a shard, so at soak rates
+/// the newest few hundred emissions are all still in flight (delivery
+/// latency × shard message rate); the pool must be deep enough that the
+/// *oldest* retained entries have had time to be consumed and become
+/// reclaimable, or every encode degrades to a fresh allocation.
+const SHARD_POOL_RETAIN: usize = 1024;
+
+/// Total byte budget of a shard-level pool — the actual capacity knob
+/// (the entry budget is a backstop against byte-tiny floods). 1 MB per
+/// shard is 16 MB per 16-shard host, independent of stack count.
+const SHARD_POOL_BYTES: usize = 1 << 20;
+
+/// How many entries (oldest first) a shard-level pool scans per encode.
+/// Oldest entries are the most likely to be unique again, so the
+/// expected hit is at index ~0; the cap keeps the worst case (a burst
+/// pinning everything) O(1) per encode instead of O(pool depth).
+const SHARD_POOL_SCAN: usize = 32;
+
 /// A reusable encode-buffer pool: the steady-state allocation-free path.
 ///
 /// `encode` sizes the buffer exactly via [`Encode::encoded_len`], writes
@@ -574,19 +593,62 @@ const SCRATCH_RETAIN_MAX_BYTES: usize = 64 * 1024;
 /// clone* of it. On a later `encode`, any retained buffer whose consumers
 /// have dropped their handles is reclaimed (`BytesMut::try_from(Bytes)`,
 /// which succeeds only for a unique owner) and reused — so once traffic
-/// reaches a steady state, no new backing buffers are allocated. One
-/// scratch lives in every [`crate::Stack`], i.e. one per `StackDriver`,
-/// so the pool is single-threaded and needs no locking.
-#[derive(Default)]
+/// reaches a steady state, no new backing buffers are allocated.
+///
+/// Two deployments, same mechanics, different budgets:
+///
+/// * **per-stack** ([`WireScratch::new`]): one pool inside every
+///   [`crate::Stack`]; small retain window, scans everything.
+/// * **shard-level** ([`WireScratch::shard_pool`]): one pool per host
+///   shard, loaned to whichever stack is being driven (see
+///   [`crate::Stack::swap_scratch`]); deeper retain window with a byte
+///   budget and a bounded oldest-first scan, so retained encode memory
+///   scales with *shards*, not with total stacks.
+///
+/// Either way the pool is single-threaded and needs no locking.
 pub struct WireScratch {
     retained: VecDeque<Bytes>,
+    /// Incremental Σ len over `retained` — keeps [`WireScratch::mem_bytes`]
+    /// O(1), which matters now that stacks sample it per packet.
+    retained_bytes: usize,
+    cap_entries: usize,
+    cap_bytes: usize,
+    scan: usize,
     stats: ScratchStats,
 }
 
+impl Default for WireScratch {
+    fn default() -> WireScratch {
+        WireScratch::new()
+    }
+}
+
 impl WireScratch {
-    /// An empty pool.
+    /// An empty pool with the per-stack budget (32 entries, unbounded
+    /// total bytes — the per-entry retain cap already bounds it).
     pub fn new() -> WireScratch {
-        WireScratch::default()
+        WireScratch {
+            retained: VecDeque::new(),
+            retained_bytes: 0,
+            cap_entries: SCRATCH_RETAIN,
+            cap_bytes: usize::MAX,
+            scan: usize::MAX,
+            stats: ScratchStats::default(),
+        }
+    }
+
+    /// An empty pool with the shard-level budget: deeper retain window
+    /// (many stacks' in-flight messages coexist), a total byte budget,
+    /// and a bounded oldest-first reclaim scan.
+    pub fn shard_pool() -> WireScratch {
+        WireScratch {
+            retained: VecDeque::new(),
+            retained_bytes: 0,
+            cap_entries: SHARD_POOL_RETAIN,
+            cap_bytes: SHARD_POOL_BYTES,
+            scan: SHARD_POOL_SCAN,
+            stats: ScratchStats::default(),
+        }
     }
 
     /// Pool counters so far.
@@ -597,9 +659,9 @@ impl WireScratch {
     /// Bytes currently pinned by the pool's retained buffer handles
     /// (an upper bound on what reclaim can recover; the buffers may be
     /// co-owned by in-flight messages). Feeds the hosts' structural
-    /// memory audit.
+    /// memory audit. O(1).
     pub fn mem_bytes(&self) -> usize {
-        self.retained.iter().map(|b| b.len()).sum()
+        self.retained_bytes
     }
 
     /// Encode `value`, reusing a reclaimed buffer when one is free.
@@ -611,25 +673,30 @@ impl WireScratch {
         debug_assert_eq!(buf.len(), len, "encoded_len() disagrees with encode()");
         let out = buf.freeze();
         if len <= SCRATCH_RETAIN_MAX_BYTES {
-            if self.retained.len() == SCRATCH_RETAIN {
-                self.retained.pop_front();
-            }
             self.retained.push_back(out.clone());
+            self.retained_bytes += len;
+            while self.retained.len() > self.cap_entries || self.retained_bytes > self.cap_bytes {
+                let dropped = self.retained.pop_front().expect("non-empty while over budget");
+                self.retained_bytes -= dropped.len();
+            }
         }
         self.stats.emitted += 1;
         out
     }
 
     /// A cleared buffer with capacity for `len` bytes: a reclaimed one if
-    /// any retained handle is uniquely owned again, else a fresh one.
-    /// Still-shared entries are skipped with a cheap refcount peek
-    /// (`Bytes::is_unique`), not moved around.
+    /// a retained handle within the scan window is uniquely owned again,
+    /// else a fresh one. Still-shared entries are skipped with a cheap
+    /// refcount peek (`Bytes::is_unique`), not moved around. The scan
+    /// runs oldest-first: the older an emission, the likelier its
+    /// consumers have dropped their handles.
     fn take_buffer(&mut self, len: usize) -> BytesMut {
-        for i in 0..self.retained.len() {
+        for i in 0..self.retained.len().min(self.scan) {
             if !self.retained[i].is_unique() {
                 continue;
             }
             let candidate = self.retained.remove(i).expect("index in range");
+            self.retained_bytes -= candidate.len();
             let Ok(mut buf) = BytesMut::try_from(candidate) else {
                 // Unreachable for a single-threaded pool, but harmless.
                 break;

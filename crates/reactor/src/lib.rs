@@ -152,6 +152,9 @@ enum Cmd {
     Ctl { dst: StackId, f: StackFn, reply: Sender<Box<dyn Any + Send>> },
     /// Insert/replace a peer-table row.
     SetPeer(NodeAddr),
+    /// Report the loop's scratch-pool counters (every encode on this
+    /// reactor runs under the pool loan).
+    PoolStats { reply: Sender<dpu_core::wire::ScratchStats> },
     /// Stop the loop and return the stacks.
     Stop,
 }
@@ -217,6 +220,14 @@ struct Loop {
     cmds: Receiver<Cmd>,
     poller: sys::Poller,
     start: Instant,
+    /// The loop-level encode-buffer pool, loaned to whichever driver is
+    /// being polled (see [`dpu_core::stack::Stack::swap_scratch`]): one
+    /// retained pool per reactor instead of one per stack.
+    pool: dpu_core::wire::WireScratch,
+    /// The shard-level dispatch-queue buffer, loaned alongside the
+    /// encode pool: cascade burst capacity scales with the loop, not
+    /// the stack count.
+    qpool: dpu_core::stack::DispatchBuf,
 }
 
 impl Loop {
@@ -247,10 +258,18 @@ impl Loop {
                     Ok(Cmd::Stop) => return self.into_stacks(),
                     Ok(Cmd::Ctl { dst, f, reply }) => {
                         let local = self.local_idx(dst);
+                        // Loan the pool: the closure may encode.
+                        self.drivers[local].swap_scratch(&mut self.pool);
+                        self.drivers[local].swap_queue(&mut self.qpool);
                         let r = f(self.drivers[local].stack_mut());
+                        self.drivers[local].swap_scratch(&mut self.pool);
+                        self.drivers[local].swap_queue(&mut self.qpool);
                         let _ = reply.send(r);
                         // The closure may have queued work or actions.
                         self.poll_driver(local);
+                    }
+                    Ok(Cmd::PoolStats { reply }) => {
+                        let _ = reply.send(self.pool.stats());
                     }
                     Ok(Cmd::SetPeer(p)) => {
                         if p.id.idx() < self.wire.peers.len() {
@@ -266,6 +285,8 @@ impl Loop {
                 Self::drain_socket(
                     &mut self.wire,
                     &mut self.drivers,
+                    &mut self.pool,
+                    &mut self.qpool,
                     token as usize,
                     &mut buf,
                     now,
@@ -287,6 +308,8 @@ impl Loop {
     fn drain_socket(
         wire: &mut Wire,
         drivers: &mut [StackDriver],
+        pool: &mut dpu_core::wire::WireScratch,
+        qpool: &mut dpu_core::stack::DispatchBuf,
         sock_i: usize,
         buf: &mut [u8],
         now: Time,
@@ -315,15 +338,25 @@ impl Loop {
             // consecutive packets in the stack's breadth-first queue,
             // letting a packet overtake the module-creation reactions
             // of the packet before it (fatal across a protocol switch).
+            drivers[local].swap_scratch(pool);
+            drivers[local].swap_queue(qpool);
             let _ = drivers[local].poll(now, wire);
+            drivers[local].swap_scratch(pool);
+            drivers[local].swap_queue(qpool);
         }
     }
 
-    /// Run one driver's canonical drive loop; remember its next
-    /// deadline for the epoll timeout.
+    /// Run one driver's canonical drive loop (under the scratch-pool
+    /// loan — dispatched handlers encode); remember its next deadline
+    /// for the epoll timeout.
     fn poll_driver(&mut self, local: usize) {
         let now = self.now();
-        self.deadlines[local] = match self.drivers[local].poll(now, &mut self.wire) {
+        self.drivers[local].swap_scratch(&mut self.pool);
+        self.drivers[local].swap_queue(&mut self.qpool);
+        let wakeup = self.drivers[local].poll(now, &mut self.wire);
+        self.drivers[local].swap_scratch(&mut self.pool);
+        self.drivers[local].swap_queue(&mut self.qpool);
+        self.deadlines[local] = match wakeup {
             Wakeup::Idle => None,
             Wakeup::At(at) => Some(at),
         };
@@ -411,6 +444,8 @@ impl Reactor {
             cmds: rx,
             poller,
             start,
+            pool: dpu_core::wire::WireScratch::shard_pool(),
+            qpool: dpu_core::stack::DispatchBuf::new(),
         };
         let thread =
             std::thread::Builder::new().name("dpu-reactor".into()).spawn(move || lp.run())?;
@@ -474,11 +509,21 @@ impl Reactor {
     /// Aggregate [`dpu_core::wire::ScratchStats`] over the hosted
     /// stacks' scratch pools.
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
-        let mut total = dpu_core::wire::ScratchStats::default();
+        let mut total = self.pool_stats();
         for na in &self.local {
             total.absorb(self.with_stack(na.id, |s| s.wire_stats()));
         }
         total
+    }
+
+    /// The loop-level scratch pool's counters — where every encode of
+    /// this reactor lands under the loan discipline (the per-stack
+    /// residuals summed by [`Reactor::wire_stats`] stay zero).
+    fn pool_stats(&self) -> dpu_core::wire::ScratchStats {
+        let (tx, rx) = bounded(1);
+        self.cmds.send(Cmd::PoolStats { reply: tx }).expect("reactor alive");
+        self.waker.wake();
+        rx.recv().expect("reactor replies")
     }
 
     /// Aggregate [`dpu_core::TransportStats`] over the hosted stacks
@@ -514,6 +559,7 @@ impl Reactor {
             wire.absorb(w);
             transport.absorb(t);
         }
+        wire.absorb(self.pool_stats());
         let mut report = agg.report("reactor", self.local.len() as u32, self.now().as_nanos());
         report.wire = dpu_core::telemetry::WireCounters {
             emitted: wire.emitted,

@@ -148,6 +148,10 @@ enum ShardMsg {
     Deliver { dst: StackId, src: StackId, payload: Bytes, at: Time },
     /// Run a closure against `dst`'s stack and send back the result.
     Ctl { dst: StackId, f: StackFn, reply: Sender<Box<dyn Any + Send>> },
+    /// Report the shard-level scratch pool's counters (every encode on
+    /// this shard runs under the pool loan, so these are the shard's
+    /// wire stats).
+    PoolStats { reply: Sender<dpu_core::wire::ScratchStats> },
     /// Stop the shard and return its stacks.
     Stop,
 }
@@ -239,6 +243,13 @@ struct Shard {
     mailbox: Receiver<ShardMsg>,
     router: Router,
     start: Instant,
+    /// The shard-level encode-buffer pool, loaned to whichever driver
+    /// is being polled (see [`dpu_core::stack::Stack::swap_scratch`]):
+    /// retained encode memory scales with shard threads, not stacks.
+    pool: dpu_core::wire::WireScratch,
+    /// The shard-level dispatch-queue buffer, loaned alongside the
+    /// encode pool: cascade burst capacity scales with shards too.
+    qpool: dpu_core::stack::DispatchBuf,
 }
 
 /// Upper bound on mailbox messages handled between wheel checks, so a
@@ -312,10 +323,19 @@ impl Shard {
             }
             ShardMsg::Ctl { dst, f, reply } => {
                 let local = self.local_idx(dst);
+                // Loan the pool for the closure (it may encode), and
+                // leave it loaned through the follow-up poll.
+                self.drivers[local].swap_scratch(&mut self.pool);
+                self.drivers[local].swap_queue(&mut self.qpool);
                 let r = f(self.drivers[local].stack_mut());
+                self.drivers[local].swap_scratch(&mut self.pool);
+                self.drivers[local].swap_queue(&mut self.qpool);
                 let _ = reply.send(r);
                 // The closure may have queued work or produced actions.
                 self.poll_driver(local);
+            }
+            ShardMsg::PoolStats { reply } => {
+                let _ = reply.send(self.pool.stats());
             }
             ShardMsg::Stop => return false,
         }
@@ -357,7 +377,14 @@ impl Shard {
     /// scheduled at its next deadline.
     fn poll_driver(&mut self, local: usize) {
         let now = self.now();
-        match self.drivers[local].poll(now, &mut self.router) {
+        // The canonical drive loop dispatches module handlers, which
+        // encode — run it under the shard-pool loan.
+        self.drivers[local].swap_scratch(&mut self.pool);
+        self.drivers[local].swap_queue(&mut self.qpool);
+        let wakeup = self.drivers[local].poll(now, &mut self.router);
+        self.drivers[local].swap_scratch(&mut self.pool);
+        self.drivers[local].swap_queue(&mut self.qpool);
+        match wakeup {
             Wakeup::Idle => {}
             Wakeup::At(at) => {
                 if self.next_wake[local].is_none_or(|w| at < w) {
@@ -435,6 +462,8 @@ impl Runtime {
                         rng: cfg.seed ^ (s as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1,
                     },
                     start,
+                    pool: dpu_core::wire::WireScratch::shard_pool(),
+                    qpool: dpu_core::stack::DispatchBuf::new(),
                 };
                 std::thread::Builder::new()
                     .name(format!("dpu-shard-{s}"))
@@ -470,17 +499,31 @@ impl Runtime {
         RuntimeStats { packets_sent, packets_dropped }
     }
 
-    /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
-    /// scratch pool (each shard's drivers are visited through their
-    /// owning shard, like any control request). The steady-state
+    /// Aggregate [`dpu_core::wire::ScratchStats`] over the runtime: the
+    /// shard-level pools (where every encode lands under the loan
+    /// discipline — one request per *shard*, not per stack) plus each
+    /// stack's resident scratch as a residual (zero in normal operation;
+    /// kept so any encode outside a loan still counts). The steady-state
     /// allocation oracle of the live message path.
     ///
     /// Like [`Runtime::with_stack`], must be called from outside the
     /// shard threads.
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
-        let mut total = dpu_core::wire::ScratchStats::default();
+        let mut total = self.pool_stats();
         for i in 0..self.n() {
             total.absorb(self.with_stack(StackId(i), |s| s.wire_stats()));
+        }
+        total
+    }
+
+    /// Sum of the shard-level scratch pools' counters (one control
+    /// round-trip per shard).
+    fn pool_stats(&self) -> dpu_core::wire::ScratchStats {
+        let mut total = dpu_core::wire::ScratchStats::default();
+        for mb in &self.mailboxes {
+            let (tx, rx) = bounded(1);
+            mb.send(ShardMsg::PoolStats { reply: tx }).expect("shard thread alive");
+            total.absorb(rx.recv().expect("shard replies"));
         }
         total
     }
@@ -522,6 +565,7 @@ impl Runtime {
             wire.absorb(w);
             transport.absorb(t);
         }
+        wire.absorb(self.pool_stats());
         let mut report = agg.report("runtime", self.n(), self.now().as_nanos());
         report.wire = dpu_core::telemetry::WireCounters {
             emitted: wire.emitted,

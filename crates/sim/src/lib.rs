@@ -173,6 +173,14 @@ pub struct SimConfig {
     /// off. Never affects simulation results — telemetry records, it
     /// does not feed back.
     pub telemetry: TelemetryConfig,
+    /// Shard-level scratch pooling (default on): each shard owns one
+    /// [`dpu_core::wire::WireScratch`] pool loaned to whichever stack
+    /// is being driven, so retained encode buffers scale with *shards*
+    /// instead of total stacks. A pure representation change — encoded
+    /// bytes, traces and [`SimStats`] are bit-identical either way
+    /// (`tests/scratch_pool_equiv.rs` pins this); `false` restores the
+    /// per-stack retained pools.
+    pub scratch_pooling: bool,
 }
 
 impl SimConfig {
@@ -188,6 +196,7 @@ impl SimConfig {
             topology: None,
             workers: 1,
             telemetry: TelemetryConfig::default(),
+            scratch_pooling: true,
         }
     }
 
@@ -217,6 +226,13 @@ impl SimConfig {
     /// Set the worker-thread count (builder style).
     pub fn with_workers(mut self, workers: usize) -> SimConfig {
         self.workers = workers;
+        self
+    }
+
+    /// Enable/disable shard-level scratch pooling (builder style; see
+    /// [`SimConfig::scratch_pooling`]).
+    pub fn with_scratch_pooling(mut self, pooling: bool) -> SimConfig {
+        self.scratch_pooling = pooling;
         self
     }
 }
@@ -294,6 +310,18 @@ pub(crate) struct Shard {
     now: Time,
     /// Cross-cluster packets emitted this epoch, per destination shard.
     outbox: Vec<Vec<Inflight>>,
+    /// The shard-level encode-buffer pool, loaned to whichever stack is
+    /// being driven (see [`Shard::lend`]). Retained encode memory thus
+    /// scales with shards, not stacks.
+    pool: dpu_core::wire::WireScratch,
+    /// Whether the loan discipline is active ([`SimConfig::scratch_pooling`]).
+    pooled: bool,
+    /// Wire counters of retired stack incarnations (node restarts drop
+    /// the old stack's scratch; its history folds in here so
+    /// [`Sim::wire_stats`] stays exact across churn).
+    retired_wire: dpu_core::wire::ScratchStats,
+    /// Transport counters of retired stack incarnations, same story.
+    retired_transport: dpu_core::TransportStats,
 }
 
 impl Shard {
@@ -306,6 +334,19 @@ impl Shard {
         let seq = self.seq;
         self.seq += 1;
         self.sched.push(at, seq, kind);
+    }
+
+    /// The scratch-pool loan handoff: swap the shard pool into (or back
+    /// out of) the stack in `slot`. Called symmetrically around every
+    /// encode-capable driver entry point — packet delivery, dispatch
+    /// steps, host closures — so all encodes land in the shard pool and
+    /// the stack's resident scratch stays empty. No-op when pooling is
+    /// off. An O(1) field swap, not a copy.
+    #[inline]
+    fn lend(&mut self, slot: usize) {
+        if self.pooled {
+            self.nodes.driver_mut(slot).swap_scratch(&mut self.pool);
+        }
     }
 
     /// The earliest queued event's time (the epoch-floor probe).
@@ -345,7 +386,9 @@ impl Shard {
                 if self.nodes.crashed(slot) {
                     return;
                 }
+                self.lend(slot);
                 self.nodes.driver_mut(slot).deliver(at, src, payload);
+                self.lend(slot);
                 self.stats.packets_delivered += 1;
                 self.ensure_step(dst);
             }
@@ -379,13 +422,19 @@ impl Shard {
         if self.nodes.crashed(slot) {
             return;
         }
-        let Some(info) = self.nodes.driver_mut(slot).step_raw(at) else { return };
+        self.lend(slot);
+        let step = self.nodes.driver_mut(slot).step_raw(at);
+        let Some(info) = step else {
+            self.lend(slot);
+            return;
+        };
         self.stats.steps += 1;
         let cost = shared.cpu.cost(info.category);
         let done = at + cost;
         self.nodes.set_cpu_free(slot, done);
         let mut buf = SendBuf::default();
         self.nodes.driver_mut(slot).settle(done, &mut buf);
+        self.lend(slot);
         self.flush_sends(shared, buf);
         self.ensure_step(id);
         self.ensure_wake(id);
@@ -465,6 +514,15 @@ impl Shard {
         let slot = self.slot(id);
         let deadline = self.nodes.driver_mut(slot).next_deadline();
         self.ensure_wake_at(id, deadline);
+    }
+
+    /// Fold a retiring stack incarnation's wire/transport counters into
+    /// the shard's retired partials — called just before
+    /// [`NodeSlab::retire`] drops the old stack.
+    fn absorb_retiring(&mut self, slot: usize) {
+        let stack = self.nodes.driver(slot).stack();
+        self.retired_wire.absorb(stack.wire_stats());
+        self.retired_transport.absorb(stack.transport_stats());
     }
 
     /// [`Shard::ensure_wake`] with the deadline already in hand (the
@@ -610,6 +668,10 @@ impl Sim {
                 stats: SimStats::default(),
                 now: Time::ZERO,
                 outbox: vec![Vec::new(); nshards],
+                pool: dpu_core::wire::WireScratch::shard_pool(),
+                pooled: cfg.scratch_pooling,
+                retired_wire: dpu_core::wire::ScratchStats::default(),
+                retired_transport: dpu_core::TransportStats::default(),
             });
         }
         let mut sim = Sim {
@@ -720,7 +782,8 @@ impl Sim {
         let mut total = 0usize;
         for shard in &self.shards {
             total += shard.nodes.mem_bytes();
-            total += shard.sched.len() * size_of::<(sched::Key, EventKind)>();
+            total += shard.pool.mem_bytes();
+            total += shard.sched.mem_bytes();
             for ob in &shard.outbox {
                 total += ob.capacity() * size_of::<Inflight>();
             }
@@ -748,7 +811,9 @@ impl Sim {
     pub fn with_stack<R>(&mut self, id: StackId, f: impl FnOnce(&mut Stack) -> R) -> R {
         let shard = self.shard_of(id);
         let slot = shard.slot(id);
+        shard.lend(slot);
         let r = f(shard.nodes.driver_mut(slot).stack_mut());
+        shard.lend(slot);
         self.after_stack_mutation(id);
         r
     }
@@ -827,6 +892,9 @@ impl Sim {
         // Recycle the slab slot in place: the old incarnation's module,
         // timer and scratch state is dropped here, before the SoA fields
         // are reset — nothing of it survives into the new incarnation.
+        // Its counters do: fold them into the shard's retired partials
+        // so run totals stay exact across churn.
+        shard.absorb_retiring(slot);
         shard.nodes.retire(slot);
         shard.nodes.recycle(slot, StackDriver::new(stack), now);
         self.after_stack_mutation(id);
@@ -842,6 +910,7 @@ impl Sim {
         let cfg = self.stack_config(id);
         let shard = self.shard_of(id);
         let slot = shard.slot(id);
+        shard.absorb_retiring(slot);
         shard.nodes.retire(slot);
         let driver = StackDriver::new(factory(cfg));
         let now = self.now;
@@ -1012,15 +1081,26 @@ impl Sim {
         }
     }
 
-    /// Aggregate [`dpu_core::wire::ScratchStats`] over every stack's
-    /// scratch pool: the steady-state-allocation oracle for the whole
-    /// simulation (see the `wire_codec` bench and `BENCH_wire.json`).
-    /// Also folded into [`Sim::report`].
+    /// Aggregate [`dpu_core::wire::ScratchStats`] over the run: the
+    /// steady-state-allocation oracle for the whole simulation (see the
+    /// `wire_codec` bench and `BENCH_wire.json`). Also folded into
+    /// [`Sim::report`].
+    ///
+    /// With shard-level pooling active (the default) every encode runs
+    /// under the pool loan, so the totals are exactly Σ shard-pool
+    /// counters + retired partials — **O(shards), not O(n)**, which is
+    /// what makes a million-stack report cheap. With pooling off the
+    /// per-stack pools are walked instead (plus the retired partials,
+    /// so churned incarnations still count).
     pub fn wire_stats(&self) -> dpu_core::wire::ScratchStats {
         let mut total = dpu_core::wire::ScratchStats::default();
         for shard in &self.shards {
-            for driver in shard.nodes.drivers() {
-                total.absorb(driver.stack().wire_stats());
+            total.absorb(shard.pool.stats());
+            total.absorb(shard.retired_wire);
+            if !shard.pooled {
+                for driver in shard.nodes.drivers() {
+                    total.absorb(driver.stack().wire_stats());
+                }
             }
         }
         total
@@ -1029,10 +1109,14 @@ impl Sim {
     /// Aggregate [`dpu_core::TransportStats`] over every stack — the
     /// reliable-transport health of the run (rp2p retransmissions,
     /// frames given up after the retransmit cap, current unacked
-    /// backlog). Also folded into [`Sim::report`].
+    /// backlog) — plus the per-shard partials of retired (churned)
+    /// incarnations. The live counters are module state, so this walk
+    /// is O(live modules); it allocates nothing and materializes no
+    /// intermediate. Also folded into [`Sim::report`].
     pub fn transport_stats(&self) -> dpu_core::TransportStats {
         let mut total = dpu_core::TransportStats::default();
         for shard in &self.shards {
+            total.absorb(shard.retired_transport);
             for driver in shard.nodes.drivers() {
                 total.absorb(driver.stack().transport_stats());
             }
@@ -1048,9 +1132,14 @@ impl Sim {
     /// `Reactor::telemetry_report`.
     pub fn telemetry_report(&self) -> dpu_core::telemetry::TelemetryReport {
         let mut agg = dpu_core::telemetry::TelemetryAggregate::new();
-        for shard in &self.shards {
-            for driver in shard.nodes.drivers() {
-                agg.absorb(driver.stack().telemetry());
+        // Capacity runs build every stack with telemetry off, so the
+        // per-stack partials are all empty — skip the O(n) walk and the
+        // report is O(shards) like the rest of the streaming stats path.
+        if self.cfg.telemetry.enabled {
+            for shard in &self.shards {
+                for driver in shard.nodes.drivers() {
+                    agg.absorb(driver.stack().telemetry());
+                }
             }
         }
         let mut report = agg.report("sim", self.cfg.n, self.now.as_nanos());

@@ -162,6 +162,16 @@ impl<E> Slab<E> {
                 i
             }
             None => {
+                if self.items.len() == self.items.capacity() {
+                    // Grow in 1/8 chunks instead of Vec's doubling: the
+                    // slab tracks the standing event population (a
+                    // million stacks hold millions of events), and
+                    // doubling's up-to-100% slack on ~50-byte payloads
+                    // is hundreds of bytes per stack. An eighth keeps
+                    // amortized O(1) growth with bounded dead capacity.
+                    let chunk = (self.items.len() / 8).max(32);
+                    self.items.reserve_exact(chunk);
+                }
                 self.items.push(Some(ev));
                 (self.items.len() - 1) as u32
             }
@@ -586,6 +596,32 @@ impl<E> Scheduler<E> {
         match &self.imp {
             Imp::Single(_) => 0,
             Imp::Wheel(w) => w.resizes,
+        }
+    }
+
+    /// Heap bytes held by the scheduler at *capacity* (slab, buckets,
+    /// heaps, free list) — what the allocator actually charges, not
+    /// just the live-event footprint. Feeds the structural memory
+    /// audit (`Sim::mem_stats`), which `tests/mem_audit.rs` reconciles
+    /// against a counting allocator.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match &self.imp {
+            Imp::Single(heap) => heap.capacity() * size_of::<Entry<E>>(),
+            Imp::Wheel(w) => {
+                let mut total = w.slab.items.capacity() * size_of::<Option<E>>()
+                    + w.slab.free.capacity() * size_of::<u32>()
+                    + w.serving.capacity() * size_of::<WheelKey>()
+                    + (w.late.capacity() + w.overflow.capacity()) * size_of::<Reverse<WheelKey>>();
+                for level in &w.levels {
+                    total += level.occ.capacity() * size_of::<u64>();
+                    for slot in &level.slots {
+                        total += slot.capacity() * size_of::<WheelKey>();
+                    }
+                    total += level.slots.capacity() * size_of::<Vec<WheelKey>>();
+                }
+                total
+            }
         }
     }
 
